@@ -1,0 +1,91 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -id fig6            # one artifact
+//	experiments -all                # everything (slow)
+//	experiments -list               # show available artifacts
+//	experiments -id fig10 -insts 500000 -warmup 200000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fvp"
+)
+
+// writeSuiteCSV dumps the per-workload FVP comparison as CSV for plotting.
+func writeSuiteCSV(path string, machine fvp.Machine, warmup, insts uint64) error {
+	cs, err := fvp.CompareSuite(machine, fvp.PredFVP, warmup, insts)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "workload,category,base_ipc,fvp_ipc,speedup,coverage")
+	for _, c := range cs {
+		fmt.Fprintf(f, "%s,%s,%.4f,%.4f,%.4f,%.4f\n",
+			c.Workload, c.Category, c.Base.IPC, c.Pred.IPC, c.Speedup(), c.Pred.Coverage)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		id     = flag.String("id", "", "experiment id (fig6, table1, epoch, ...)")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list experiments")
+		warmup = flag.Uint64("warmup", 0, "warmup instructions per run (0 = default 100k)")
+		insts  = flag.Uint64("insts", 0, "measured instructions per run (0 = default 300k)")
+		csv    = flag.String("csv", "", "write the per-workload FVP comparison (Fig 8 data) to this CSV file")
+	)
+	flag.Parse()
+
+	if *csv != "" {
+		if err := writeSuiteCSV(*csv, fvp.Skylake, *warmup, *insts); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *csv)
+		return
+	}
+
+	if *list || (!*all && *id == "") {
+		fmt.Println("experiments:")
+		for _, e := range fvp.Experiments() {
+			fmt.Printf("  %-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	run := func(eid, title string) {
+		fmt.Printf("==== %s — %s ====\n", eid, title)
+		start := time.Now()
+		if err := fvp.RunExperiment(eid, os.Stdout, *warmup, *insts); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	if *all {
+		for _, e := range fvp.Experiments() {
+			run(e.ID, e.Title)
+		}
+		return
+	}
+	for _, e := range fvp.Experiments() {
+		if e.ID == *id {
+			run(e.ID, e.Title)
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", *id)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Command fvpsim runs one workload on one simulated machine with one value
+// predictor and prints the measured metrics, optionally against the
+// no-prediction baseline.
+//
+// Usage:
+//
+//	fvpsim -workload omnetpp -machine skylake -predictor fvp -compare
+//	fvpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fvp"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "omnetpp", "workload name (see -list)")
+		machine = flag.String("machine", "skylake", "skylake | skylake2x")
+		pred    = flag.String("predictor", "fvp", "predictor configuration (see -list)")
+		warmup  = flag.Uint64("warmup", 100_000, "warmup instructions")
+		insts   = flag.Uint64("insts", 300_000, "measured instructions")
+		compare = flag.Bool("compare", false, "also run the baseline and report speedup")
+		list    = flag.Bool("list", false, "list workloads and predictors, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, w := range fvp.Workloads() {
+			fmt.Printf("  %-18s %s\n", w.Name, w.Category)
+		}
+		fmt.Println("predictors:")
+		for _, p := range fvp.Predictors() {
+			bytes, _ := fvp.StorageBytes(p)
+			fmt.Printf("  %-18s %5d B\n", p, bytes)
+		}
+		return
+	}
+
+	spec := fvp.RunSpec{
+		Workload:     *wl,
+		Machine:      fvp.Machine(*machine),
+		Predictor:    fvp.Predictor(*pred),
+		WarmupInsts:  *warmup,
+		MeasureInsts: *insts,
+	}
+	if *compare {
+		c, err := fvp.Compare(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fvpsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s on %s (%s):\n", c.Workload, *machine, *pred)
+		fmt.Printf("  baseline IPC  %.3f\n", c.Base.IPC)
+		fmt.Printf("  predictor IPC %.3f  (%+.2f%%)\n", c.Pred.IPC, (c.Speedup()-1)*100)
+		fmt.Printf("  coverage      %.1f%% of loads, accuracy %.2f%%, flushes %d\n",
+			c.Pred.Coverage*100, c.Pred.Accuracy*100, c.Pred.VPFlushes)
+		fmt.Printf("  loads by level (base) L1=%d L2=%d LLC=%d MEM=%d\n",
+			c.Base.LoadsByLevel[0], c.Base.LoadsByLevel[1], c.Base.LoadsByLevel[2], c.Base.LoadsByLevel[3])
+		return
+	}
+	m, err := fvp.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fvpsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s on %s (%s): IPC=%.3f cycles=%d insts=%d loads=%d\n",
+		*wl, *machine, *pred, m.IPC, m.Cycles, m.Insts, m.Loads)
+	fmt.Printf("  coverage %.1f%% accuracy %.2f%% vp-flushes %d branch-mispredicts %d forwards %d\n",
+		m.Coverage*100, m.Accuracy*100, m.VPFlushes, m.BranchMispredicts, m.Forwards)
+	fmt.Printf("  loads by level L1=%d L2=%d LLC=%d MEM=%d\n",
+		m.LoadsByLevel[0], m.LoadsByLevel[1], m.LoadsByLevel[2], m.LoadsByLevel[3])
+	fmt.Printf("  cycle breakdown:")
+	names := fvp.CycleBucketNames()
+	for i, n := range m.CycleBreakdown {
+		if n == 0 {
+			continue
+		}
+		fmt.Printf(" %s=%.0f%%", names[i], 100*float64(n)/float64(m.Cycles))
+	}
+	fmt.Println()
+}

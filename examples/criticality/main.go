@@ -1,0 +1,107 @@
+// Criticality reconstructs the paper's running example (§III, Figs 1–2):
+// a nine-instruction window whose critical path runs through a delinquent
+// LLC-missing load I8, and shows how value-predicting different
+// instructions on its dependence chain shortens the critical path —
+// reproducing the 241 → 212 → 205-cycle progression the paper derives.
+package main
+
+import (
+	"fmt"
+
+	"fvp/internal/ddg"
+	"fvp/internal/isa"
+)
+
+// The example program of Fig. 1(a), one micro-op per paper instruction:
+//
+//	I1: ECX = load(mem)    LLC hit, 30 cycles
+//	I2: EDX = ECX + 4      1 cycle... (paper charges 5 to the chain steps)
+//	I3: EBX = load(mem)    L1 hit
+//	I4: EDX = EDX ^ EBX    feeds I8's address
+//	I5: R9  = load(mem)    independent chain
+//	I6: R10 = R9 * 3
+//	I7: R11 = R10 + 1
+//	I8: RAX = load(EDX)    LLC miss, 200 cycles
+//	I9: RBX = RAX + 1      forward dependent
+func buildExample() []isa.DynInst {
+	mk := func(seq uint64, op isa.Op, dst, s1, s2 isa.Reg, addr uint64) isa.DynInst {
+		return isa.DynInst{
+			Seq: seq, PC: 0x400000 + seq*4, Op: op,
+			Dst: dst, Src1: s1, Src2: s2, Addr: addr, MemSize: 8,
+		}
+	}
+	return []isa.DynInst{
+		mk(0, isa.OpLoad, 1, 10, 0, 0x9000), // I1: 30-cycle load
+		mk(1, isa.OpALU, 2, 1, 0, 0),        // I2
+		mk(2, isa.OpLoad, 3, 11, 0, 0x9100), // I3: L1 hit
+		mk(3, isa.OpALU, 2, 2, 3, 0),        // I4
+		mk(4, isa.OpLoad, 4, 12, 0, 0x9200), // I5
+		mk(5, isa.OpALU, 5, 4, 0, 0),        // I6
+		mk(6, isa.OpALU, 6, 5, 0, 0),        // I7
+		mk(7, isa.OpLoad, 7, 2, 0, 0x9300),  // I8: 200-cycle miss
+		mk(8, isa.OpALU, 8, 7, 0, 0),        // I9
+	}
+}
+
+// latencies charges the paper's per-instruction execution costs; predicted
+// marks instructions whose results are value-predicted (their outgoing
+// dependence edges cost ~1 cycle instead of their latency).
+func pathLength(predicted map[uint64]bool) uint64 {
+	insts := buildExample()
+	lat := map[uint64]uint64{0: 30, 1: 5, 2: 5, 3: 5, 4: 5, 5: 5, 6: 5, 7: 200, 8: 1}
+	cfg := ddg.Config{
+		ROBSize:       224,
+		FetchWidth:    4,
+		CommitWidth:   8,
+		FrontEndDepth: 0,
+		Latency:       func(d *isa.DynInst) uint64 { return lat[d.Seq] },
+		Predicted:     func(d *isa.DynInst) bool { return predicted[d.Seq] },
+	}
+	g := ddg.Build(insts, cfg)
+	return g.Length()
+}
+
+func main() {
+	base := pathLength(nil)
+	fmt.Printf("critical path, no prediction:              %3d cycles (paper: 241)\n", base)
+
+	fmt.Println("\ncritical instructions (E nodes on the path):")
+	g := ddg.Build(buildExample(), ddg.Config{
+		FrontEndDepth: 0,
+		Latency: func(d *isa.DynInst) uint64 {
+			return map[uint64]uint64{0: 30, 1: 5, 2: 5, 3: 5, 4: 5, 5: 5, 6: 5, 7: 200, 8: 1}[d.Seq]
+		},
+	})
+	for _, s := range g.CriticalSeqs() {
+		fmt.Printf("  I%d\n", s+1)
+	}
+
+	predictI8 := pathLength(map[uint64]bool{7: true})
+	fmt.Printf("\npredicting only the miss I8:               %3d cycles (saves just the I9 edge)\n", predictI8)
+
+	predictI1 := pathLength(map[uint64]bool{0: true})
+	fmt.Printf("predicting I1 (LLC-hit load on the chain): %3d cycles (paper: 212, +13%% speedup)\n", predictI1)
+
+	predictI4 := pathLength(map[uint64]bool{3: true})
+	fmt.Printf("predicting I4 (closest to the root):       %3d cycles (paper: 205, +24%% speedup)\n", predictI4)
+
+	all := map[uint64]bool{}
+	for s := uint64(0); s < 9; s++ {
+		all[s] = true
+	}
+	fmt.Printf("predicting everything:                     %3d cycles (barely better than I4 alone)\n",
+		pathLength(all))
+
+	fmt.Println("\nper-instruction slack (cycles each execution could slip):")
+	slack := g.Slack()
+	for i, s := range slack {
+		mark := " "
+		if s == 0 {
+			mark = "*" // zero slack = critical
+		}
+		fmt.Printf("  I%d%s slack=%d\n", i+1, mark, s)
+	}
+
+	fmt.Println("\n=> one well-chosen prediction (I4) captures almost the whole win —")
+	fmt.Println("   the insight behind Focused Value Prediction.")
+}

@@ -1,0 +1,39 @@
+// Quickstart: run one workload with and without Focused Value Prediction
+// on the Skylake baseline and print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fvp"
+)
+
+func main() {
+	spec := fvp.RunSpec{
+		Workload:     "omnetpp",
+		Machine:      fvp.Skylake,
+		Predictor:    fvp.PredFVP,
+		WarmupInsts:  100_000,
+		MeasureInsts: 300_000,
+	}
+	c, err := fvp.Compare(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload:   %s (%s)\n", c.Workload, c.Category)
+	fmt.Printf("baseline:   IPC %.3f\n", c.Base.IPC)
+	fmt.Printf("with FVP:   IPC %.3f  (%+.2f%%)\n", c.Pred.IPC, (c.Speedup()-1)*100)
+	fmt.Printf("coverage:   %.1f%% of loads value-predicted\n", c.Pred.Coverage*100)
+	fmt.Printf("accuracy:   %.2f%% (flushes: %d)\n", c.Pred.Accuracy*100, c.Pred.VPFlushes)
+
+	// The whole predictor fits in ~1.2 KB (paper Table I).
+	fmt.Println("\nFVP storage budget:")
+	total := 0
+	for _, it := range fvp.FVPStorage() {
+		fmt.Printf("  %-26s %4d entries  %6d bits\n", it.Name, it.Entries, it.Bits)
+		total += it.Bits
+	}
+	fmt.Printf("  %-26s %19d bits (≈%.1f KB)\n", "total", total, float64(total)/8/1024)
+}

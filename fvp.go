@@ -1,0 +1,384 @@
+// Package fvp is the public façade of the Focused Value Prediction
+// reproduction (Bandishte et al., ISCA 2020). It exposes:
+//
+//   - the 60-workload study list (Table III) as named, generated kernels,
+//   - the two simulated machines (Skylake and the scaled-up Skylake-2X,
+//     Table II),
+//   - the predictor zoo: FVP itself (≈1.2 KB), Memory Renaming and the
+//     DLVP+EVES Composite predictor at 8 KB / 1 KB budgets, plus FVP
+//     ablations (register-only, memory-only, criticality policies),
+//   - Run/Compare entry points returning IPC, coverage and accuracy, and
+//   - the per-figure experiment drivers that regenerate every table and
+//     figure of the paper's evaluation section.
+//
+// Quick start:
+//
+//	m, _ := fvp.Run(fvp.RunSpec{Workload: "omnetpp", Predictor: fvp.PredFVP})
+//	b, _ := fvp.Run(fvp.RunSpec{Workload: "omnetpp"})
+//	fmt.Printf("speedup %.1f%%\n", (m.IPC/b.IPC-1)*100)
+package fvp
+
+import (
+	"fmt"
+	"io"
+
+	"fvp/internal/core"
+	"fvp/internal/harness"
+	"fvp/internal/ooo"
+	"fvp/internal/prog"
+	"fvp/internal/vp"
+	"fvp/internal/workload"
+)
+
+// Machine selects a simulated core configuration.
+type Machine string
+
+// The two baselines of the paper (§V).
+const (
+	// Skylake is the 4-wide, 224-entry-ROB baseline (Table II).
+	Skylake Machine = "skylake"
+	// Skylake2X doubles every out-of-order resource and bandwidth.
+	Skylake2X Machine = "skylake2x"
+)
+
+// coreConfig maps a Machine to the timing-model configuration.
+func coreConfig(m Machine) (ooo.Config, error) {
+	switch m {
+	case Skylake, "":
+		return ooo.Skylake(), nil
+	case Skylake2X:
+		return ooo.Skylake2X(), nil
+	}
+	return ooo.Config{}, fmt.Errorf("fvp: unknown machine %q", m)
+}
+
+// Predictor names a value-predictor configuration.
+type Predictor string
+
+// Predictor configurations evaluated in the paper.
+const (
+	// PredNone is the no-value-prediction baseline.
+	PredNone Predictor = "none"
+	// PredFVP is Focused Value Prediction at its paper sizing (~1.2 KB).
+	PredFVP Predictor = "fvp"
+	// PredFVPRegOnly disables FVP's Memory-Renaming component (Fig 13).
+	PredFVPRegOnly Predictor = "fvp-reg-only"
+	// PredFVPMemOnly keeps only the Memory-Renaming component (Fig 13).
+	PredFVPMemOnly Predictor = "fvp-mem-only"
+	// PredFVPL1Miss uses the FVP-L1-Miss criticality policy (Fig 12).
+	PredFVPL1Miss Predictor = "fvp-l1-miss"
+	// PredFVPL1MissOnly predicts only L1-missing loads (Fig 12).
+	PredFVPL1MissOnly Predictor = "fvp-l1-miss-only"
+	// PredFVPOracle uses graph-buffering oracle criticality (Fig 12).
+	PredFVPOracle Predictor = "fvp-oracle"
+	// PredMR8KB is standalone Memory Renaming at ≈8 KB (Figs 10/11).
+	PredMR8KB Predictor = "mr-8kb"
+	// PredMR1KB is standalone Memory Renaming at ≈1 KB.
+	PredMR1KB Predictor = "mr-1kb"
+	// PredComposite8KB is the DLVP+EVES Composite predictor at ≈8 KB.
+	PredComposite8KB Predictor = "composite-8kb"
+	// PredComposite1KB is the Composite predictor at ≈1 KB.
+	PredComposite1KB Predictor = "composite-1kb"
+	// PredLVP is a plain tagged last-value predictor (baseline study).
+	PredLVP Predictor = "lvp"
+	// PredStride is the classic stride value predictor (§VI-B note).
+	PredStride Predictor = "stride"
+	// PredVTAGE is a standalone VTAGE (Perais & Seznec, cited prior art).
+	PredVTAGE Predictor = "vtage"
+	// PredEVES is an EVES-style VTAGE+E-Stride predictor (cited prior art).
+	PredEVES Predictor = "eves"
+)
+
+// Predictors lists every named configuration.
+func Predictors() []Predictor {
+	return []Predictor{
+		PredNone, PredFVP, PredFVPRegOnly, PredFVPMemOnly, PredFVPL1Miss,
+		PredFVPL1MissOnly, PredFVPOracle, PredMR8KB, PredMR1KB,
+		PredComposite8KB, PredComposite1KB, PredLVP, PredStride,
+		PredVTAGE, PredEVES,
+	}
+}
+
+func predFactory(p Predictor) (harness.PredFactory, error) {
+	switch p {
+	case PredNone, "":
+		return nil, nil
+	case PredFVP:
+		return harness.Factory(harness.SpecFVP), nil
+	case PredFVPRegOnly:
+		return harness.Factory(harness.SpecFVPRegOnly), nil
+	case PredFVPMemOnly:
+		return harness.Factory(harness.SpecFVPMemOnly), nil
+	case PredFVPL1Miss:
+		return harness.Factory(harness.SpecFVPL1Miss), nil
+	case PredFVPL1MissOnly:
+		return harness.Factory(harness.SpecFVPL1MissOnl), nil
+	case PredFVPOracle:
+		return harness.Factory(harness.SpecFVPOracle), nil
+	case PredMR8KB:
+		return harness.Factory(harness.SpecMR8KB), nil
+	case PredMR1KB:
+		return harness.Factory(harness.SpecMR1KB), nil
+	case PredComposite8KB:
+		return harness.Factory(harness.SpecComp8KB), nil
+	case PredComposite1KB:
+		return harness.Factory(harness.SpecComp1KB), nil
+	case PredLVP:
+		return harness.Factory(harness.SpecLVP), nil
+	case PredStride:
+		return harness.Factory(harness.SpecStride), nil
+	case PredVTAGE:
+		return harness.Factory(harness.SpecVTAGE), nil
+	case PredEVES:
+		return harness.Factory(harness.SpecEVES), nil
+	}
+	return nil, fmt.Errorf("fvp: unknown predictor %q", p)
+}
+
+// StorageBytes returns the state budget of a predictor configuration in
+// bytes (0 for the baseline).
+func StorageBytes(p Predictor) (int, error) {
+	pf, err := predFactory(p)
+	if err != nil {
+		return 0, err
+	}
+	if pf == nil {
+		return 0, nil
+	}
+	return pf().StorageBits() / 8, nil
+}
+
+// WorkloadInfo describes one study-list entry.
+type WorkloadInfo struct {
+	// Name is the paper's application name ("omnetpp", "cassandra", ...).
+	Name string
+	// Category is the Table-III family.
+	Category string
+}
+
+// Workloads returns the 60-entry study list (Table III).
+func Workloads() []WorkloadInfo {
+	ws := workload.All()
+	out := make([]WorkloadInfo, len(ws))
+	for i, w := range ws {
+		out[i] = WorkloadInfo{Name: w.Name, Category: string(w.Category)}
+	}
+	return out
+}
+
+// RunSpec describes one simulation.
+type RunSpec struct {
+	// Workload is a study-list name (see Workloads).
+	Workload string
+	// Machine defaults to Skylake.
+	Machine Machine
+	// Predictor defaults to PredNone (the baseline).
+	Predictor Predictor
+	// WarmupInsts and MeasureInsts default to 100k/300k.
+	WarmupInsts  uint64
+	MeasureInsts uint64
+}
+
+// Metrics is the measured outcome of a run.
+type Metrics struct {
+	// IPC is retired instructions per cycle over the measured region.
+	IPC float64
+	// Coverage is predicted loads / all loads (the paper's metric).
+	Coverage float64
+	// Accuracy is correct / validated predictions.
+	Accuracy float64
+	// Cycles and Insts cover the measured region.
+	Cycles uint64
+	Insts  uint64
+	// Loads is the retired load count.
+	Loads uint64
+	// VPFlushes counts pipeline flushes from value mispredictions.
+	VPFlushes uint64
+	// BranchMispredicts counts resolved front-end mispredictions.
+	BranchMispredicts uint64
+	// Forwards counts store→load forwarding events in the LSQ.
+	Forwards uint64
+	// LoadsByLevel counts demand loads served by L1/L2/LLC/memory.
+	LoadsByLevel [4]uint64
+	// CycleBreakdown attributes every cycle to a top-down bucket; see
+	// CycleBucketNames for labels. Buckets sum to Cycles.
+	CycleBreakdown [9]uint64
+}
+
+// CycleBucketNames labels Metrics.CycleBreakdown.
+func CycleBucketNames() [9]string { return ooo.BucketNames }
+
+func (s RunSpec) options() harness.Options {
+	opt := harness.DefaultOptions()
+	if s.WarmupInsts > 0 {
+		opt.WarmupInsts = s.WarmupInsts
+	}
+	if s.MeasureInsts > 0 {
+		opt.MeasureInsts = s.MeasureInsts
+	}
+	return opt
+}
+
+func toMetrics(r harness.Result) Metrics {
+	return Metrics{
+		IPC:               r.IPC,
+		Coverage:          r.Coverage,
+		Accuracy:          r.Accuracy,
+		Cycles:            r.Stats.Cycles,
+		Insts:             r.Stats.Retired,
+		Loads:             r.Stats.RetiredLoads,
+		VPFlushes:         r.Stats.VPFlushes,
+		BranchMispredicts: r.Stats.BranchMispredicts,
+		Forwards:          r.Stats.Forwards,
+		LoadsByLevel:      r.Stats.LoadsByLevel,
+		CycleBreakdown:    r.Stats.Breakdown,
+	}
+}
+
+// Run simulates one workload per spec and returns its metrics.
+func Run(spec RunSpec) (Metrics, error) {
+	w, ok := workload.ByName(spec.Workload)
+	if !ok {
+		return Metrics{}, fmt.Errorf("fvp: unknown workload %q (see fvp.Workloads)", spec.Workload)
+	}
+	cfg, err := coreConfig(spec.Machine)
+	if err != nil {
+		return Metrics{}, err
+	}
+	pf, err := predFactory(spec.Predictor)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return toMetrics(harness.RunOne(w, cfg, pf, spec.options())), nil
+}
+
+// Comparison pairs a predictor run with its baseline.
+type Comparison struct {
+	Workload string
+	Category string
+	Base     Metrics
+	Pred     Metrics
+}
+
+// Speedup is Pred.IPC / Base.IPC.
+func (c Comparison) Speedup() float64 {
+	if c.Base.IPC == 0 {
+		return 1
+	}
+	return c.Pred.IPC / c.Base.IPC
+}
+
+// Compare runs baseline and predictor for one workload.
+func Compare(spec RunSpec) (Comparison, error) {
+	base := spec
+	base.Predictor = PredNone
+	b, err := Run(base)
+	if err != nil {
+		return Comparison{}, err
+	}
+	p, err := Run(spec)
+	if err != nil {
+		return Comparison{}, err
+	}
+	w, _ := workload.ByName(spec.Workload)
+	return Comparison{Workload: spec.Workload, Category: string(w.Category), Base: b, Pred: p}, nil
+}
+
+// CompareSuite runs baseline and predictor over every workload (in
+// parallel) and returns per-workload comparisons in study-list order.
+func CompareSuite(machine Machine, pred Predictor, warmup, measure uint64) ([]Comparison, error) {
+	cfg, err := coreConfig(machine)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := predFactory(pred)
+	if err != nil {
+		return nil, err
+	}
+	opt := RunSpec{WarmupInsts: warmup, MeasureInsts: measure}.options()
+	pairs := harness.RunComparison(workload.All(), cfg, pf, opt)
+	out := make([]Comparison, len(pairs))
+	for i, p := range pairs {
+		out[i] = Comparison{
+			Workload: p.Base.Workload,
+			Category: string(p.Base.Category),
+			Base:     toMetrics(p.Base),
+			Pred:     toMetrics(p.Pred),
+		}
+	}
+	return out, nil
+}
+
+// Geomean returns the geometric-mean speedup of comparisons.
+func Geomean(cs []Comparison) float64 {
+	pairs := make([]harness.Pair, len(cs))
+	for i, c := range cs {
+		pairs[i] = harness.Pair{
+			Base: harness.Result{IPC: c.Base.IPC},
+			Pred: harness.Result{IPC: c.Pred.IPC},
+		}
+	}
+	return harness.Geomean(pairs)
+}
+
+// ExperimentInfo names one paper artifact that can be regenerated.
+type ExperimentInfo struct {
+	ID    string
+	Title string
+}
+
+// Experiments lists every reproducible table and figure.
+func Experiments() []ExperimentInfo {
+	es := harness.Experiments()
+	out := make([]ExperimentInfo, len(es))
+	for i, e := range es {
+		out[i] = ExperimentInfo{ID: e.ID, Title: e.Title}
+	}
+	return out
+}
+
+// RunExperiment regenerates one table/figure, writing its report to out.
+// warmup/measure of 0 select the defaults (100k/300k instructions).
+func RunExperiment(id string, out io.Writer, warmup, measure uint64) error {
+	e, ok := harness.ExperimentByID(id)
+	if !ok {
+		return fmt.Errorf("fvp: unknown experiment %q (see fvp.Experiments)", id)
+	}
+	opt := RunSpec{WarmupInsts: warmup, MeasureInsts: measure}.options()
+	return e.Run(harness.NewRunner(opt), out)
+}
+
+// StorageItem is a row of the Table-I budget breakdown.
+type StorageItem struct {
+	Name    string
+	Entries int
+	Bits    int
+}
+
+// FVPStorage returns the Table-I storage breakdown of the default FVP
+// configuration (≈1.2 KB total).
+func FVPStorage() []StorageItem {
+	f := core.New(core.DefaultConfig())
+	items := f.StorageBreakdown()
+	out := make([]StorageItem, len(items))
+	for i, it := range items {
+		out[i] = StorageItem{Name: it.Name, Entries: it.Entries, Bits: it.Bits}
+	}
+	return out
+}
+
+// BuildWorkloadSource returns a fresh instruction source plus the initial
+// memory image for a named workload — the low-level hook for users driving
+// internal tooling (e.g. cmd/tracegen) or custom analyses over the
+// functional trace without the timing model.
+func BuildWorkloadSource(name string) (*prog.Exec, *prog.Memory, error) {
+	w, ok := workload.ByName(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("fvp: unknown workload %q", name)
+	}
+	p := w.Build()
+	return prog.NewExec(p), p.BuildMemory(), nil
+}
+
+// ensure the façade's predictor names stay in sync with the framework.
+var _ vp.Predictor = (*core.FVP)(nil)

@@ -1,0 +1,141 @@
+package fvp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWorkloadsListed(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 60 {
+		t.Fatalf("workloads = %d, want 60 (Table III)", len(ws))
+	}
+	cats := map[string]int{}
+	for _, w := range ws {
+		cats[w.Category]++
+	}
+	if len(cats) != 4 {
+		t.Errorf("categories = %v", cats)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(RunSpec{Workload: "nope"}); err == nil {
+		t.Error("unknown workload must error")
+	}
+	if _, err := Run(RunSpec{Workload: "mcf", Machine: "vax"}); err == nil {
+		t.Error("unknown machine must error")
+	}
+	if _, err := Run(RunSpec{Workload: "mcf", Predictor: "psychic"}); err == nil {
+		t.Error("unknown predictor must error")
+	}
+}
+
+func TestRunAndCompare(t *testing.T) {
+	c, err := Compare(RunSpec{
+		Workload:     "hmmer",
+		Predictor:    PredFVP,
+		WarmupInsts:  5_000,
+		MeasureInsts: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Base.IPC <= 0 || c.Pred.IPC <= 0 {
+		t.Fatalf("IPC: %+v", c)
+	}
+	if c.Base.Insts != 20_000 {
+		t.Errorf("measured %d instructions", c.Base.Insts)
+	}
+	if s := c.Speedup(); s < 0.5 || s > 2 {
+		t.Errorf("implausible speedup %v", s)
+	}
+}
+
+func TestStorageBytes(t *testing.T) {
+	fvpBytes, err := StorageBytes(PredFVP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fvpBytes < 900 || fvpBytes > 1400 {
+		t.Errorf("FVP storage = %d B, paper says ≈1.2 KB", fvpBytes)
+	}
+	comp8, _ := StorageBytes(PredComposite8KB)
+	comp1, _ := StorageBytes(PredComposite1KB)
+	if comp8 < 6*comp1 {
+		t.Errorf("composite budgets: 8KB=%d 1KB=%d", comp8, comp1)
+	}
+	if n, _ := StorageBytes(PredNone); n != 0 {
+		t.Errorf("baseline storage = %d", n)
+	}
+	if _, err := StorageBytes("x"); err == nil {
+		t.Error("unknown predictor must error")
+	}
+}
+
+func TestPredictorsAllResolvable(t *testing.T) {
+	for _, p := range Predictors() {
+		if _, err := StorageBytes(p); err != nil {
+			t.Errorf("predictor %s: %v", p, err)
+		}
+	}
+}
+
+func TestExperimentsListed(t *testing.T) {
+	es := Experiments()
+	if len(es) < 15 {
+		t.Fatalf("experiments = %d", len(es))
+	}
+	if err := RunExperiment("no-such", &bytes.Buffer{}, 0, 0); err == nil {
+		t.Error("unknown experiment must error")
+	}
+	// The static tables run instantly end-to-end through the public API.
+	var buf bytes.Buffer
+	if err := RunExperiment("table1", &buf, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Critical Instruction Table") {
+		t.Errorf("table1 via public API:\n%s", buf.String())
+	}
+}
+
+func TestFVPStorageTable(t *testing.T) {
+	items := FVPStorage()
+	if len(items) != 5 {
+		t.Fatalf("Table I rows = %d, want 5", len(items))
+	}
+	names := map[string]bool{}
+	for _, it := range items {
+		names[it.Name] = true
+		if it.Bits <= 0 || it.Entries <= 0 {
+			t.Errorf("bad row %+v", it)
+		}
+	}
+	for _, want := range []string{"Critical Instruction Table", "Value Table",
+		"MR Store/Load Table", "MR Value File", "RAT-PC"} {
+		if !names[want] {
+			t.Errorf("Table I row %q missing", want)
+		}
+	}
+}
+
+func TestBuildWorkloadSource(t *testing.T) {
+	ex, mem, err := BuildWorkloadSource("omnetpp")
+	if err != nil || ex == nil || mem == nil {
+		t.Fatalf("ex=%v mem=%v err=%v", ex, mem, err)
+	}
+	if _, _, err := BuildWorkloadSource("nope"); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
+
+func TestGeomeanHelper(t *testing.T) {
+	cs := []Comparison{
+		{Base: Metrics{IPC: 1}, Pred: Metrics{IPC: 2}},
+		{Base: Metrics{IPC: 2}, Pred: Metrics{IPC: 1}},
+	}
+	if g := Geomean(cs); g < 0.99 || g > 1.01 {
+		t.Errorf("geomean = %v", g)
+	}
+}

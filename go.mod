@@ -1,0 +1,3 @@
+module fvp
+
+go 1.22

@@ -1,0 +1,101 @@
+package branch
+
+import "fvp/internal/isa"
+
+// Unit bundles the direction predictor, indirect-target predictor and the
+// return-address stack into the front-end branch unit the core consults once
+// per fetched control-flow instruction.
+//
+// The trace-driven core knows the architecturally-correct path, so Unit's
+// job is to decide *whether the front end would have followed it*: Predict
+// returns the predicted outcome, the core compares it with the trace and
+// charges a misprediction bubble when they differ.
+type Unit struct {
+	Dir      *TAGE
+	Indirect *ITTAGE
+	Ras      *RAS
+	Hist     GlobalHistory
+}
+
+// NewUnit builds a branch unit with the given table configurations.
+func NewUnit(dir, indirect TAGEConfig, rasEntries int) *Unit {
+	return &Unit{
+		Dir:      NewTAGE(dir),
+		Indirect: NewITTAGE(indirect),
+		Ras:      NewRAS(rasEntries),
+	}
+}
+
+// NewDefaultUnit builds a unit with the default Skylake-like configuration.
+func NewDefaultUnit() *Unit {
+	return NewUnit(DefaultTAGEConfig(), DefaultITTAGEConfig(), 32)
+}
+
+// Outcome describes one prediction and carries the trainer state.
+type Outcome struct {
+	// PredTaken is the predicted direction (always true for
+	// unconditional control flow).
+	PredTaken bool
+	// PredTarget is the predicted target when PredTaken (0 when the
+	// target predictor had no entry).
+	PredTarget uint64
+	// Correct is true when both direction and target match the trace.
+	Correct bool
+
+	dirState lookupState
+	ittState ittState
+	isCond   bool
+	isInd    bool
+	histSnap GlobalHistory
+}
+
+// PredictAndTrain performs the front-end prediction for the resolved branch
+// d, immediately trains the predictors with the architectural outcome, and
+// updates global history. This retire-time-equivalent in-order train/update
+// sequence is the standard idealization in trace-driven models: predictor
+// state never sees wrong-path pollution, which slightly flatters all
+// configurations equally.
+func (u *Unit) PredictAndTrain(d *isa.DynInst) Outcome {
+	o := Outcome{histSnap: u.Hist.Snapshot()}
+	switch d.Op {
+	case isa.OpBranch:
+		o.isCond = true
+		pred, st := u.Dir.Predict(d.PC, &u.Hist)
+		o.dirState = st
+		o.PredTaken = pred
+		// Direct branch: target comes from the decoder, so a correct
+		// direction implies a correct next PC.
+		o.PredTarget = d.Target
+		o.Correct = pred == d.Taken
+		u.Dir.Update(d.PC, &o.histSnap, st, d.Taken)
+		u.Hist.Push(d.PC, d.Taken)
+	case isa.OpJump:
+		o.PredTaken = true
+		o.PredTarget = d.Target
+		o.Correct = true
+	case isa.OpCall:
+		o.PredTaken = true
+		o.PredTarget = d.Target
+		o.Correct = true
+		u.Ras.Push(d.PC + isa.InstBytes)
+	case isa.OpRet:
+		o.PredTaken = true
+		tgt, ok := u.Ras.Pop()
+		o.PredTarget = tgt
+		o.Correct = ok && tgt == d.Target
+	case isa.OpIndirect:
+		o.isInd = true
+		tgt, ok, st := u.Indirect.Predict(d.PC, &u.Hist)
+		o.ittState = st
+		o.PredTaken = true
+		o.PredTarget = tgt
+		o.Correct = ok && tgt == d.Target
+		u.Indirect.Update(d.PC, &o.histSnap, st, d.Target)
+	default:
+		o.Correct = true
+	}
+	return o
+}
+
+// CondMispredictRate returns the conditional-branch mispredict rate so far.
+func (u *Unit) CondMispredictRate() float64 { return u.Dir.MispredictRate() }

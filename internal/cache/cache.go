@@ -1,0 +1,263 @@
+// Package cache implements set-associative caches with LRU replacement,
+// write-back/write-allocate semantics, finite MSHRs and per-line fill
+// timing, plus the stride and stream prefetchers of the simulated hierarchy
+// (paper Table II: "Aggressive multi-stream prefetching into the L2 and LLC.
+// PC based stride prefetcher at L1").
+//
+// The caches are timing-first: tag state updates eagerly at access time and
+// each line remembers the cycle its data becomes usable (readyAt), so a
+// demand access that races an in-flight prefetch of the same line waits for
+// the fill instead of double-fetching.
+package cache
+
+// Line is one cache line's metadata.
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	prefet  bool   // brought in by a prefetcher, not yet demanded
+	readyAt uint64 // cycle the data arrives
+	lru     uint64 // higher = more recently used
+}
+
+// Config sizes one cache level.
+type Config struct {
+	// Name appears in stats ("L1D", "L2", ...).
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// LineBytes is the line size (64 throughout the simulated machine).
+	LineBytes int
+	// Latency is the round-trip hit latency in core cycles.
+	Latency uint64
+	// MSHRs bounds concurrent outstanding misses (0 = unlimited).
+	MSHRs int
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses      uint64
+	Hits          uint64
+	Misses        uint64
+	PrefetchFills uint64
+	PrefetchHits  uint64 // demand hits on prefetched lines
+	Writebacks    uint64
+}
+
+// MissRate returns misses per access.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	tick     uint64 // LRU clock
+
+	mshrFree []uint64 // busy-until cycle per MSHR
+	// pendingMSHR is the slot reserved by the most recent missing Lookup,
+	// released by the matching Fill; -1 when none. The hierarchy drives
+	// Lookup/Fill as an atomic pair per level, so one slot suffices.
+	pendingMSHR int
+
+	Stats Stats
+}
+
+// New builds a cache from cfg. It panics on non-power-of-two geometry, which
+// would indicate a config bug.
+func New(cfg Config) *Cache {
+	if cfg.LineBytes <= 0 || cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic("cache: invalid geometry for " + cfg.Name)
+	}
+	nLines := cfg.SizeBytes / cfg.LineBytes
+	nSets := nLines / cfg.Ways
+	if nSets == 0 || nSets&(nSets-1) != 0 {
+		panic("cache: set count must be a power of two for " + cfg.Name)
+	}
+	c := &Cache{
+		cfg:         cfg,
+		sets:        make([][]line, nSets),
+		setMask:     uint64(nSets - 1),
+		pendingMSHR: -1,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	for lb := cfg.LineBytes; lb > 1; lb >>= 1 {
+		c.lineBits++
+	}
+	if cfg.MSHRs > 0 {
+		c.mshrFree = make([]uint64, cfg.MSHRs)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr maps a byte address to its line-aligned address.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineBits << c.lineBits }
+
+func (c *Cache) setOf(addr uint64) []line { return c.sets[(addr>>c.lineBits)&c.setMask] }
+
+func (c *Cache) tagOf(addr uint64) uint64 { return addr >> c.lineBits }
+
+// Probe reports whether addr is present (no state change, no stats).
+func (c *Cache) Probe(addr uint64) bool {
+	tag := c.tagOf(addr)
+	for i := range c.setOf(addr) {
+		l := &c.setOf(addr)[i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup performs a demand access at cycle now. On a hit it returns
+// (true, readyCycle, 0): readyCycle already includes the hit latency and any
+// residual fill delay. On a miss it returns (false, startCycle, victimAddr):
+// startCycle is when the miss may proceed to the next level (after MSHR
+// availability), and victimAddr is the dirty line that must be written back
+// (0 when none). The caller must complete the miss with Fill.
+func (c *Cache) Lookup(now uint64, addr uint64, write bool) (hit bool, when uint64, victim uint64) {
+	c.Stats.Accesses++
+	c.tick++
+	tag := c.tagOf(addr)
+	set := c.setOf(addr)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			c.Stats.Hits++
+			if l.prefet {
+				c.Stats.PrefetchHits++
+				l.prefet = false
+			}
+			l.lru = c.tick
+			if write {
+				l.dirty = true
+			}
+			ready := now
+			if l.readyAt > ready {
+				ready = l.readyAt
+			}
+			return true, ready + c.cfg.Latency, 0
+		}
+	}
+	c.Stats.Misses++
+	start := c.allocMSHR(now)
+	return false, start, c.victimAddr(addr)
+}
+
+// allocMSHR returns the cycle the miss can begin, honouring MSHR limits.
+// The reservation is released by Fill via freeMSHRAt.
+func (c *Cache) allocMSHR(now uint64) uint64 {
+	if c.mshrFree == nil {
+		return now
+	}
+	best := 0
+	for i := 1; i < len(c.mshrFree); i++ {
+		if c.mshrFree[i] < c.mshrFree[best] {
+			best = i
+		}
+	}
+	start := now
+	if c.mshrFree[best] > start {
+		start = c.mshrFree[best]
+	}
+	// Tentatively hold until far future; Fill shortens it.
+	c.mshrFree[best] = start + 1
+	c.pendingMSHR = best
+	return start
+}
+
+func (c *Cache) victimAddr(addr uint64) uint64 {
+	set := c.setOf(addr)
+	v := c.pickVictim(set)
+	l := &set[v]
+	if l.valid && l.dirty {
+		return l.tag << c.lineBits
+	}
+	return 0
+}
+
+func (c *Cache) pickVictim(set []line) int {
+	v := 0
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+		if set[i].lru < set[v].lru {
+			v = i
+		}
+	}
+	return v
+}
+
+// Fill installs addr's line with data arriving at readyAt. write marks the
+// line dirty immediately (write-allocate). prefetched tags the line as
+// prefetcher-installed for stats. It releases the MSHR reserved by the
+// preceding Lookup miss.
+func (c *Cache) Fill(addr uint64, readyAt uint64, write, prefetched bool) {
+	c.tick++
+	set := c.setOf(addr)
+	tag := c.tagOf(addr)
+	// Already present (e.g. racing prefetch): refresh timing only.
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			if readyAt < l.readyAt {
+				l.readyAt = readyAt
+			}
+			if write {
+				l.dirty = true
+			}
+			c.releaseMSHR(readyAt)
+			return
+		}
+	}
+	v := c.pickVictim(set)
+	l := &set[v]
+	if l.valid && l.dirty {
+		c.Stats.Writebacks++
+	}
+	*l = line{
+		tag:     tag,
+		valid:   true,
+		dirty:   write,
+		prefet:  prefetched,
+		readyAt: readyAt,
+		lru:     c.tick,
+	}
+	if prefetched {
+		c.Stats.PrefetchFills++
+	}
+	c.releaseMSHR(readyAt)
+}
+
+func (c *Cache) releaseMSHR(at uint64) {
+	if c.mshrFree == nil || c.pendingMSHR < 0 {
+		return
+	}
+	c.mshrFree[c.pendingMSHR] = at
+	c.pendingMSHR = -1
+}
+
+// Invalidate drops addr's line if present (used by tests).
+func (c *Cache) Invalidate(addr uint64) {
+	tag := c.tagOf(addr)
+	set := c.setOf(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i] = line{}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package cache
+
+// StridePrefetcher is the PC-indexed stride prefetcher that sits at the L1
+// data cache (Table II). For each load PC it learns last address and stride;
+// after two confirmations it emits prefetch addresses a configurable degree
+// ahead.
+type StridePrefetcher struct {
+	entries []strideEntry
+	mask    uint64
+	// Degree is how many strides ahead to prefetch per trigger.
+	Degree  int
+	scratch []uint64 // reused result buffer, valid until next Observe
+
+	Issued uint64
+}
+
+type strideEntry struct {
+	tag      uint16
+	lastAddr uint64
+	stride   int64
+	conf     int8
+}
+
+// NewStridePrefetcher builds a table with 2^bits entries.
+func NewStridePrefetcher(bits uint, degree int) *StridePrefetcher {
+	if degree <= 0 {
+		degree = 2
+	}
+	return &StridePrefetcher{
+		entries: make([]strideEntry, 1<<bits),
+		mask:    1<<bits - 1,
+		Degree:  degree,
+	}
+}
+
+// Observe records a demand load at pc/addr and returns the prefetch
+// addresses to issue (possibly none). The returned slice is valid until the
+// next call.
+func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
+	e := &p.entries[(pc>>2)&p.mask]
+	tag := uint16(pc >> 2)
+	if e.tag != tag {
+		*e = strideEntry{tag: tag, lastAddr: addr}
+		return nil
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	if stride == e.stride && stride != 0 {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.conf = 0
+		e.stride = stride
+	}
+	e.lastAddr = addr
+	if e.conf < 2 {
+		return nil
+	}
+	out := p.scratch[:0]
+	next := addr
+	for i := 0; i < p.Degree; i++ {
+		next = uint64(int64(next) + e.stride)
+		out = append(out, next)
+	}
+	p.scratch = out
+	p.Issued += uint64(len(out))
+	return out
+}
+
+// StreamPrefetcher is the multi-stream next-line prefetcher that feeds the
+// L2 and LLC. It tracks up to Streams concurrent 4 KiB regions; once a
+// region shows two sequential line accesses in one direction it prefetches
+// Depth lines ahead.
+type StreamPrefetcher struct {
+	streams []stream
+	// Depth is how many lines ahead a confirmed stream runs.
+	Depth     int
+	lineBytes uint64
+	tick      uint64
+	scratch   []uint64 // reused result buffer, valid until next Observe
+
+	Issued uint64
+}
+
+type stream struct {
+	page     uint64 // region base
+	lastLine uint64
+	dir      int64 // +1 / -1
+	conf     int8
+	lru      uint64
+	valid    bool
+}
+
+// NewStreamPrefetcher builds a detector with the given number of stream
+// slots and prefetch depth.
+func NewStreamPrefetcher(streams, depth, lineBytes int) *StreamPrefetcher {
+	if streams <= 0 {
+		streams = 16
+	}
+	if depth <= 0 {
+		depth = 4
+	}
+	return &StreamPrefetcher{
+		streams:   make([]stream, streams),
+		Depth:     depth,
+		lineBytes: uint64(lineBytes),
+	}
+}
+
+// Observe records a demand miss at addr and returns prefetch addresses.
+// The returned slice is valid until the next call.
+func (p *StreamPrefetcher) Observe(addr uint64) []uint64 {
+	p.tick++
+	page := addr &^ 0xFFF
+	lineIdx := (addr & 0xFFF) / p.lineBytes
+
+	var s *stream
+	for i := range p.streams {
+		if p.streams[i].valid && p.streams[i].page == page {
+			s = &p.streams[i]
+			break
+		}
+	}
+	if s == nil {
+		// Allocate LRU slot.
+		v := 0
+		for i := range p.streams {
+			if !p.streams[i].valid {
+				v = i
+				break
+			}
+			if p.streams[i].lru < p.streams[v].lru {
+				v = i
+			}
+		}
+		p.streams[v] = stream{page: page, lastLine: lineIdx, lru: p.tick, valid: true}
+		return nil
+	}
+	s.lru = p.tick
+	var dir int64
+	switch {
+	case lineIdx == s.lastLine+1:
+		dir = 1
+	case s.lastLine >= 1 && lineIdx == s.lastLine-1:
+		dir = -1
+	default:
+		s.lastLine = lineIdx
+		s.conf = 0
+		return nil
+	}
+	if dir == s.dir {
+		if s.conf < 3 {
+			s.conf++
+		}
+	} else {
+		s.dir = dir
+		s.conf = 1
+	}
+	s.lastLine = lineIdx
+	if s.conf < 2 {
+		return nil
+	}
+	out := p.scratch[:0]
+	next := int64(lineIdx)
+	for i := 0; i < p.Depth; i++ {
+		next += dir
+		if next < 0 || next >= int64(4096/p.lineBytes) {
+			break
+		}
+		out = append(out, page+uint64(next)*p.lineBytes)
+	}
+	p.scratch = out
+	p.Issued += uint64(len(out))
+	return out
+}

@@ -1,0 +1,98 @@
+// Package core implements Focused Value Prediction (FVP), the paper's
+// contribution: a ~1.2 KB value predictor that (1) finds the roots of the
+// critical path with a retirement-stall heuristic (Critical Instruction
+// Table), (2) walks backwards up register and memory dependence chains
+// (Learning Table + RAT-PC parents) to the nearest *predictable* loads, and
+// (3) predicts only those with a tiny hybrid Last-Value/Context-Value table
+// plus Memory Renaming for store→load dependences.
+package core
+
+// CIT is the Critical Instruction Table (§IV-A1): a small direct-mapped
+// table of PCs whose execution was observed to stall retirement. Each entry
+// carries a 2-bit confidence (criticality must repeat before FVP reacts) and
+// a 2-bit utility steering replacement. The whole table is cleared every
+// criticality epoch to follow phase changes.
+type CIT struct {
+	entries []citEntry
+	mask    uint64
+
+	Observations uint64
+	Evictions    uint64
+}
+
+type citEntry struct {
+	tag   uint16
+	valid bool
+	conf  uint8 // 2-bit
+	util  uint8 // 2-bit
+}
+
+const (
+	citConfMax = 3
+	citUtilMax = 3
+	citTagBits = 11
+	// citEntryBits: tag 11 + confidence 2 + utility 2 (Table I).
+	citEntryBits = citTagBits + 2 + 2
+)
+
+// NewCIT builds a table with the given entry count (rounded down to a power
+// of two for direct-mapped indexing; the paper uses 32).
+func NewCIT(entries int) *CIT {
+	n := entries
+	for n&(n-1) != 0 {
+		n &= n - 1
+	}
+	if n == 0 {
+		n = 1
+	}
+	return &CIT{entries: make([]citEntry, n), mask: uint64(n - 1)}
+}
+
+func (c *CIT) at(pc uint64) *citEntry { return &c.entries[(pc>>2)&c.mask] }
+func (c *CIT) tagOf(pc uint64) uint16 { return uint16(pc>>2) & (1<<citTagBits - 1) }
+
+// Observe records that the instruction at pc executed close enough to the
+// ROB head to stall retirement. It returns true when the entry is (now)
+// confident, i.e. pc is a critical root.
+func (c *CIT) Observe(pc uint64) bool {
+	c.Observations++
+	e := c.at(pc)
+	tag := c.tagOf(pc)
+	if e.valid && e.tag == tag {
+		if e.conf < citConfMax {
+			e.conf++
+		}
+		if e.util < citUtilMax {
+			e.util++
+		}
+		return e.conf >= citConfMax
+	}
+	if !e.valid {
+		*e = citEntry{tag: tag, valid: true}
+		return false
+	}
+	// Conflict: age the resident; replace at zero utility.
+	if e.util > 0 {
+		e.util--
+		return false
+	}
+	c.Evictions++
+	*e = citEntry{tag: tag, valid: true}
+	return false
+}
+
+// Confident reports whether pc is currently a confident critical root.
+func (c *CIT) Confident(pc uint64) bool {
+	e := c.at(pc)
+	return e.valid && e.tag == c.tagOf(pc) && e.conf >= citConfMax
+}
+
+// Reset clears the whole table (criticality-epoch boundary).
+func (c *CIT) Reset() {
+	for i := range c.entries {
+		c.entries[i] = citEntry{}
+	}
+}
+
+// StorageBits returns the CIT state budget.
+func (c *CIT) StorageBits() int { return len(c.entries) * citEntryBits }

@@ -1,0 +1,95 @@
+package core
+
+import "testing"
+
+func TestCITConfidenceBuild(t *testing.T) {
+	c := NewCIT(32)
+	pc := uint64(0x400)
+	// The first observation allocates; the 2-bit counter then needs
+	// citConfMax increments.
+	for i := 0; i < citConfMax+1; i++ {
+		if c.Confident(pc) {
+			t.Fatalf("confident after only %d observations", i)
+		}
+		c.Observe(pc)
+	}
+	if !c.Confident(pc) {
+		t.Error("must be confident after saturation")
+	}
+}
+
+func TestCITObserveReturnValue(t *testing.T) {
+	c := NewCIT(32)
+	pc := uint64(0x404)
+	got := false
+	for i := 0; i < citConfMax+1; i++ {
+		got = c.Observe(pc)
+	}
+	if !got {
+		t.Error("Observe must report confidence once saturated")
+	}
+}
+
+func TestCITUtilityEviction(t *testing.T) {
+	c := NewCIT(32)
+	// Two PCs aliasing to the same entry: 32 entries, index (pc>>2)&31.
+	a := uint64(0x400)        // idx (0x100)&31 = 0
+	b := uint64(0x400 + 32*4) // idx 0x120&31 = 0
+	for i := 0; i < 4; i++ {
+		c.Observe(a) // conf & utility saturate
+	}
+	// b needs utility-many conflicts to evict a.
+	for i := 0; i < int(citUtilMax); i++ {
+		c.Observe(b)
+		if !c.Confident(a) {
+			t.Fatalf("resident evicted too early (conflict %d)", i)
+		}
+	}
+	c.Observe(b) // utility hit zero: replace
+	if c.Confident(a) {
+		t.Error("resident must be gone after utility exhaustion")
+	}
+	if c.Evictions != 1 {
+		t.Errorf("evictions = %d", c.Evictions)
+	}
+}
+
+func TestCITReset(t *testing.T) {
+	c := NewCIT(32)
+	pc := uint64(0x800)
+	for i := 0; i < 4; i++ {
+		c.Observe(pc)
+	}
+	c.Reset()
+	if c.Confident(pc) {
+		t.Error("reset must clear confidence")
+	}
+}
+
+func TestCITTagDisambiguation(t *testing.T) {
+	c := NewCIT(32)
+	a := uint64(0x400)
+	for i := 0; i < 4; i++ {
+		c.Observe(a)
+	}
+	// Same index, different tag must not read as confident.
+	b := a + 32*4
+	if c.Confident(b) {
+		t.Error("tag mismatch must not be confident")
+	}
+}
+
+func TestCITStorage(t *testing.T) {
+	c := NewCIT(32)
+	// Table I: 32 × (11 + 2 + 2) bits = 480 bits = 60 bytes.
+	if got := c.StorageBits(); got != 480 {
+		t.Errorf("storage = %d bits, want 480", got)
+	}
+}
+
+func TestCITNonPowerOfTwoRoundsDown(t *testing.T) {
+	c := NewCIT(48)
+	if len(c.entries) != 32 {
+		t.Errorf("entries = %d, want 32", len(c.entries))
+	}
+}

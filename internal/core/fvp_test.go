@@ -1,0 +1,263 @@
+package core
+
+import (
+	"testing"
+
+	"fvp/internal/isa"
+	"fvp/internal/vp"
+)
+
+// Synthetic micro-program PCs used throughout: a "root" load whose address
+// is produced by an ALU op, which in turn consumes another load.
+const (
+	pcRoot  = 0x1000 // delinquent load (critical root)
+	pcALU   = 0x0F00 // address-generating ALU op (parent of root)
+	pcFeed  = 0x0E00 // load feeding the ALU (grand-parent, stable value)
+	pcStore = 0x0D00 // store that forwards to pcFwd
+	pcFwd   = 0x0C00 // store-forwarded load
+)
+
+func rootInst(val uint64) *isa.DynInst {
+	return &isa.DynInst{PC: pcRoot, Op: isa.OpLoad, Dst: 4, Src1: 3, Addr: 0x9000, Value: val, MemSize: 8}
+}
+
+func aluInst(val uint64) *isa.DynInst {
+	return &isa.DynInst{PC: pcALU, Op: isa.OpALU, Dst: 3, Src1: 2, Value: val}
+}
+
+func feedInst(val uint64) *isa.DynInst {
+	return &isa.DynInst{PC: pcFeed, Op: isa.OpLoad, Dst: 2, Src1: 1, Addr: 0x8000, Value: val, MemSize: 8}
+}
+
+// ctxWith builds a Ctx whose RAT-PC reports the given parents.
+func ctxWith(parents ...uint64) *vp.Ctx {
+	c := &vp.Ctx{}
+	for i, p := range parents {
+		if i >= 2 {
+			break
+		}
+		c.Parents[i] = p
+		c.NumParents++
+	}
+	return c
+}
+
+// trainCritical drives one "iteration" of the synthetic chain: feed and ALU
+// execute normally, the root executes while stalling retirement.
+func trainCritical(f *FVP, i int, rootVal, feedVal uint64) {
+	f.Train(feedInst(feedVal), ctxWith(), vp.TrainInfo{})
+	f.Train(aluInst(uint64(i)), ctxWith(pcFeed), vp.TrainInfo{})
+	f.Train(rootInst(rootVal), ctxWith(pcALU), vp.TrainInfo{NearHead: true})
+	f.OnRetire(&isa.DynInst{})
+	f.OnRetire(&isa.DynInst{})
+	f.OnRetire(&isa.DynInst{})
+}
+
+func TestFVPLearnsStableFeedLoad(t *testing.T) {
+	f := New(DefaultConfig())
+	// Root values fluctuate (unpredictable); the feed load is constant.
+	for i := 0; i < 4000; i++ {
+		trainCritical(f, i, uint64(i*77), 0xBEEF)
+	}
+	p := f.Lookup(feedInst(0xBEEF), ctxWith())
+	if !p.Valid || p.Value != 0xBEEF {
+		t.Fatalf("feed load not predicted after focused training: %+v (lt hits %d, walks %d)",
+			p, f.LTHits, f.ChainWalks)
+	}
+	// The fluctuating root itself must not be predicted.
+	if p := f.Lookup(rootInst(0), ctxWith(pcALU)); p.Valid {
+		t.Error("fluctuating root predicted")
+	}
+	// The ALU op must never be predicted (loads only).
+	if p := f.Lookup(aluInst(1), ctxWith(pcFeed)); p.Valid {
+		t.Error("non-load predicted in loads-only mode")
+	}
+}
+
+func TestFVPIgnoresNonCriticalLoads(t *testing.T) {
+	f := New(DefaultConfig())
+	// Same chain but never stalling retirement: nothing should train.
+	for i := 0; i < 3000; i++ {
+		f.Train(feedInst(0xBEEF), ctxWith(), vp.TrainInfo{})
+		f.Train(aluInst(uint64(i)), ctxWith(pcFeed), vp.TrainInfo{})
+		f.Train(rootInst(uint64(i)), ctxWith(pcALU), vp.TrainInfo{})
+	}
+	if f.RootsSeen != 0 {
+		t.Errorf("roots seen = %d for never-stalling code", f.RootsSeen)
+	}
+	if p := f.Lookup(feedInst(0xBEEF), ctxWith()); p.Valid {
+		t.Error("uncritical load predicted — coverage should stay focused")
+	}
+}
+
+func TestFVPRootItselfPredictedWhenStable(t *testing.T) {
+	f := New(DefaultConfig())
+	// Root value is constant: predicting the root helps its dependents
+	// (§IV-B "predicting M can also provide some speedup").
+	for i := 0; i < 4000; i++ {
+		trainCritical(f, i, 0x42, uint64(i))
+	}
+	if p := f.Lookup(rootInst(0x42), ctxWith(pcALU)); !p.Valid || p.Value != 0x42 {
+		t.Errorf("stable root not predicted: %+v", p)
+	}
+}
+
+func TestFVPBranchMispredictChainsIgnored(t *testing.T) {
+	f := New(DefaultConfig())
+	for i := 0; i < 3000; i++ {
+		f.Train(rootInst(0x42), ctxWith(pcALU),
+			vp.TrainInfo{NearHead: true, MispredictedBranchChain: true})
+	}
+	if f.RootsSeen != 0 {
+		t.Error("mispredicting-branch chains must be ignored by default (§IV-A2)")
+	}
+
+	cfg := DefaultConfig()
+	cfg.BranchChains = true
+	f2 := New(cfg)
+	for i := 0; i < 100; i++ {
+		f2.Train(rootInst(0x42), ctxWith(pcALU),
+			vp.TrainInfo{NearHead: true, MispredictedBranchChain: true})
+	}
+	if f2.RootsSeen == 0 {
+		t.Error("BranchChains mode must accept such roots (§VI-A3)")
+	}
+}
+
+func TestFVPCriticalityPolicies(t *testing.T) {
+	mk := func(pol CritPolicy) *FVP {
+		cfg := DefaultConfig()
+		cfg.Policy = pol
+		return New(cfg)
+	}
+	// L1-miss policy triggers on L1Miss, not NearHead.
+	f := mk(CritL1Miss)
+	for i := 0; i < 100; i++ {
+		f.Train(rootInst(0x42), ctxWith(pcALU), vp.TrainInfo{L1Miss: true})
+	}
+	if f.RootsSeen == 0 {
+		t.Error("L1-miss policy must observe L1-missing loads")
+	}
+	if f.ChainWalks == 0 {
+		t.Error("L1-miss policy walks the chain")
+	}
+	// L1-miss-only predicts the root but never walks.
+	f = mk(CritL1MissOnly)
+	for i := 0; i < 100; i++ {
+		f.Train(rootInst(0x42), ctxWith(pcALU), vp.TrainInfo{L1Miss: true})
+	}
+	if f.ChainWalks != 0 {
+		t.Errorf("L1-miss-only must not walk the chain (walks=%d)", f.ChainWalks)
+	}
+	// Oracle policy keys on the OracleCritical flag.
+	f = mk(CritOracle)
+	for i := 0; i < 100; i++ {
+		f.Train(rootInst(0x42), ctxWith(pcALU), vp.TrainInfo{NearHead: true})
+	}
+	if f.RootsSeen != 0 {
+		t.Error("oracle policy must ignore the retire-stall signal")
+	}
+	for i := 0; i < 100; i++ {
+		f.Train(rootInst(0x42), ctxWith(pcALU), vp.TrainInfo{OracleCritical: true})
+	}
+	if f.RootsSeen == 0 {
+		t.Error("oracle policy must accept oracle-critical loads")
+	}
+}
+
+func TestFVPEpochResetsCIT(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epoch = 1000
+	f := New(cfg)
+	for i := 0; i < 10; i++ {
+		f.Train(rootInst(1), ctxWith(pcALU), vp.TrainInfo{NearHead: true})
+	}
+	if !f.cit.Confident(pcRoot) {
+		t.Fatal("CIT should be confident")
+	}
+	for i := 0; i < 1001; i++ {
+		f.OnRetire(&isa.DynInst{})
+	}
+	if f.EpochResets == 0 {
+		t.Fatal("epoch must have fired")
+	}
+	if f.cit.Confident(pcRoot) {
+		t.Error("epoch reset must clear the CIT")
+	}
+}
+
+func TestFVPMemoryDependencePath(t *testing.T) {
+	f := New(DefaultConfig())
+	st := &isa.DynInst{PC: pcStore, Op: isa.OpStore, Src1: 1, Src2: 2, Addr: 0x7000, MemSize: 8}
+	fwd := &isa.DynInst{PC: pcFwd, Op: isa.OpLoad, Dst: 5, Src1: 1, Addr: 0x7000, MemSize: 8}
+
+	// The forwarded load is the critical root; its values fluctuate, and
+	// every instance is store-forwarded → it must become an MR target.
+	for i := uint64(0); i < 600; i++ {
+		st.Seq, st.Value = i*10, i^0x5A5A
+		fwd.Seq, fwd.Value = i*10+5, i^0x5A5A
+		f.Lookup(st, ctxWith())
+		f.Train(st, ctxWith(), vp.TrainInfo{})
+		f.OnForward(pcFwd, pcStore)
+		f.Train(fwd, ctxWith(pcStore), vp.TrainInfo{NearHead: true, Forwarded: true})
+	}
+	st.Seq, st.Value = 100000, 0x77
+	f.Lookup(st, ctxWith())
+	f.Train(st, ctxWith(), vp.TrainInfo{})
+	fwd.Seq = 100005
+	p := f.Lookup(fwd, ctxWith(pcStore))
+	if !p.Valid || !p.StoreLinked || p.StoreSeq != 100000 {
+		t.Fatalf("forwarded critical load not renamed: %+v (marks=%d)", p, f.mrMarks)
+	}
+	if !p.DataReady || p.Value != 0x77 {
+		t.Errorf("executed store's data must be ready: %+v", p)
+	}
+}
+
+func TestFVPRegOnlyAndMemOnly(t *testing.T) {
+	reg := New(func() Config { c := DefaultConfig(); c.DisableMR = true; return c }())
+	if reg.mr != nil {
+		t.Error("DisableMR must drop the MR component")
+	}
+	if reg.Name() != "FVP-reg-only" {
+		t.Errorf("name = %q", reg.Name())
+	}
+	mem := New(func() Config { c := DefaultConfig(); c.MROnly = true; return c }())
+	if mem.Name() != "FVP-mem-only" {
+		t.Errorf("name = %q", mem.Name())
+	}
+	// Mem-only never uses the Value Table.
+	for i := 0; i < 3000; i++ {
+		trainCritical(mem, i, 0x42, 0x42)
+	}
+	if p := mem.Lookup(feedInst(0x42), ctxWith()); p.Valid {
+		t.Error("mem-only FVP must not produce table predictions")
+	}
+}
+
+func TestFVPStorageBudget(t *testing.T) {
+	f := New(DefaultConfig())
+	bytes := float64(f.StorageBits()) / 8
+	// Paper Table I: ≈1.2 KB total.
+	if bytes < 900 || bytes > 1400 {
+		t.Errorf("FVP budget = %.0f bytes, expected ≈1200", bytes)
+	}
+	items := f.StorageBreakdown()
+	if len(items) != 5 {
+		t.Errorf("breakdown rows = %d, want 5 (Table I)", len(items))
+	}
+	sum := 0
+	for _, it := range items {
+		sum += it.Bits
+	}
+	if sum != f.StorageBits() {
+		t.Errorf("breakdown sum %d != total %d", sum, f.StorageBits())
+	}
+}
+
+func TestFVPZeroConfigDefaults(t *testing.T) {
+	f := New(Config{})
+	if f.Config().CITEntries != 32 {
+		t.Error("zero config must fall back to the paper defaults")
+	}
+}

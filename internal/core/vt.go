@@ -1,0 +1,213 @@
+package core
+
+import "fvp/internal/prog"
+
+// VT is FVP's Value Table (§IV-C): one 48-entry, 2-way set-associative
+// table that serves both Last-Value and Context-Value prediction — the
+// difference is only the lookup key (PC alone vs PC hashed with the last 32
+// branch outcomes). Entries hold an 11-bit tag, the 64-bit data, a 3-bit
+// confidence that increments probabilistically (1/16) on value repeats, a
+// 2-bit no-predict counter that identifies fluctuating (unpredictable)
+// data, and a 2-bit replacement utility.
+type VT struct {
+	sets     [][]vtEntry
+	nsets    uint64
+	ways     int
+	histBits uint
+	rng      *prog.RNG
+	tick     uint64
+
+	Allocations uint64
+	Evictions   uint64
+}
+
+// vtEntry is one Value Table way.
+type vtEntry struct {
+	tag   uint16
+	valid bool
+	data  uint64
+	conf  uint8 // 3-bit; predict when saturated
+	np    uint8 // 2-bit no-predict; saturated = not predictable
+	util  uint8 // 2-bit
+	lru   uint64
+	// isLoad records the instruction class so non-loads are never
+	// predicted (they allocate with np saturated, §IV-B).
+	isLoad bool
+	// cvMarked: this LV entry's load has been handed to context
+	// prediction and MR (set when np saturates on the LV entry).
+	cvMarked bool
+	// mrMarked mirrors cvMarked for the Memory-Renaming side.
+	mrMarked bool
+	// isContext distinguishes CV-keyed entries (for stats/inspection).
+	isContext bool
+}
+
+const (
+	vtConfMax = 7
+	vtNPMax   = 3
+	vtTagBits = 11
+	// vtEntryBits: tag 11 + data 64 + confidence 3 + no-predict 2 +
+	// utility 2 (Table I).
+	vtEntryBits = vtTagBits + 64 + 3 + 2 + 2
+)
+
+// NewVT builds a table with the given total entries and associativity
+// (paper: 48 entries, 2 ways), keying context lookups on histBits of
+// branch history.
+func NewVT(entries, ways int, histBits uint, seed uint64) *VT {
+	if ways <= 0 {
+		ways = 2
+	}
+	nSets := entries / ways
+	if nSets == 0 {
+		nSets = 1
+	}
+	v := &VT{
+		sets:     make([][]vtEntry, nSets),
+		nsets:    uint64(nSets),
+		ways:     ways,
+		histBits: histBits,
+		rng:      prog.NewRNG(seed),
+	}
+	for i := range v.sets {
+		v.sets[i] = make([]vtEntry, ways)
+	}
+	return v
+}
+
+// Entries returns the table's total capacity.
+func (v *VT) Entries() int { return len(v.sets) * v.ways }
+
+// keys: Last-Value uses the PC; Context-Value mixes folded history and a
+// distinguishing constant so LV and CV instances of one PC occupy different
+// slots of the same physical table.
+func (v *VT) lvKey(pc uint64) uint64 { return pc >> 2 }
+
+func (v *VT) cvKey(pc, hist uint64) uint64 {
+	h := hist
+	if v.histBits < 64 {
+		h &= 1<<v.histBits - 1
+	}
+	var f uint64
+	for x := h; x != 0; x >>= 16 {
+		f ^= x & 0xFFFF
+	}
+	return (pc >> 2) ^ f<<3 ^ 0x5B5
+}
+
+func (v *VT) find(key uint64) *vtEntry {
+	set := v.sets[key%v.nsets]
+	tag := uint16(key) & (1<<vtTagBits - 1)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// FindLV returns the Last-Value entry for pc, or nil.
+func (v *VT) FindLV(pc uint64) *vtEntry { return v.find(v.lvKey(pc)) }
+
+// FindCV returns the Context-Value entry for (pc, hist), or nil.
+func (v *VT) FindCV(pc, hist uint64) *vtEntry { return v.find(v.cvKey(pc, hist)) }
+
+// allocate installs a fresh entry for key, seeded with the value observed
+// at the allocating execution (so the first repeat confirms rather than
+// penalizes). Non-loads allocate with the no-predict counter saturated so
+// they are never predicted. It returns the entry, or nil when every way in
+// the set still has utility (the paper's tables decline allocation rather
+// than thrash; residents are aged).
+func (v *VT) allocate(key uint64, value uint64, isLoad, isContext bool) *vtEntry {
+	set := v.sets[key%v.nsets]
+	tag := uint16(key) & (1<<vtTagBits - 1)
+	v.tick++
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		for i := range set {
+			if set[i].util == 0 && (victim < 0 || set[i].lru < set[victim].lru) {
+				victim = i
+			}
+		}
+	}
+	if victim < 0 {
+		for i := range set {
+			if set[i].util > 0 {
+				set[i].util--
+			}
+		}
+		return nil
+	}
+	if set[victim].valid {
+		v.Evictions++
+	}
+	v.Allocations++
+	e := &set[victim]
+	*e = vtEntry{tag: tag, valid: true, data: value, lru: v.tick, isLoad: isLoad, isContext: isContext}
+	if !isLoad {
+		e.np = vtNPMax
+	}
+	return e
+}
+
+// AllocateLV installs a Last-Value entry for pc.
+func (v *VT) AllocateLV(pc, value uint64, isLoad bool) *vtEntry {
+	return v.allocate(v.lvKey(pc), value, isLoad, false)
+}
+
+// AllocateCV installs a Context-Value entry for (pc, hist).
+func (v *VT) AllocateCV(pc, hist, value uint64, isLoad bool) *vtEntry {
+	return v.allocate(v.cvKey(pc, hist), value, isLoad, true)
+}
+
+// train updates an entry with an executed value. It returns true when the
+// update saturated the no-predict counter (the entry just became "not
+// predictable"), which is FVP's trigger to escalate — to context
+// prediction/MR for an LV entry, or to the parents for a CV entry.
+func (v *VT) train(e *vtEntry, value uint64) (becameNP bool) {
+	v.tick++
+	e.lru = v.tick
+	if !e.isLoad {
+		return false
+	}
+	if e.data == value {
+		// Value repeated: probabilistic confidence build-up. Saturated
+		// confidence clears no-predict (§IV-C).
+		if e.conf < vtConfMax && v.rng.Intn(16) == 0 {
+			e.conf++
+		}
+		if e.util < 3 {
+			e.util++
+		}
+		if e.conf >= vtConfMax {
+			e.np = 0
+		}
+		return false
+	}
+	// Data changed: confidence and utility reset, no-predict advances.
+	e.data = value
+	e.conf = 0
+	e.util = 0
+	if e.np < vtNPMax {
+		e.np++
+		return e.np >= vtNPMax
+	}
+	return false
+}
+
+// Predictable reports whether e is confident enough to predict.
+func (e *vtEntry) Predictable() bool {
+	return e != nil && e.isLoad && e.conf >= vtConfMax && e.np < vtNPMax
+}
+
+// NotPredictable reports whether e has been branded unpredictable.
+func (e *vtEntry) NotPredictable() bool { return e != nil && e.np >= vtNPMax }
+
+// StorageBits returns the Value Table state budget.
+func (v *VT) StorageBits() int { return v.Entries() * vtEntryBits }

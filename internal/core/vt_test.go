@@ -1,0 +1,159 @@
+package core
+
+import "testing"
+
+func newTestVT() *VT { return NewVT(48, 2, 32, 1) }
+
+func TestVTAllocateAndFind(t *testing.T) {
+	v := newTestVT()
+	if v.FindLV(0x400) != nil {
+		t.Fatal("empty table must not find entries")
+	}
+	e := v.AllocateLV(0x400, 42, true)
+	if e == nil {
+		t.Fatal("allocation into an empty table must succeed")
+	}
+	if got := v.FindLV(0x400); got != e {
+		t.Error("FindLV must return the allocated entry")
+	}
+	if e.data != 42 {
+		t.Error("allocation must seed the observed value")
+	}
+}
+
+func TestVTLVAndCVAreDistinct(t *testing.T) {
+	v := newTestVT()
+	v.AllocateLV(0x400, 1, true)
+	if v.FindCV(0x400, 0xABCD) != nil {
+		t.Error("a context key must not alias the last-value key")
+	}
+	v.AllocateCV(0x400, 0xABCD, 2, true)
+	lv, cv := v.FindLV(0x400), v.FindCV(0x400, 0xABCD)
+	if lv == cv {
+		t.Error("LV and CV entries of one PC must be separate")
+	}
+}
+
+func TestVTConfidenceBuildsToPrediction(t *testing.T) {
+	v := newTestVT()
+	e := v.AllocateLV(0x400, 42, true)
+	for i := 0; i < 800 && !e.Predictable(); i++ {
+		v.train(e, 42)
+	}
+	if !e.Predictable() {
+		t.Fatal("constant value must eventually become predictable")
+	}
+	if e.data != 42 {
+		t.Errorf("data = %d", e.data)
+	}
+}
+
+func TestVTDataChangeResetsConfidence(t *testing.T) {
+	v := newTestVT()
+	e := v.AllocateLV(0x400, 42, true)
+	for i := 0; i < 800; i++ {
+		v.train(e, 42)
+	}
+	v.train(e, 43)
+	if e.Predictable() {
+		t.Error("a single value change must clear predictability")
+	}
+	if e.conf != 0 {
+		t.Errorf("confidence = %d after change", e.conf)
+	}
+}
+
+func TestVTNoPredictSaturation(t *testing.T) {
+	v := newTestVT()
+	e := v.AllocateLV(0x400, 0, true)
+	saturated := false
+	for i := 1; i <= 10; i++ {
+		if v.train(e, uint64(i)) {
+			saturated = true
+			break
+		}
+	}
+	if !saturated {
+		t.Fatal("fluctuating data must saturate the no-predict counter")
+	}
+	if !e.NotPredictable() {
+		t.Error("entry must report not-predictable")
+	}
+	// becameNP fires only on the transition.
+	if v.train(e, 999) {
+		t.Error("already-saturated entry must not re-fire the transition")
+	}
+}
+
+func TestVTNonLoadNeverPredictable(t *testing.T) {
+	v := newTestVT()
+	e := v.AllocateLV(0x500, 7, false)
+	if !e.NotPredictable() {
+		t.Error("non-loads allocate with no-predict saturated")
+	}
+	for i := 0; i < 500; i++ {
+		v.train(e, 7)
+	}
+	if e.Predictable() {
+		t.Error("non-loads must never become predictable")
+	}
+}
+
+func TestVTConfidenceClearsNoPredict(t *testing.T) {
+	v := newTestVT()
+	e := v.AllocateLV(0x400, 1, true)
+	v.train(e, 2)
+	v.train(e, 3) // np = 2
+	for i := 0; i < 2000 && e.conf < vtConfMax; i++ {
+		v.train(e, 3)
+	}
+	if e.np != 0 {
+		t.Errorf("saturated confidence must reset no-predict (np=%d)", e.np)
+	}
+}
+
+func TestVTUtilityProtectsResidents(t *testing.T) {
+	v := NewVT(4, 2, 32, 1) // 2 sets × 2 ways; set = (pc>>2) & 1
+	// Two PCs in set 0 fill both ways; train them to build utility.
+	a := v.AllocateLV(0x10, 5, true) // key 4 → set 0
+	b := v.AllocateLV(0x20, 6, true) // key 8 → set 0
+	if a == nil || b == nil {
+		t.Fatal("set 0 should have room for two entries")
+	}
+	for i := 0; i < 8; i++ {
+		v.train(a, 5)
+		v.train(b, 6)
+	}
+	// A third same-set PC is declined while the residents are useful
+	// (the residents are aged instead).
+	if e := v.AllocateLV(0x30, 7, true); e != nil {
+		t.Error("allocation into a fully-useful set must be declined")
+	}
+	// Enough declined attempts age the residents down to zero utility,
+	// after which the allocation succeeds.
+	ok := false
+	for i := 0; i < 8; i++ {
+		if e := v.AllocateLV(0x30, 7, true); e != nil {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Error("aging must eventually admit the new entry")
+	}
+}
+
+func TestVTStorageBudget(t *testing.T) {
+	v := newTestVT()
+	// Table I: 48 × 82 bits = 3936 bits = 492 bytes.
+	if got := v.StorageBits(); got != 48*82 {
+		t.Errorf("storage = %d bits, want %d", got, 48*82)
+	}
+}
+
+func TestVTNilEntryHelpers(t *testing.T) {
+	var e *vtEntry
+	if e.Predictable() || e.NotPredictable() {
+		t.Error("nil entry helpers must be false")
+	}
+}

@@ -1,0 +1,379 @@
+// Package ddg builds the data-dependence graph of Fields, Rubin & Bodik
+// (ISCA'01) over a dynamic instruction window and extracts its weighted
+// critical path — the model the paper uses both to motivate focused value
+// prediction (§III, Figs 1–2) and as the "Oracle Criticality" comparison
+// point (§VI-C).
+//
+// Each dynamic instruction i contributes three nodes:
+//
+//	F(i) — fetch/dispatch, E(i) — execute, C(i) — commit
+//
+// with edges
+//
+//	F(i-1)→F(i)   in-order fetch            (weight: fetch-group boundary)
+//	F(i)→E(i)     dispatch                  (weight: front-end depth)
+//	E(p)→E(i)     data dependence           (weight: p's execution latency)
+//	E(i)→C(i)     completion                (weight: i's execution latency)
+//	C(i-1)→C(i)   in-order commit           (weight: commit-group boundary)
+//	C(i-W)→F(i)   finite window of W        (weight: 0)
+//	E(b)→F(i)     branch mispredict redirect (weight: b's latency + penalty)
+package ddg
+
+import "fvp/internal/isa"
+
+// Config parameterizes graph construction.
+type Config struct {
+	// ROBSize is the window W for C(i-W)→F(i) edges.
+	ROBSize int
+	// FetchWidth/CommitWidth group in-order edges: every FetchWidth-th
+	// instruction pays one cycle on the F chain (likewise for commit).
+	FetchWidth  int
+	CommitWidth int
+	// FrontEndDepth is the F→E dispatch weight.
+	FrontEndDepth uint64
+	// MispredictPenalty weights E(branch)→F(next) redirect edges.
+	MispredictPenalty uint64
+	// Latency returns instruction execution latency (the caller decides
+	// cache levels etc.).
+	Latency func(d *isa.DynInst) uint64
+	// Mispredicted reports whether the branch at seq redirected the
+	// front end (nil = no mispredicts).
+	Mispredicted func(d *isa.DynInst) bool
+	// Predicted reports whether the instruction's result is value
+	// predicted. Consumers of a predicted producer do not wait for its
+	// execution, so its outgoing E→E dependence edges are removed; the
+	// producer still executes (its E→C completion edge keeps its full
+	// latency — value prediction does not eliminate execution, §III).
+	Predicted func(d *isa.DynInst) bool
+}
+
+// DefaultConfig returns a small-core configuration with a fixed latency
+// table (loads 5 cycles); callers normally override Latency.
+func DefaultConfig() Config {
+	return Config{
+		ROBSize:       224,
+		FetchWidth:    4,
+		CommitWidth:   8,
+		FrontEndDepth: 1,
+		Latency: func(d *isa.DynInst) uint64 {
+			switch {
+			case d.Op.IsLoad():
+				return 5
+			case d.Op == isa.OpIMul:
+				return 3
+			case d.Op == isa.OpIDiv:
+				return 20
+			case d.Op == isa.OpFP, d.Op == isa.OpFPDiv:
+				return 4
+			default:
+				return 1
+			}
+		},
+	}
+}
+
+// nodeKind distinguishes the three node flavours in back-pointers.
+type nodeKind uint8
+
+const (
+	kindF nodeKind = iota
+	kindE
+	kindC
+	kindNone
+)
+
+type backRef struct {
+	kind nodeKind
+	idx  int32
+}
+
+// Graph is the built DDG.
+type Graph struct {
+	cfg   Config
+	insts []isa.DynInst
+
+	fT, eT, cT    []uint64 // longest arrival times
+	fB, eB, cB    []backRef
+	length        uint64
+	criticalE     []bool
+	criticalSeqs  []uint64
+	lastWriter    map[isa.Reg]int32
+	lastStoreAddr map[uint64]int32
+}
+
+// Build constructs the graph over insts (program order) and computes the
+// critical path. Memory dependences (store→load same address) are included
+// as E→E edges, matching §III-A.
+func Build(insts []isa.DynInst, cfg Config) *Graph {
+	if cfg.Latency == nil {
+		cfg.Latency = DefaultConfig().Latency
+	}
+	if cfg.FetchWidth <= 0 {
+		cfg.FetchWidth = 4
+	}
+	if cfg.CommitWidth <= 0 {
+		cfg.CommitWidth = 8
+	}
+	if cfg.ROBSize <= 0 {
+		cfg.ROBSize = 224
+	}
+	n := len(insts)
+	g := &Graph{
+		cfg:           cfg,
+		insts:         insts,
+		fT:            make([]uint64, n),
+		eT:            make([]uint64, n),
+		cT:            make([]uint64, n),
+		fB:            make([]backRef, n),
+		eB:            make([]backRef, n),
+		cB:            make([]backRef, n),
+		criticalE:     make([]bool, n),
+		lastWriter:    make(map[isa.Reg]int32),
+		lastStoreAddr: make(map[uint64]int32),
+	}
+	g.forward()
+	g.backward()
+	return g
+}
+
+// relax updates (t,b) if cand is later.
+func relax(t *uint64, b *backRef, cand uint64, kind nodeKind, idx int32) {
+	if cand > *t || (cand == *t && b.kind == kindNone) {
+		*t = cand
+		*b = backRef{kind: kind, idx: idx}
+	}
+}
+
+func (g *Graph) forward() {
+	cfg := g.cfg
+	for i := range g.insts {
+		d := &g.insts[i]
+		g.fB[i] = backRef{kind: kindNone}
+		g.eB[i] = backRef{kind: kindNone}
+		g.cB[i] = backRef{kind: kindNone}
+
+		// F(i): in-order fetch chain.
+		if i > 0 {
+			w := uint64(0)
+			if i%cfg.FetchWidth == 0 {
+				w = 1
+			}
+			relax(&g.fT[i], &g.fB[i], g.fT[i-1]+w, kindF, int32(i-1))
+			// Branch redirect.
+			prev := &g.insts[i-1]
+			if prev.Op.IsBranch() && cfg.Mispredicted != nil && cfg.Mispredicted(prev) {
+				relax(&g.fT[i], &g.fB[i],
+					g.eT[i-1]+cfg.Latency(prev)+cfg.MispredictPenalty, kindE, int32(i-1))
+			}
+		}
+		// Finite window: C(i-W) → F(i).
+		if j := i - cfg.ROBSize; j >= 0 {
+			relax(&g.fT[i], &g.fB[i], g.cT[j], kindC, int32(j))
+		}
+
+		// E(i): dispatch plus data dependences.
+		relax(&g.eT[i], &g.eB[i], g.fT[i]+cfg.FrontEndDepth, kindF, int32(i))
+		var srcBuf [2]isa.Reg
+		for _, r := range d.Sources(&srcBuf) {
+			if p, ok := g.lastWriter[r]; ok {
+				pd := &g.insts[p]
+				if cfg.Predicted != nil && cfg.Predicted(pd) {
+					continue // consumers get the predicted value at dispatch
+				}
+				relax(&g.eT[i], &g.eB[i], g.eT[p]+cfg.Latency(pd), kindE, p)
+			}
+		}
+		if d.Op.IsLoad() {
+			if p, ok := g.lastStoreAddr[d.Addr]; ok {
+				pd := &g.insts[p]
+				if cfg.Predicted == nil || !cfg.Predicted(d) {
+					relax(&g.eT[i], &g.eB[i], g.eT[p]+cfg.Latency(pd), kindE, p)
+				}
+			}
+		}
+
+		// C(i): completion and in-order commit.
+		relax(&g.cT[i], &g.cB[i], g.eT[i]+cfg.Latency(d), kindE, int32(i))
+		if i > 0 {
+			w := uint64(0)
+			if i%cfg.CommitWidth == 0 {
+				w = 1
+			}
+			relax(&g.cT[i], &g.cB[i], g.cT[i-1]+w, kindC, int32(i-1))
+		}
+
+		// Bookkeeping for later dependences.
+		if d.HasDest() {
+			g.lastWriter[d.Dst] = int32(i)
+		}
+		if d.Op.IsStore() {
+			g.lastStoreAddr[d.Addr] = int32(i)
+		}
+	}
+	if n := len(g.insts); n > 0 {
+		g.length = g.cT[n-1]
+	}
+}
+
+func (g *Graph) backward() {
+	n := len(g.insts)
+	if n == 0 {
+		return
+	}
+	kind, idx := kindC, int32(n-1)
+	for steps := 0; steps < 3*n+8 && kind != kindNone; steps++ {
+		var b backRef
+		switch kind {
+		case kindF:
+			b = g.fB[idx]
+		case kindE:
+			if !g.criticalE[idx] {
+				g.criticalE[idx] = true
+				g.criticalSeqs = append(g.criticalSeqs, g.insts[idx].Seq)
+			}
+			b = g.eB[idx]
+		case kindC:
+			b = g.cB[idx]
+		}
+		kind, idx = b.kind, b.idx
+	}
+	// criticalSeqs collected newest-first; reverse to program order.
+	for i, j := 0, len(g.criticalSeqs)-1; i < j; i, j = i+1, j-1 {
+		g.criticalSeqs[i], g.criticalSeqs[j] = g.criticalSeqs[j], g.criticalSeqs[i]
+	}
+}
+
+// Length returns the critical-path length in cycles (the arrival time of
+// the last commit).
+func (g *Graph) Length() uint64 { return g.length }
+
+// CriticalSeqs returns the sequence numbers whose E node lies on the
+// critical path, in program order.
+func (g *Graph) CriticalSeqs() []uint64 { return g.criticalSeqs }
+
+// IsCritical reports whether instruction index i (into the Build slice)
+// executes on the critical path.
+func (g *Graph) IsCritical(i int) bool {
+	return i >= 0 && i < len(g.criticalE) && g.criticalE[i]
+}
+
+// ETime returns the execute-node arrival time of instruction index i.
+func (g *Graph) ETime(i int) uint64 { return g.eT[i] }
+
+// Slack returns, for every instruction, how many cycles its execution could
+// be delayed without lengthening the critical path (0 for critical
+// instructions). It is computed with a backward pass over the same edges as
+// the forward pass; Fields et al. use slack to rank instruction importance,
+// and the paper's argument (§III) is exactly that value prediction should
+// spend its budget on the zero-slack loads nearest the root.
+func (g *Graph) Slack() []uint64 {
+	n := len(g.insts)
+	if n == 0 {
+		return nil
+	}
+	cfg := g.cfg
+	// latest[k][i]: latest allowed time of node kind k of instruction i.
+	inf := g.length
+	latF := make([]uint64, n)
+	latE := make([]uint64, n)
+	latC := make([]uint64, n)
+	for i := range latF {
+		latF[i], latE[i], latC[i] = inf, inf, inf
+	}
+	tighten := func(t *uint64, cand uint64) {
+		if cand < *t {
+			*t = cand
+		}
+	}
+	// Re-derive the edges exactly as in forward(), then apply each edge
+	// u→v (weight w) backward as latest(u) ≤ latest(v) − w.
+	type edge struct {
+		fromKind, toKind nodeKind
+		from, to         int32
+		w                uint64
+	}
+	var edges []edge
+	lastWriter := map[isa.Reg]int32{}
+	lastStore := map[uint64]int32{}
+	for i := 0; i < n; i++ {
+		d := &g.insts[i]
+		if i > 0 {
+			w := uint64(0)
+			if i%cfg.FetchWidth == 0 {
+				w = 1
+			}
+			edges = append(edges, edge{kindF, kindF, int32(i - 1), int32(i), w})
+			prev := &g.insts[i-1]
+			if prev.Op.IsBranch() && cfg.Mispredicted != nil && cfg.Mispredicted(prev) {
+				edges = append(edges, edge{kindE, kindF, int32(i - 1), int32(i),
+					cfg.Latency(prev) + cfg.MispredictPenalty})
+			}
+			wc := uint64(0)
+			if i%cfg.CommitWidth == 0 {
+				wc = 1
+			}
+			edges = append(edges, edge{kindC, kindC, int32(i - 1), int32(i), wc})
+		}
+		if j := i - cfg.ROBSize; j >= 0 {
+			edges = append(edges, edge{kindC, kindF, int32(j), int32(i), 0})
+		}
+		edges = append(edges, edge{kindF, kindE, int32(i), int32(i), cfg.FrontEndDepth})
+		var srcBuf [2]isa.Reg
+		for _, r := range d.Sources(&srcBuf) {
+			if p, ok := lastWriter[r]; ok {
+				pd := &g.insts[p]
+				if cfg.Predicted == nil || !cfg.Predicted(pd) {
+					edges = append(edges, edge{kindE, kindE, p, int32(i), cfg.Latency(pd)})
+				}
+			}
+		}
+		if d.Op.IsLoad() {
+			if p, ok := lastStore[d.Addr]; ok {
+				if cfg.Predicted == nil || !cfg.Predicted(d) {
+					pd := &g.insts[p]
+					edges = append(edges, edge{kindE, kindE, p, int32(i), cfg.Latency(pd)})
+				}
+			}
+		}
+		edges = append(edges, edge{kindE, kindC, int32(i), int32(i), cfg.Latency(d)})
+		if d.HasDest() {
+			lastWriter[d.Dst] = int32(i)
+		}
+		if d.Op.IsStore() {
+			lastStore[d.Addr] = int32(i)
+		}
+	}
+	// Process edges in reverse construction order: every edge's target
+	// node belongs to an instruction ≥ the source's, and within one
+	// instruction edges were added in F→E→C order, so a single reverse
+	// sweep settles all latest-times.
+	for k := len(edges) - 1; k >= 0; k-- {
+		e := edges[k]
+		var tv uint64
+		switch e.toKind {
+		case kindF:
+			tv = latF[e.to]
+		case kindE:
+			tv = latE[e.to]
+		default:
+			tv = latC[e.to]
+		}
+		if tv < e.w {
+			continue // edge cannot constrain below zero
+		}
+		cand := tv - e.w
+		switch e.fromKind {
+		case kindF:
+			tighten(&latF[e.from], cand)
+		case kindE:
+			tighten(&latE[e.from], cand)
+		default:
+			tighten(&latC[e.from], cand)
+		}
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = latE[i] - g.eT[i]
+	}
+	return out
+}

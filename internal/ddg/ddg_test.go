@@ -1,0 +1,179 @@
+package ddg
+
+import (
+	"testing"
+
+	"fvp/internal/isa"
+)
+
+// paperExample builds the 9-instruction program of the paper's Fig. 1.
+func paperExample() ([]isa.DynInst, map[uint64]uint64) {
+	mk := func(seq uint64, op isa.Op, dst, s1, s2 isa.Reg, addr uint64) isa.DynInst {
+		return isa.DynInst{Seq: seq, PC: 0x400000 + seq*4, Op: op,
+			Dst: dst, Src1: s1, Src2: s2, Addr: addr, MemSize: 8}
+	}
+	insts := []isa.DynInst{
+		mk(0, isa.OpLoad, 1, 10, 0, 0x9000), // I1 (30 cycles)
+		mk(1, isa.OpALU, 2, 1, 0, 0),        // I2
+		mk(2, isa.OpLoad, 3, 11, 0, 0x9100), // I3
+		mk(3, isa.OpALU, 2, 2, 3, 0),        // I4
+		mk(4, isa.OpLoad, 4, 12, 0, 0x9200), // I5
+		mk(5, isa.OpALU, 5, 4, 0, 0),        // I6
+		mk(6, isa.OpALU, 6, 5, 0, 0),        // I7
+		mk(7, isa.OpLoad, 7, 2, 0, 0x9300),  // I8 (200 cycles)
+		mk(8, isa.OpALU, 8, 7, 0, 0),        // I9
+	}
+	lat := map[uint64]uint64{0: 30, 1: 5, 2: 5, 3: 5, 4: 5, 5: 5, 6: 5, 7: 200, 8: 1}
+	return insts, lat
+}
+
+func paperConfig(lat map[uint64]uint64) Config {
+	return Config{
+		ROBSize: 224, FetchWidth: 4, CommitWidth: 8, FrontEndDepth: 0,
+		Latency: func(d *isa.DynInst) uint64 { return lat[d.Seq] },
+	}
+}
+
+func TestPaperExampleCriticalPath(t *testing.T) {
+	insts, lat := paperExample()
+	g := Build(insts, paperConfig(lat))
+	if g.Length() != 241 {
+		t.Errorf("critical path = %d, paper says 241", g.Length())
+	}
+	want := map[uint64]bool{0: true, 1: true, 3: true, 7: true, 8: true} // I1,I2,I4,I8,I9
+	got := g.CriticalSeqs()
+	if len(got) != len(want) {
+		t.Fatalf("critical set %v, want I1,I2,I4,I8,I9", got)
+	}
+	for _, s := range got {
+		if !want[s] {
+			t.Errorf("I%d on critical path unexpectedly", s+1)
+		}
+	}
+	// The independent chain I5–I7 is not critical.
+	for _, s := range []int{4, 5, 6} {
+		if g.IsCritical(s) {
+			t.Errorf("I%d must not be critical", s+1)
+		}
+	}
+}
+
+func TestPredictionShortensPath(t *testing.T) {
+	insts, lat := paperExample()
+	cfg := paperConfig(lat)
+
+	// Predicting I4 removes the whole upstream chain: ≈205 cycles.
+	cfg.Predicted = func(d *isa.DynInst) bool { return d.Seq == 3 }
+	if got := Build(insts, cfg).Length(); got > 210 || got < 195 {
+		t.Errorf("predict I4: %d, paper says ≈205", got)
+	}
+	// Predicting I1 only: ≈212.
+	cfg.Predicted = func(d *isa.DynInst) bool { return d.Seq == 0 }
+	if got := Build(insts, cfg).Length(); got > 216 || got < 205 {
+		t.Errorf("predict I1: %d, paper says ≈212", got)
+	}
+	// Predicting only the miss I8 saves almost nothing (§III).
+	cfg.Predicted = func(d *isa.DynInst) bool { return d.Seq == 7 }
+	if got := Build(insts, cfg).Length(); got < 235 {
+		t.Errorf("predict I8: %d, should stay ≈241/240", got)
+	}
+}
+
+func TestMemoryDependenceEdge(t *testing.T) {
+	// store → load to the same address creates an E→E edge.
+	insts := []isa.DynInst{
+		{Seq: 0, PC: 0x400000, Op: isa.OpALU, Dst: 1},
+		{Seq: 1, PC: 0x400004, Op: isa.OpStore, Src1: 2, Src2: 1, Addr: 0x8000, MemSize: 8},
+		{Seq: 2, PC: 0x400008, Op: isa.OpLoad, Dst: 3, Src1: 4, Addr: 0x8000, MemSize: 8},
+	}
+	lat := func(d *isa.DynInst) uint64 {
+		if d.Op.IsStore() {
+			return 50
+		}
+		return 1
+	}
+	g := Build(insts, Config{FrontEndDepth: 0, Latency: lat})
+	// The load's E time must be after the store's E + 50.
+	if g.ETime(2) < g.ETime(1)+50 {
+		t.Errorf("load E=%d, store E=%d: memory edge missing", g.ETime(2), g.ETime(1))
+	}
+}
+
+func TestWindowEdgeLimitsRuntime(t *testing.T) {
+	// A long stream of independent 10-cycle ops: with a tiny window the
+	// critical path grows linearly via C(i-W)→F(i) edges.
+	n := 200
+	insts := make([]isa.DynInst, n)
+	for i := range insts {
+		insts[i] = isa.DynInst{Seq: uint64(i), PC: uint64(0x400000 + i*4), Op: isa.OpALU, Dst: isa.Reg(1 + i%4)}
+	}
+	lat := func(*isa.DynInst) uint64 { return 10 }
+	smallCfg := Config{ROBSize: 4, FetchWidth: 4, CommitWidth: 4, Latency: lat}
+	bigCfg := Config{ROBSize: 1024, FetchWidth: 4, CommitWidth: 4, Latency: lat}
+	small := Build(insts, smallCfg).Length()
+	big := Build(insts, bigCfg).Length()
+	if small <= big {
+		t.Errorf("window 4 length %d must exceed window 1024 length %d", small, big)
+	}
+}
+
+func TestMispredictEdge(t *testing.T) {
+	insts := []isa.DynInst{
+		{Seq: 0, PC: 0x400000, Op: isa.OpBranch, Taken: true, Target: 0x400004},
+		{Seq: 1, PC: 0x400004, Op: isa.OpALU, Dst: 1},
+	}
+	lat := func(*isa.DynInst) uint64 { return 1 }
+	base := Build(insts, Config{Latency: lat, FrontEndDepth: 0})
+	miss := Build(insts, Config{
+		Latency: lat, FrontEndDepth: 0, MispredictPenalty: 20,
+		Mispredicted: func(d *isa.DynInst) bool { return d.Op.IsBranch() },
+	})
+	if miss.Length() < base.Length()+19 {
+		t.Errorf("mispredict edge missing: %d vs %d", miss.Length(), base.Length())
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := Build(nil, Config{})
+	if g.Length() != 0 || len(g.CriticalSeqs()) != 0 {
+		t.Error("empty graph must be trivial")
+	}
+}
+
+func TestDefaultConfigLatencies(t *testing.T) {
+	cfg := DefaultConfig()
+	cases := map[isa.Op]uint64{
+		isa.OpLoad: 5, isa.OpIMul: 3, isa.OpIDiv: 20, isa.OpFP: 4, isa.OpALU: 1,
+	}
+	for op, want := range cases {
+		if got := cfg.Latency(&isa.DynInst{Op: op}); got != want {
+			t.Errorf("latency(%v) = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestSlack(t *testing.T) {
+	insts, lat := paperExample()
+	g := Build(insts, paperConfig(lat))
+	slack := g.Slack()
+	if len(slack) != len(insts) {
+		t.Fatalf("slack entries = %d", len(slack))
+	}
+	// Critical instructions have zero slack.
+	for _, i := range []int{0, 1, 3, 7, 8} {
+		if slack[i] != 0 {
+			t.Errorf("critical I%d has slack %d", i+1, slack[i])
+		}
+	}
+	// The independent chain I5–I7 has large slack (≈200 cycles: it only
+	// needs to finish before the end of the window).
+	for _, i := range []int{4, 5, 6} {
+		if slack[i] < 100 {
+			t.Errorf("off-path I%d slack %d, expected large", i+1, slack[i])
+		}
+	}
+	// I3 feeds I4 but arrives long before I2's chain: positive slack.
+	if slack[2] == 0 {
+		t.Error("I3 should have slack (it waits for I1's chain anyway)")
+	}
+}

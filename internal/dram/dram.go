@@ -1,0 +1,152 @@
+// Package dram models the main-memory timing of the simulated machine: a
+// DDR4-2133-like controller with two channels, two ranks per channel, eight
+// banks per rank, 2 KiB row buffers and 15-15-15-39 (tCAS-tRCD-tRP-tRAS)
+// timing (paper Table II). All times are expressed in core cycles: at a
+// 3.2 GHz core and a 1066 MHz memory command clock, one memory cycle is
+// three core cycles.
+package dram
+
+// Config describes the memory organization and timing.
+type Config struct {
+	Channels     int
+	RanksPerChan int
+	BanksPerRank int
+	// RowBytes is the row-buffer size per bank.
+	RowBytes uint64
+	// Timing in memory-clock cycles.
+	TCAS, TRCD, TRP, TRAS int
+	// CoreCyclesPerMemCycle converts memory cycles to core cycles.
+	CoreCyclesPerMemCycle int
+	// BurstCycles is the data-transfer occupancy per 64B line, in memory
+	// cycles (BL8 on a 64-bit bus = 4 bus clocks).
+	BurstCycles int
+}
+
+// DDR4_2133 is the paper's memory configuration.
+func DDR4_2133() Config {
+	return Config{
+		Channels:              2,
+		RanksPerChan:          2,
+		BanksPerRank:          8,
+		RowBytes:              2048,
+		TCAS:                  15,
+		TRCD:                  15,
+		TRP:                   15,
+		TRAS:                  39,
+		CoreCyclesPerMemCycle: 3,
+		BurstCycles:           4,
+	}
+}
+
+type bank struct {
+	openRow   uint64
+	rowValid  bool
+	readyAt   uint64 // bank busy until (core cycles)
+	actAt     uint64 // when the open row was activated (for tRAS)
+	RowHits   uint64
+	RowMisses uint64
+}
+
+// Controller is the DRAM timing model. It is not a full command scheduler:
+// requests are served per-bank first-come-first-served, which captures row
+// locality, bank parallelism and channel bandwidth — the properties that
+// make loads "delinquent" — without modelling command-bus arbitration.
+type Controller struct {
+	cfg   Config
+	banks []bank // [channel][rank][bank] flattened
+
+	Reads     uint64
+	RowHits   uint64
+	RowMisses uint64
+	// TotalLatency accumulates per-read core-cycle latency for averaging.
+	TotalLatency uint64
+}
+
+// New builds a controller from cfg.
+func New(cfg Config) *Controller {
+	n := cfg.Channels * cfg.RanksPerChan * cfg.BanksPerRank
+	if n <= 0 {
+		panic("dram: empty organization")
+	}
+	return &Controller{cfg: cfg, banks: make([]bank, n)}
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// mapAddr splits a physical line address into (bank index, row).
+// Address bits: [line offset][channel][bank][rank][column within row][row].
+func (c *Controller) mapAddr(addr uint64) (bankIdx int, row uint64) {
+	line := addr >> 6
+	ch := int(line) % c.cfg.Channels
+	line /= uint64(c.cfg.Channels)
+	bk := int(line) % c.cfg.BanksPerRank
+	line /= uint64(c.cfg.BanksPerRank)
+	rk := int(line) % c.cfg.RanksPerChan
+	line /= uint64(c.cfg.RanksPerChan)
+	colLines := c.cfg.RowBytes / 64
+	row = line / colLines
+	bankIdx = (ch*c.cfg.RanksPerChan+rk)*c.cfg.BanksPerRank + bk
+	return bankIdx, row
+}
+
+func (c *Controller) mem(n int) uint64 {
+	return uint64(n * c.cfg.CoreCyclesPerMemCycle)
+}
+
+// Access issues a read (or writeback) for the line containing addr at core
+// cycle now and returns the core cycle the data has transferred. Row-buffer
+// state and bank occupancy persist across calls.
+func (c *Controller) Access(now uint64, addr uint64) uint64 {
+	bi, row := c.mapAddr(addr)
+	b := &c.banks[bi]
+	start := now
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+
+	var done uint64
+	if b.rowValid && b.openRow == row {
+		// Row hit: CAS + burst.
+		b.RowHits++
+		c.RowHits++
+		done = start + c.mem(c.cfg.TCAS) + c.mem(c.cfg.BurstCycles)
+	} else {
+		// Row miss: honour tRAS on the open row, then precharge,
+		// activate, CAS.
+		b.RowMisses++
+		c.RowMisses++
+		if b.rowValid {
+			minPre := b.actAt + c.mem(c.cfg.TRAS)
+			if minPre > start {
+				start = minPre
+			}
+			start += c.mem(c.cfg.TRP)
+		}
+		b.actAt = start
+		b.openRow = row
+		b.rowValid = true
+		done = start + c.mem(c.cfg.TRCD) + c.mem(c.cfg.TCAS) + c.mem(c.cfg.BurstCycles)
+	}
+	b.readyAt = done
+	c.Reads++
+	c.TotalLatency += done - now
+	return done
+}
+
+// AvgLatency returns the mean core-cycle latency of all reads so far.
+func (c *Controller) AvgLatency() float64 {
+	if c.Reads == 0 {
+		return 0
+	}
+	return float64(c.TotalLatency) / float64(c.Reads)
+}
+
+// RowHitRate returns row-buffer hits per access.
+func (c *Controller) RowHitRate() float64 {
+	total := c.RowHits + c.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.RowHits) / float64(total)
+}

@@ -1,0 +1,12 @@
+package harness
+
+import "math"
+
+func logOf(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log(x)
+}
+
+func expOf(x float64) float64 { return math.Exp(x) }

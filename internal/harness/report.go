@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"fvp/internal/ooo"
+)
+
+// ReportRecord is the flat, machine-readable form of one comparison row —
+// what a plotting script consumes to redraw the paper's figures.
+type ReportRecord struct {
+	Workload  string  `json:"workload"`
+	Category  string  `json:"category"`
+	Core      string  `json:"core"`
+	Predictor string  `json:"predictor"`
+	BaseIPC   float64 `json:"base_ipc"`
+	PredIPC   float64 `json:"pred_ipc"`
+	Speedup   float64 `json:"speedup"`
+	Coverage  float64 `json:"coverage"`
+	Accuracy  float64 `json:"accuracy"`
+	VPFlushes uint64  `json:"vp_flushes"`
+
+	// Top-down cycle shares of the predictor run (fractions of cycles).
+	Retiring float64 `json:"retiring"`
+	MemStall float64 `json:"mem_stall"`
+	Frontend float64 `json:"frontend"`
+}
+
+// Records flattens comparison pairs into report rows.
+func Records(pairs []Pair) []ReportRecord {
+	out := make([]ReportRecord, len(pairs))
+	for i, p := range pairs {
+		cycles := float64(p.Pred.Stats.Cycles)
+		if cycles == 0 {
+			cycles = 1
+		}
+		mem := float64(p.Pred.Stats.Breakdown[ooo.CycMemL1] +
+			p.Pred.Stats.Breakdown[ooo.CycMemL2] +
+			p.Pred.Stats.Breakdown[ooo.CycMemLLC] +
+			p.Pred.Stats.Breakdown[ooo.CycMemDRAM] +
+			p.Pred.Stats.Breakdown[ooo.CycStoreFwd])
+		out[i] = ReportRecord{
+			Workload:  p.Base.Workload,
+			Category:  string(p.Base.Category),
+			Core:      p.Base.Core,
+			Predictor: p.Pred.Predictor,
+			BaseIPC:   p.Base.IPC,
+			PredIPC:   p.Pred.IPC,
+			Speedup:   p.Speedup(),
+			Coverage:  p.Pred.Coverage,
+			Accuracy:  p.Pred.Accuracy,
+			VPFlushes: p.Pred.Stats.VPFlushes,
+			Retiring:  float64(p.Pred.Stats.Breakdown[ooo.CycRetiring]) / cycles,
+			MemStall:  mem / cycles,
+			Frontend:  float64(p.Pred.Stats.Breakdown[ooo.CycFrontend]) / cycles,
+		}
+	}
+	return out
+}
+
+// WriteJSON emits records as an indented JSON array.
+func WriteJSON(w io.Writer, recs []ReportRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// WriteCSV emits records as a CSV table with a header row.
+func WriteCSV(w io.Writer, recs []ReportRecord) error {
+	if _, err := fmt.Fprintln(w,
+		"workload,category,core,predictor,base_ipc,pred_ipc,speedup,coverage,accuracy,vp_flushes,retiring,mem_stall,frontend"); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%.4f,%.4f,%.4f\n",
+			r.Workload, r.Category, r.Core, r.Predictor, r.BaseIPC, r.PredIPC,
+			r.Speedup, r.Coverage, r.Accuracy, r.VPFlushes,
+			r.Retiring, r.MemStall, r.Frontend); err != nil {
+			return err
+		}
+	}
+	return nil
+}

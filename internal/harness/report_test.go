@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fvp/internal/ooo"
+	"fvp/internal/workload"
+)
+
+func samplePairs() []Pair {
+	mk := func(name string, cat workload.Category, b, p float64) Pair {
+		var bd ooo.CycleBreakdown
+		bd[ooo.CycRetiring] = 60
+		bd[ooo.CycMemDRAM] = 30
+		bd[ooo.CycFrontend] = 10
+		return Pair{
+			Base: Result{Workload: name, Category: cat, Core: "Skylake", IPC: b},
+			Pred: Result{
+				Workload: name, Category: cat, Core: "Skylake",
+				Predictor: "FVP", IPC: p, Coverage: 0.25, Accuracy: 0.999,
+				Stats: ooo.RunStats{Cycles: 100, Breakdown: bd},
+			},
+		}
+	}
+	return []Pair{
+		mk("omnetpp", workload.ISPEC06, 1.0, 1.2),
+		mk("leela", workload.SPEC17, 0.4, 0.4),
+	}
+}
+
+func TestRecords(t *testing.T) {
+	recs := Records(samplePairs())
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	r := recs[0]
+	if r.Speedup < 1.19 || r.Speedup > 1.21 {
+		t.Errorf("speedup = %v", r.Speedup)
+	}
+	if r.Retiring != 0.6 || r.Frontend != 0.1 {
+		t.Errorf("cycle shares: %+v", r)
+	}
+	if r.MemStall != 0.3 {
+		t.Errorf("mem stall share = %v", r.MemStall)
+	}
+}
+
+func TestWriteJSONRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, Records(samplePairs())); err != nil {
+		t.Fatal(err)
+	}
+	var back []ReportRecord
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[1].Workload != "leela" {
+		t.Errorf("roundtrip: %+v", back)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, Records(samplePairs())); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "workload,category") {
+		t.Errorf("header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "omnetpp,ISPEC06,Skylake,FVP,1.0000,1.2000") {
+		t.Errorf("row: %s", lines[1])
+	}
+}

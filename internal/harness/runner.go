@@ -1,0 +1,302 @@
+// Package harness runs workloads × core configs × predictors and derives
+// the paper's metrics (IPC speedup over baseline, load coverage, accuracy),
+// plus the per-figure experiment drivers for the evaluation section.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fvp/internal/core"
+	"fvp/internal/ooo"
+	"fvp/internal/prog"
+	"fvp/internal/vp"
+	"fvp/internal/workload"
+)
+
+// PredFactory builds a fresh predictor per run (predictors are stateful and
+// single-core).
+type PredFactory func() vp.Predictor
+
+// Spec names the predictor configurations the evaluation uses.
+type Spec string
+
+// Predictor specs used across the experiments.
+const (
+	SpecNone         Spec = "baseline"
+	SpecFVP          Spec = "FVP"
+	SpecFVPRegOnly   Spec = "FVP-reg-only"
+	SpecFVPMemOnly   Spec = "FVP-mem-only"
+	SpecFVPL1Miss    Spec = "FVP-L1-Miss"
+	SpecFVPL1MissOnl Spec = "FVP-L1-Miss-Only"
+	SpecFVPOracle    Spec = "FVP-Oracle"
+	SpecFVPAllTypes  Spec = "FVP-all-types"
+	SpecFVPBrChains  Spec = "FVP-branch-chains"
+	SpecMR8KB        Spec = "MR-8KB"
+	SpecMR1KB        Spec = "MR-1KB"
+	SpecComp8KB      Spec = "Composite-8KB"
+	SpecComp1KB      Spec = "Composite-1KB"
+	SpecLVP          Spec = "LVP"
+	SpecStride       Spec = "Stride"
+	SpecVTAGE        Spec = "VTAGE"
+	SpecEVES         Spec = "EVES"
+)
+
+// Factory returns the constructor for a spec.
+func Factory(s Spec) PredFactory {
+	switch s {
+	case SpecNone:
+		return func() vp.Predictor { return vp.None{} }
+	case SpecFVP:
+		return func() vp.Predictor { return core.New(core.DefaultConfig()) }
+	case SpecFVPRegOnly:
+		return func() vp.Predictor {
+			c := core.DefaultConfig()
+			c.DisableMR = true
+			return core.New(c)
+		}
+	case SpecFVPMemOnly:
+		return func() vp.Predictor {
+			c := core.DefaultConfig()
+			c.MROnly = true
+			return core.New(c)
+		}
+	case SpecFVPL1Miss:
+		return func() vp.Predictor {
+			c := core.DefaultConfig()
+			c.Policy = core.CritL1Miss
+			return core.New(c)
+		}
+	case SpecFVPL1MissOnl:
+		return func() vp.Predictor {
+			c := core.DefaultConfig()
+			c.Policy = core.CritL1MissOnly
+			return core.New(c)
+		}
+	case SpecFVPOracle:
+		return func() vp.Predictor {
+			c := core.DefaultConfig()
+			c.Policy = core.CritOracle
+			return core.New(c)
+		}
+	case SpecFVPAllTypes:
+		return func() vp.Predictor {
+			c := core.DefaultConfig()
+			c.AllTypes = true
+			return core.New(c)
+		}
+	case SpecFVPBrChains:
+		return func() vp.Predictor {
+			c := core.DefaultConfig()
+			c.BranchChains = true
+			return core.New(c)
+		}
+	case SpecMR8KB:
+		return func() vp.Predictor { return vp.NewMR(vp.MR8KBConfig()) }
+	case SpecMR1KB:
+		return func() vp.Predictor { return vp.NewMR(vp.MR1KBConfig()) }
+	case SpecComp8KB:
+		return func() vp.Predictor { return vp.NewComposite8KB(7) }
+	case SpecComp1KB:
+		return func() vp.Predictor { return vp.NewComposite1KB(7) }
+	case SpecLVP:
+		return func() vp.Predictor { return vp.NewLVP(64, 2, 7) }
+	case SpecStride:
+		return func() vp.Predictor { return vp.NewStride(6) }
+	case SpecVTAGE:
+		return func() vp.Predictor { return vp.NewVTAGE(256, 96, 21) }
+	case SpecEVES:
+		return func() vp.Predictor { return vp.NewEVES(256, 80, 6, 23) }
+	}
+	panic("harness: unknown spec " + string(s))
+}
+
+// Result is the outcome of one (workload, core, predictor) run, measured
+// after warmup.
+type Result struct {
+	Workload  string
+	Category  workload.Category
+	Core      string
+	Predictor string
+
+	IPC      float64
+	Coverage float64
+	Accuracy float64
+	Stats    ooo.RunStats
+	Meter    vp.Meter
+}
+
+// Options controls run length.
+type Options struct {
+	// WarmupInsts retire before measurement starts.
+	WarmupInsts uint64
+	// MeasureInsts is the measured region length.
+	MeasureInsts uint64
+	// Parallelism bounds concurrent runs (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// DefaultOptions is sized so predictors reach steady state while a full
+// 60-workload sweep stays tractable.
+func DefaultOptions() Options {
+	return Options{WarmupInsts: 100_000, MeasureInsts: 300_000}
+}
+
+// statsDelta subtracts snapshots field-wise.
+func statsDelta(a, b ooo.RunStats) ooo.RunStats {
+	d := b
+	d.Cycles -= a.Cycles
+	d.Retired -= a.Retired
+	d.RetiredLoads -= a.RetiredLoads
+	d.RetiredStores -= a.RetiredStores
+	d.Fetched -= a.Fetched
+	d.BranchMispredicts -= a.BranchMispredicts
+	d.VPFlushes -= a.VPFlushes
+	d.MemOrderFlushes -= a.MemOrderFlushes
+	d.Forwards -= a.Forwards
+	d.RetireStallCycles -= a.RetireStallCycles
+	d.EmptyWindowCycles -= a.EmptyWindowCycles
+	for i := range d.LoadsByLevel {
+		d.LoadsByLevel[i] -= a.LoadsByLevel[i]
+	}
+	d.StallHeadLoads -= a.StallHeadLoads
+	d.StallHeadOther -= a.StallHeadOther
+	for i := range d.Breakdown {
+		d.Breakdown[i] -= a.Breakdown[i]
+	}
+	return d
+}
+
+func meterDelta(a, b vp.Meter) vp.Meter {
+	return vp.Meter{
+		Loads:          b.Loads - a.Loads,
+		Insts:          b.Insts - a.Insts,
+		PredictedLoads: b.PredictedLoads - a.PredictedLoads,
+		PredictedOther: b.PredictedOther - a.PredictedOther,
+		Correct:        b.Correct - a.Correct,
+		Wrong:          b.Wrong - a.Wrong,
+		Flushes:        b.Flushes - a.Flushes,
+	}
+}
+
+// RunOne simulates one workload on one core with one predictor.
+func RunOne(w workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Options) Result {
+	p := w.Build()
+	ex := prog.NewExec(p)
+	var pred vp.Predictor
+	if pf != nil {
+		pred = pf()
+	}
+	c := ooo.New(coreCfg, pred, ex, p.BuildMemory())
+	c.WarmCaches(p.WarmRanges)
+
+	c.Run(opt.WarmupInsts)
+	warmStats := c.Stats
+	warmMeter := c.Meter
+	c.Run(opt.WarmupInsts + opt.MeasureInsts)
+	st := statsDelta(warmStats, c.Stats)
+	mt := meterDelta(warmMeter, c.Meter)
+
+	name := "baseline"
+	if pred != nil {
+		name = pred.Name()
+	}
+	return Result{
+		Workload:  w.Name,
+		Category:  w.Category,
+		Core:      coreCfg.Name,
+		Predictor: name,
+		IPC:       st.IPC(),
+		Coverage:  mt.Coverage(),
+		Accuracy:  mt.Accuracy(),
+		Stats:     st,
+		Meter:     mt,
+	}
+}
+
+// RunSuite runs every workload in ws with the given core and predictor,
+// in parallel, preserving input order.
+func RunSuite(ws []workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Options) []Result {
+	par := opt.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	out := make([]Result, len(ws))
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w workload.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = RunOne(w, coreCfg, pf, opt)
+		}(i, w)
+	}
+	wg.Wait()
+	return out
+}
+
+// Pair holds a baseline and predictor result for one workload.
+type Pair struct {
+	Base, Pred Result
+}
+
+// Speedup returns predictor IPC over baseline IPC.
+func (p Pair) Speedup() float64 {
+	if p.Base.IPC == 0 {
+		return 1
+	}
+	return p.Pred.IPC / p.Base.IPC
+}
+
+// RunComparison runs baseline and predictor suites and pairs them up.
+func RunComparison(ws []workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Options) []Pair {
+	base := RunSuite(ws, coreCfg, nil, opt)
+	pred := RunSuite(ws, coreCfg, pf, opt)
+	pairs := make([]Pair, len(ws))
+	for i := range ws {
+		pairs[i] = Pair{Base: base[i], Pred: pred[i]}
+	}
+	return pairs
+}
+
+// Geomean returns the geometric mean of the pairs' speedups.
+func Geomean(pairs []Pair) float64 {
+	if len(pairs) == 0 {
+		return 1
+	}
+	sumLog := 0.0
+	for _, p := range pairs {
+		sumLog += logOf(p.Speedup())
+	}
+	return expOf(sumLog / float64(len(pairs)))
+}
+
+// MeanCoverage returns the arithmetic mean load coverage of the predictor
+// runs.
+func MeanCoverage(pairs []Pair) float64 {
+	if len(pairs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, p := range pairs {
+		s += p.Pred.Coverage
+	}
+	return s / float64(len(pairs))
+}
+
+// ByCategory groups pairs by workload category.
+func ByCategory(pairs []Pair) map[workload.Category][]Pair {
+	m := make(map[workload.Category][]Pair)
+	for _, p := range pairs {
+		m[p.Base.Category] = append(m[p.Base.Category], p)
+	}
+	return m
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-16s %-10s %-16s IPC=%.3f cov=%.1f%% acc=%.2f%%",
+		r.Workload, r.Core, r.Predictor, r.IPC, r.Coverage*100, r.Accuracy*100)
+}

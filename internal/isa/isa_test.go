@@ -1,0 +1,155 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	if got := RegZero.String(); got != "zero" {
+		t.Errorf("RegZero.String() = %q, want zero", got)
+	}
+	if got := Reg(7).String(); got != "r7" {
+		t.Errorf("Reg(7).String() = %q, want r7", got)
+	}
+}
+
+func TestRegValid(t *testing.T) {
+	if !Reg(0).Valid() || !Reg(NumArchRegs-1).Valid() {
+		t.Error("in-range registers must be valid")
+	}
+	if Reg(NumArchRegs).Valid() {
+		t.Error("out-of-range register must be invalid")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	cases := []struct {
+		op                                  Op
+		load, store, mem, branch, cond, ind bool
+		hasDest                             bool
+	}{
+		{OpNop, false, false, false, false, false, false, false},
+		{OpALU, false, false, false, false, false, false, true},
+		{OpIMul, false, false, false, false, false, false, true},
+		{OpIDiv, false, false, false, false, false, false, true},
+		{OpFP, false, false, false, false, false, false, true},
+		{OpFPDiv, false, false, false, false, false, false, true},
+		{OpLoad, true, false, true, false, false, false, true},
+		{OpStore, false, true, true, false, false, false, false},
+		{OpBranch, false, false, false, true, true, false, false},
+		{OpJump, false, false, false, true, false, false, false},
+		{OpCall, false, false, false, true, false, false, true},
+		{OpRet, false, false, false, true, false, true, false},
+		{OpIndirect, false, false, false, true, false, true, false},
+	}
+	for _, c := range cases {
+		if c.op.IsLoad() != c.load {
+			t.Errorf("%v IsLoad = %v", c.op, c.op.IsLoad())
+		}
+		if c.op.IsStore() != c.store {
+			t.Errorf("%v IsStore = %v", c.op, c.op.IsStore())
+		}
+		if c.op.IsMem() != c.mem {
+			t.Errorf("%v IsMem = %v", c.op, c.op.IsMem())
+		}
+		if c.op.IsBranch() != c.branch {
+			t.Errorf("%v IsBranch = %v", c.op, c.op.IsBranch())
+		}
+		if c.op.IsCondBranch() != c.cond {
+			t.Errorf("%v IsCondBranch = %v", c.op, c.op.IsCondBranch())
+		}
+		if c.op.IsIndirect() != c.ind {
+			t.Errorf("%v IsIndirect = %v", c.op, c.op.IsIndirect())
+		}
+		if c.op.HasDest() != c.hasDest {
+			t.Errorf("%v HasDest = %v", c.op, c.op.HasDest())
+		}
+	}
+}
+
+func TestOpStringsDistinct(t *testing.T) {
+	seen := map[string]Op{}
+	for op := Op(0); int(op) < NumOps; op++ {
+		s := op.String()
+		if s == "" {
+			t.Fatalf("op %d has empty name", op)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("ops %v and %v share name %q", prev, op, s)
+		}
+		seen[s] = op
+	}
+}
+
+func TestDynInstHasDest(t *testing.T) {
+	d := DynInst{Op: OpALU, Dst: 3}
+	if !d.HasDest() {
+		t.Error("ALU with dst r3 must have dest")
+	}
+	d.Dst = RegZero
+	if d.HasDest() {
+		t.Error("writes to the zero register are discarded")
+	}
+	d = DynInst{Op: OpStore, Dst: 3}
+	if d.HasDest() {
+		t.Error("stores produce no register result")
+	}
+}
+
+func TestDynInstSources(t *testing.T) {
+	var buf [2]Reg
+	d := DynInst{Op: OpALU, Src1: 4, Src2: 9}
+	if got := d.Sources(&buf); len(got) != 2 || got[0] != 4 || got[1] != 9 {
+		t.Errorf("Sources = %v", got)
+	}
+	d.Src2 = RegZero
+	if got := d.Sources(&buf); len(got) != 1 || got[0] != 4 {
+		t.Errorf("Sources = %v", got)
+	}
+	d.Src1 = RegZero
+	if got := d.Sources(&buf); len(got) != 0 {
+		t.Errorf("Sources = %v", got)
+	}
+}
+
+func TestDynInstStringForms(t *testing.T) {
+	ld := DynInst{Seq: 1, PC: 0x400000, Op: OpLoad, Dst: 2, Addr: 0x1000, Value: 42}
+	if s := ld.String(); !strings.Contains(s, "load") || !strings.Contains(s, "0x1000") {
+		t.Errorf("load string %q", s)
+	}
+	st := DynInst{Op: OpStore, Addr: 0x2000, Value: 7}
+	if s := st.String(); !strings.Contains(s, "store") {
+		t.Errorf("store string %q", s)
+	}
+	br := DynInst{Op: OpBranch, Taken: true, Target: 0x400040}
+	if s := br.String(); !strings.Contains(s, "taken=true") {
+		t.Errorf("branch string %q", s)
+	}
+	alu := DynInst{Op: OpALU, Dst: 5, Value: 9}
+	if s := alu.String(); !strings.Contains(s, "alu") {
+		t.Errorf("alu string %q", s)
+	}
+}
+
+// Property: Sources never returns the zero register and never more than two.
+func TestSourcesProperty(t *testing.T) {
+	f := func(s1, s2 uint8) bool {
+		d := DynInst{Op: OpALU, Src1: Reg(s1 % NumArchRegs), Src2: Reg(s2 % NumArchRegs)}
+		var buf [2]Reg
+		srcs := d.Sources(&buf)
+		if len(srcs) > 2 {
+			return false
+		}
+		for _, r := range srcs {
+			if r == RegZero {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

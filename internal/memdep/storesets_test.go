@@ -1,0 +1,120 @@
+package memdep
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColdPredictorImposesNothing(t *testing.T) {
+	s := New(10, 6)
+	if _, ok := s.DispatchLoad(0x400); ok {
+		t.Error("untrained predictor must not order loads")
+	}
+	if _, ok := s.DispatchStore(0x500, 1); ok {
+		t.Error("untrained predictor must not order stores")
+	}
+}
+
+func TestViolationCreatesDependence(t *testing.T) {
+	s := New(10, 6)
+	s.Violation(0x400, 0x500)
+	// The store dispatches, registering itself as the set's last store.
+	if _, ok := s.DispatchStore(0x500, 42); ok {
+		t.Error("first store dispatch should find no prior store")
+	}
+	// The load must now wait for it.
+	seq, ok := s.DispatchLoad(0x400)
+	if !ok || seq != 42 {
+		t.Errorf("load waits for %d,%v want 42", seq, ok)
+	}
+}
+
+func TestCompleteStoreClearsLFST(t *testing.T) {
+	s := New(10, 6)
+	s.Violation(0x400, 0x500)
+	s.DispatchStore(0x500, 42)
+	s.CompleteStore(0x500, 42)
+	if _, ok := s.DispatchLoad(0x400); ok {
+		t.Error("completed store must not gate loads")
+	}
+}
+
+func TestCompleteStoreStaleSeqIgnored(t *testing.T) {
+	s := New(10, 6)
+	s.Violation(0x400, 0x500)
+	s.DispatchStore(0x500, 42)
+	s.DispatchStore(0x500, 50) // newer instance takes over
+	s.CompleteStore(0x500, 42) // stale completion must not clear 50
+	seq, ok := s.DispatchLoad(0x400)
+	if !ok || seq != 50 {
+		t.Errorf("load waits for %d,%v want 50", seq, ok)
+	}
+}
+
+func TestStoreStoreOrderingWithinSet(t *testing.T) {
+	s := New(10, 6)
+	s.Violation(0x400, 0x500)
+	s.Violation(0x400, 0x600) // merge second store into the set
+	s.DispatchStore(0x500, 10)
+	seq, ok := s.DispatchStore(0x600, 11)
+	if !ok || seq != 10 {
+		t.Errorf("second store orders after %d,%v want 10", seq, ok)
+	}
+}
+
+func TestMergeRules(t *testing.T) {
+	s := New(10, 6)
+	// Both unassigned → new set.
+	s.Violation(0x100, 0x200)
+	if s.Assignments != 1 {
+		t.Errorf("assignments = %d", s.Assignments)
+	}
+	// Load assigned, store not → store joins load's set.
+	s.Violation(0x100, 0x300)
+	s.DispatchStore(0x300, 7)
+	if seq, ok := s.DispatchLoad(0x100); !ok || seq != 7 {
+		t.Errorf("store did not join load's set (seq=%d ok=%v)", seq, ok)
+	}
+	// Store assigned, load not → load joins store's set.
+	s.Violation(0x180, 0x300)
+	s.DispatchStore(0x300, 9)
+	if seq, ok := s.DispatchLoad(0x180); !ok || seq != 9 {
+		t.Errorf("load did not join store's set (seq=%d ok=%v)", seq, ok)
+	}
+	if s.Violations != 3 {
+		t.Errorf("violations = %d", s.Violations)
+	}
+}
+
+func TestFlushClearsLFSTOnly(t *testing.T) {
+	s := New(10, 6)
+	s.Violation(0x400, 0x500)
+	s.DispatchStore(0x500, 42)
+	s.Flush()
+	if _, ok := s.DispatchLoad(0x400); ok {
+		t.Error("flush must clear in-flight store records")
+	}
+	// The SSIT association itself survives the flush.
+	s.DispatchStore(0x500, 60)
+	if seq, ok := s.DispatchLoad(0x400); !ok || seq != 60 {
+		t.Errorf("association lost across flush (seq=%d ok=%v)", seq, ok)
+	}
+}
+
+// Property: after Violation(l, s) and a store dispatch, the load always
+// waits on that store.
+func TestViolationAlwaysOrdersProperty(t *testing.T) {
+	f := func(lpc, spc uint16, seq uint8) bool {
+		if lpc == spc {
+			return true // degenerate alias
+		}
+		s := New(8, 5)
+		s.Violation(uint64(lpc)<<2, uint64(spc)<<2)
+		s.DispatchStore(uint64(spc)<<2, uint64(seq))
+		got, ok := s.DispatchLoad(uint64(lpc) << 2)
+		return ok && got == uint64(seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

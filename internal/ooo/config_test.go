@@ -1,0 +1,73 @@
+package ooo
+
+import "testing"
+
+func TestSkylakeTableII(t *testing.T) {
+	c := Skylake()
+	// The headline Table-II numbers, asserted so config drift is caught.
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"fetch width", c.FetchWidth, 4},
+		{"ROB", c.ROBSize, 224},
+		{"IQ", c.IQSize, 97},
+		{"LQ", c.LQSize, 64},
+		{"SQ", c.SQSize, 60},
+		{"retire width", c.RetireWidth, 8},
+		{"load ports", c.LoadPorts, 2},
+		{"ALU ports", c.ALUPorts, 4},
+		{"L1D bytes", c.Mem.L1D.SizeBytes, 32 << 10},
+		{"L2 bytes", c.Mem.L2.SizeBytes, 256 << 10},
+		{"LLC bytes", c.Mem.LLC.SizeBytes, 8 << 20},
+		{"L1D latency", int(c.Mem.L1D.Latency), 5},
+		{"L2 latency", int(c.Mem.L2.Latency), 15},
+		{"LLC latency", int(c.Mem.LLC.Latency), 40},
+		{"DRAM channels", c.Mem.Dram.Channels, 2},
+		{"mispredict penalty", int(c.BranchMispredictPenalty), 20},
+		{"VP penalty", int(c.VPMispredictPenalty), 20},
+	}
+	for _, ch := range checks {
+		if ch.got != ch.want {
+			t.Errorf("%s = %d, want %d", ch.name, ch.got, ch.want)
+		}
+	}
+}
+
+func TestSkylake2XDoublesResources(t *testing.T) {
+	a, b := Skylake(), Skylake2X()
+	if b.ROBSize != 2*a.ROBSize || b.IQSize != 2*a.IQSize ||
+		b.LQSize != 2*a.LQSize || b.SQSize != 2*a.SQSize {
+		t.Error("window resources must double")
+	}
+	if b.FetchWidth != 2*a.FetchWidth || b.RetireWidth != 2*a.RetireWidth ||
+		b.ALUPorts != 2*a.ALUPorts || b.LoadPorts != 2*a.LoadPorts {
+		t.Error("bandwidths must double")
+	}
+	// The cache/memory system itself is unchanged (§V)…
+	if b.Mem.LLC.SizeBytes != a.Mem.LLC.SizeBytes || b.Mem.Dram.Channels != a.Mem.Dram.Channels {
+		t.Error("the memory system is not scaled")
+	}
+	// …except miss-level parallelism, which tracks core bandwidth.
+	if b.Mem.L1D.MSHRs != 2*a.Mem.L1D.MSHRs {
+		t.Error("MSHRs scale with the core")
+	}
+}
+
+func TestLatencyForClasses(t *testing.T) {
+	c := Skylake()
+	if c.latencyFor(classIMul) != c.IMulLat || c.latencyFor(classIDiv) != c.IDivLat ||
+		c.latencyFor(classFP) != c.FPLat || c.latencyFor(classFPDiv) != c.FPDivLat ||
+		c.latencyFor(classALU) != c.ALULat {
+		t.Error("latency class mapping broken")
+	}
+}
+
+func TestBucketNamesComplete(t *testing.T) {
+	for i, n := range BucketNames {
+		if n == "" {
+			t.Errorf("bucket %d unnamed", i)
+		}
+	}
+}

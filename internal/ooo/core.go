@@ -1,0 +1,347 @@
+package ooo
+
+import (
+	"fvp/internal/branch"
+	"fvp/internal/isa"
+	"fvp/internal/memdep"
+	"fvp/internal/memsys"
+	"fvp/internal/prog"
+	"fvp/internal/vp"
+)
+
+// InstSource supplies the dynamic instruction stream (prog.Exec implements
+// it; trace replays do too).
+type InstSource interface {
+	Next(*isa.DynInst) bool
+}
+
+// instruction states inside the window.
+const (
+	sWaiting   uint8 = iota // in IQ, sources not all available
+	sWaitStore              // load matched an older store whose data is pending
+	sIssued                 // executing, doneAt set (0 for stores awaiting data)
+	sDone                   // result available
+)
+
+// rent is one reorder-buffer entry.
+type rent struct {
+	d     isa.DynInst
+	state uint8
+	inIQ  bool
+
+	// Register dependences: per source, either the producing in-window
+	// entry (prodIdx/prodSeq) or immediate availability.
+	src [2]srcDep
+
+	// FVP bookkeeping captured at rename.
+	parents  [2]uint64
+	nparents int
+	histSnap uint64
+
+	issueAt uint64
+	doneAt  uint64
+
+	// Memory.
+	addrKnownAt  uint64 // stores: address resolved
+	fwdFromSeq   uint64 // loads: seq of forwarding store (0 = none)
+	waitStore    int    // rob idx of store a deferred load waits on
+	issuedToMem  bool
+	lvl          memsys.Level
+	waitStoreSeq uint64 // seq of the store a deferred load waits on
+	ssWaitIdx    int    // store-sets: rob idx of the store to wait for (-1 none)
+	ssWaitSeq    uint64 // store-sets: seq of that store
+
+	// Value prediction.
+	predicted   bool
+	predValue   uint64
+	predAvailAt uint64
+	linkStore   int    // rob idx of MR-linked store, -1 = none
+	fwdPredSeq  uint64 // seq of the MR-linked store
+	validated   bool
+
+	// Branches.
+	brMispredict bool
+
+	// Criticality.
+	critProd    int // rob idx of the last-arriving producer (-1 = none)
+	critProdSeq uint64
+}
+
+type srcDep struct {
+	prodIdx int
+	prodSeq uint64
+	availAt uint64
+	hasProd bool
+}
+
+// fetchEnt is a fetched-but-not-renamed micro-op. Replayed entries keep the
+// branch outcome and history snapshot from their first fetch so predictors
+// are not double-trained on flush replay.
+type fetchEnt struct {
+	d        isa.DynInst
+	readyAt  uint64
+	mispred  bool
+	histSnap uint64
+	replayed bool
+}
+
+// Core is the cycle-level out-of-order machine.
+type Core struct {
+	cfg  Config
+	hier *memsys.Hierarchy
+	bu   *branch.Unit
+	ss   *memdep.StoreSets
+	pred vp.Predictor
+	ctx  vp.Ctx
+
+	src     InstSource
+	srcDone bool
+	replay  []fetchEnt // flush replay queue (oldest first)
+	fetchQ  []fetchEnt
+	pending *fetchEnt // fetched from source but stalled on the I-cache
+
+	rob   []rent
+	head  int
+	count int
+
+	// Rename state: per architectural register, the in-flight producer
+	// and the last-writer PC (speculative + retired images for repair).
+	regProd  [isa.NumArchRegs]srcDep
+	regPC    [isa.NumArchRegs]uint64
+	retRegPC [isa.NumArchRegs]uint64
+
+	lqCount, sqCount, iqCount int
+
+	now             uint64
+	fetchStallUntil uint64
+	lastFetchLine   uint64
+	// redirect: fetch stalls behind an unresolved mispredicted branch.
+	redirectSeq    uint64
+	redirectActive bool
+
+	// shadow is the retired architectural memory image (DLVP's early
+	// probe target); overlayed on top of the program's initial image.
+	shadow *prog.Memory
+
+	// oracle criticality: PC set populated by backward walks from
+	// retirement stalls, cleared on the same epoch cadence as the CIT.
+	oracleSet    []uint16
+	oracleMask   uint64
+	lastStallSeq uint64
+	retiredCount uint64
+
+	// mispredicting-branch chain PCs (§VI-A3 signal).
+	brChain     []uint16
+	brChainMask uint64
+
+	Meter vp.Meter
+	Stats RunStats
+}
+
+// RunStats aggregates timing-model events.
+type RunStats struct {
+	Cycles        uint64
+	Retired       uint64
+	RetiredLoads  uint64
+	RetiredStores uint64
+	Fetched       uint64
+
+	BranchMispredicts uint64
+	VPFlushes         uint64
+	MemOrderFlushes   uint64
+	Forwards          uint64
+
+	RetireStallCycles uint64
+	EmptyWindowCycles uint64
+
+	LoadsByLevel [4]uint64
+	// StallHeadLoads/StallHeadOther classify retirement-stall cycles by
+	// whether the blocking (oldest unfinished) instruction is a load.
+	StallHeadLoads uint64
+	StallHeadOther uint64
+	// Breakdown attributes every simulated cycle to one top-down bucket.
+	Breakdown CycleBreakdown
+}
+
+// Stall buckets for the top-down cycle accounting.
+const (
+	// CycRetiring: at least one instruction committed this cycle.
+	CycRetiring = iota
+	// CycMemL1..CycMemDRAM: retirement blocked by a load in flight to
+	// the given level.
+	CycMemL1
+	CycMemL2
+	CycMemLLC
+	CycMemDRAM
+	// CycStoreFwd: retirement blocked by a load waiting on a store's data.
+	CycStoreFwd
+	// CycExec: retirement blocked by a non-load executing (ALU/FP chain).
+	CycExec
+	// CycDependency: the head has not even issued (waiting on sources or
+	// structural back-pressure).
+	CycDependency
+	// CycFrontend: the window is empty (fetch stalls: redirects, I-cache
+	// misses, flush refills).
+	CycFrontend
+	numCycleBuckets
+)
+
+// CycleBreakdown counts cycles per bucket; it sums to Cycles.
+type CycleBreakdown [numCycleBuckets]uint64
+
+// BucketNames labels the breakdown in reports.
+var BucketNames = [numCycleBuckets]string{
+	"retiring", "mem-L1", "mem-L2", "mem-LLC", "mem-DRAM",
+	"store-fwd", "exec", "dependency", "frontend",
+}
+
+// IPC returns retired instructions per cycle.
+func (s *RunStats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// New builds a core. pred may be nil for the no-value-prediction baseline.
+// initMem is the program's initial memory image used to answer early-probe
+// reads (the core clones it; the caller's copy is not modified).
+func New(cfg Config, pred vp.Predictor, src InstSource, initMem *prog.Memory) *Core {
+	if pred == nil {
+		pred = vp.None{}
+	}
+	c := &Core{
+		cfg:  cfg,
+		hier: memsys.New(cfg.Mem),
+		bu:   branch.NewDefaultUnit(),
+		ss:   memdep.New(cfg.SSITBits, cfg.LFSTBits),
+		pred: pred,
+		src:  src,
+		rob:  make([]rent, cfg.ROBSize),
+	}
+	if initMem != nil {
+		c.shadow = initMem.Clone()
+	} else {
+		c.shadow = prog.NewMemory()
+	}
+	const oracleEntries = 1024
+	c.oracleSet = make([]uint16, oracleEntries)
+	c.oracleMask = oracleEntries - 1
+	const brChainEntries = 256
+	c.brChain = make([]uint16, brChainEntries)
+	c.brChainMask = brChainEntries - 1
+
+	c.ctx.MemPeek = c.shadow.Read
+	c.ctx.CacheLevel = func(addr uint64) int { return int(c.hier.ProbeLevel(addr)) }
+	return c
+}
+
+// WarmCaches pre-installs the program's steady-state ranges into the
+// hierarchy so the measured region is not dominated by compulsory misses.
+func (c *Core) WarmCaches(ranges []prog.WarmRange) {
+	for _, r := range ranges {
+		lvl := memsys.Level(r.Level)
+		if lvl < memsys.LvlL1 || lvl > memsys.LvlLLC {
+			continue
+		}
+		c.hier.Warm(r.Base, r.Bytes, lvl)
+	}
+}
+
+// Hierarchy exposes the memory system for inspection (tests, stats).
+func (c *Core) Hierarchy() *memsys.Hierarchy { return c.hier }
+
+// Branch exposes the branch unit for inspection.
+func (c *Core) Branch() *branch.Unit { return c.bu }
+
+// StoreSets exposes the disambiguation predictor for inspection.
+func (c *Core) StoreSets() *memdep.StoreSets { return c.ss }
+
+func (c *Core) idx(i int) int { return (c.head + i) % len(c.rob) }
+
+// distFromHead returns the window position of rob slot ri (0 = head).
+func (c *Core) distFromHead(ri int) int {
+	return (ri - c.head + len(c.rob)) % len(c.rob)
+}
+
+// destAvail reports when entry e's register result is usable by consumers,
+// accounting for value prediction (including MR store links).
+func (c *Core) destAvail(e *rent) (uint64, bool) {
+	avail := ^uint64(0)
+	ok := false
+	if e.state == sDone {
+		avail, ok = e.doneAt, true
+	}
+	if e.predicted {
+		if e.linkStore >= 0 {
+			st := &c.rob[e.linkStore]
+			if st.d.Seq == e.predLinkSeq() {
+				if st.state == sDone {
+					if !ok || st.doneAt < avail {
+						avail, ok = st.doneAt, true
+					}
+				}
+			} else {
+				// Linked store already retired: data was ready
+				// no later than the link's own availability.
+				if !ok || e.predAvailAt < avail {
+					avail, ok = e.predAvailAt, true
+				}
+			}
+		} else if !ok || e.predAvailAt < avail {
+			avail, ok = e.predAvailAt, true
+		}
+	}
+	return avail, ok
+}
+
+// predLinkSeq returns the seq the load's MR link was made against.
+func (e *rent) predLinkSeq() uint64 { return e.fwdPredSeq }
+
+// srcReady reports whether source s of entry e is available at cycle now,
+// and the cycle it became available.
+func (c *Core) srcReady(e *rent, s int, now uint64) (uint64, bool) {
+	d := &e.src[s]
+	if !d.hasProd {
+		return d.availAt, d.availAt <= now
+	}
+	p := &c.rob[d.prodIdx]
+	if p.d.Seq != d.prodSeq {
+		// Producer retired (slot recycled): value long available.
+		d.hasProd = false
+		d.availAt = 0
+		return 0, true
+	}
+	avail, ok := c.destAvail(p)
+	if ok && avail <= now {
+		return avail, true
+	}
+	return avail, false
+}
+
+// ready reports whether all sources of e are available at now; it also
+// records the last-arriving producer for criticality walks.
+func (c *Core) ready(e *rent, now uint64) bool {
+	var latest uint64
+	latestProd := -1
+	for s := 0; s < 2; s++ {
+		if e.src[s].availAt == 0 && !e.src[s].hasProd {
+			continue
+		}
+		avail, ok := c.srcReady(e, s, now)
+		if !ok {
+			return false
+		}
+		if avail >= latest {
+			latest = avail
+			if e.src[s].hasProd {
+				latestProd = e.src[s].prodIdx
+			}
+		}
+	}
+	e.critProd = latestProd
+	if latestProd >= 0 {
+		e.critProdSeq = c.rob[latestProd].d.Seq
+	}
+	return true
+}

@@ -1,0 +1,342 @@
+package ooo
+
+import (
+	"testing"
+
+	"fvp/internal/isa"
+	"fvp/internal/prog"
+	"fvp/internal/vp"
+)
+
+// sliceSource replays a fixed instruction slice.
+type sliceSource struct {
+	insts []isa.DynInst
+	pos   int
+}
+
+func (s *sliceSource) Next(d *isa.DynInst) bool {
+	if s.pos >= len(s.insts) {
+		return false
+	}
+	*d = s.insts[s.pos]
+	s.pos++
+	return true
+}
+
+// repeatChain builds n iterations of a serial ALU chain (each op depends on
+// the previous through r1).
+func repeatChain(n int) *sliceSource {
+	insts := make([]isa.DynInst, n)
+	for i := range insts {
+		insts[i] = isa.DynInst{
+			Seq: uint64(i), PC: 0x400000 + uint64(i%16)*4,
+			Op: isa.OpALU, Dst: 1, Src1: 1, Value: uint64(i),
+		}
+	}
+	return &sliceSource{insts: insts}
+}
+
+// repeatIndep builds n independent single-cycle ops.
+func repeatIndep(n int) *sliceSource {
+	insts := make([]isa.DynInst, n)
+	for i := range insts {
+		insts[i] = isa.DynInst{
+			Seq: uint64(i), PC: 0x400000 + uint64(i%16)*4,
+			Op: isa.OpALU, Dst: isa.Reg(1 + i%8), Value: uint64(i),
+		}
+	}
+	return &sliceSource{insts: insts}
+}
+
+func TestSerialChainIPCNearOne(t *testing.T) {
+	c := New(Skylake(), nil, repeatChain(20000), nil)
+	st := c.Run(20000)
+	ipc := st.IPC()
+	// A 1-cycle serial chain caps IPC at 1.
+	if ipc > 1.05 {
+		t.Errorf("serial chain IPC %.3f > 1", ipc)
+	}
+	if ipc < 0.85 {
+		t.Errorf("serial chain IPC %.3f — scheduling overhead too high", ipc)
+	}
+}
+
+func TestIndependentOpsReachWidth(t *testing.T) {
+	c := New(Skylake(), nil, repeatIndep(40000), nil)
+	st := c.Run(40000)
+	// 4-wide rename, 4 ALU ports: IPC should approach 4.
+	if st.IPC() < 3.3 {
+		t.Errorf("independent ops IPC %.3f, want ≈4", st.IPC())
+	}
+}
+
+func TestSkylake2XDoublesIndependentThroughput(t *testing.T) {
+	c1 := New(Skylake(), nil, repeatIndep(40000), nil)
+	st1 := c1.Run(40000)
+	ipc1 := st1.IPC()
+	c2 := New(Skylake2X(), nil, repeatIndep(40000), nil)
+	st2 := c2.Run(40000)
+	ipc2 := st2.IPC()
+	if ipc2 < ipc1*1.7 {
+		t.Errorf("2X IPC %.2f not ≈2× Skylake %.2f", ipc2, ipc1)
+	}
+}
+
+func TestLongLatencyDivideThrottles(t *testing.T) {
+	insts := make([]isa.DynInst, 4000)
+	for i := range insts {
+		insts[i] = isa.DynInst{
+			Seq: uint64(i), PC: 0x400000, Op: isa.OpIDiv,
+			Dst: 1, Src1: 1, Value: 1,
+		}
+	}
+	c := New(Skylake(), nil, &sliceSource{insts: insts}, nil)
+	st := c.Run(4000)
+	// Serial divides: ~IDivLat cycles each.
+	wantMax := 1.0 / float64(Skylake().IDivLat-2)
+	if st.IPC() > wantMax*1.3 {
+		t.Errorf("divide chain IPC %.4f, want ≈%.4f", st.IPC(), wantMax)
+	}
+}
+
+// buildBranchTrace alternates a perfectly-patterned conditional branch.
+func buildBranchTrace(n int, takenEvery int) *sliceSource {
+	insts := make([]isa.DynInst, n)
+	for i := range insts {
+		if i%2 == 0 {
+			insts[i] = isa.DynInst{
+				Seq: uint64(i), PC: 0x400000, Op: isa.OpALU, Dst: 1, Value: uint64(i),
+			}
+		} else {
+			taken := (i/2)%takenEvery == 0
+			d := isa.DynInst{
+				Seq: uint64(i), PC: 0x400010, Op: isa.OpBranch, Taken: taken,
+			}
+			if taken {
+				d.Target = 0x400000
+			} else {
+				d.Target = 0x400014
+			}
+			insts[i] = d
+		}
+	}
+	return &sliceSource{insts: insts}
+}
+
+func TestPredictableBranchesAreCheap(t *testing.T) {
+	c := New(Skylake(), nil, buildBranchTrace(30000, 4), nil)
+	st := c.Run(30000)
+	rate := float64(st.BranchMispredicts) / float64(st.Retired/2)
+	if rate > 0.05 {
+		t.Errorf("period-4 branch mispredict rate %.3f", rate)
+	}
+}
+
+func TestMispredictPenaltyVisible(t *testing.T) {
+	// Pseudo-random branches: heavy mispredicts must depress IPC well
+	// below the predictable-branch case.
+	mkTrace := func(rnd bool) *sliceSource {
+		n := 30000
+		insts := make([]isa.DynInst, n)
+		state := uint64(99)
+		for i := range insts {
+			if i%2 == 0 {
+				insts[i] = isa.DynInst{Seq: uint64(i), PC: 0x400000, Op: isa.OpALU, Dst: 1, Value: uint64(i)}
+				continue
+			}
+			taken := true
+			if rnd {
+				state ^= state << 13
+				state ^= state >> 7
+				state ^= state << 17
+				taken = state&1 == 1
+			}
+			d := isa.DynInst{Seq: uint64(i), PC: 0x400010, Op: isa.OpBranch, Taken: taken, Target: 0x400000}
+			insts[i] = d
+		}
+		return &sliceSource{insts: insts}
+	}
+	stEasy := New(Skylake(), nil, mkTrace(false), nil).Run(30000)
+	stHard := New(Skylake(), nil, mkTrace(true), nil).Run(30000)
+	if stHard.IPC() > stEasy.IPC()*0.7 {
+		t.Errorf("random branches IPC %.2f vs predictable %.2f — penalty not modelled",
+			stHard.IPC(), stEasy.IPC())
+	}
+	if stHard.BranchMispredicts < 3000 {
+		t.Errorf("mispredicts = %d, expected thousands", stHard.BranchMispredicts)
+	}
+}
+
+// loadChainTrace: serial loads (each load's address comes from the previous
+// load's value through a register).
+func loadChainTrace(n int) *sliceSource {
+	insts := make([]isa.DynInst, n)
+	for i := range insts {
+		insts[i] = isa.DynInst{
+			Seq: uint64(i), PC: 0x400000, Op: isa.OpLoad,
+			Dst: 1, Src1: 1, Addr: uint64(0x100000 + (i%8)*64), Value: 7, MemSize: 8,
+		}
+	}
+	return &sliceSource{insts: insts}
+}
+
+func TestSerialLoadsPayL1Latency(t *testing.T) {
+	c := New(Skylake(), nil, loadChainTrace(8000), nil)
+	c.WarmCaches([]prog.WarmRange{{Base: 0x100000, Bytes: 4096, Level: 0}})
+	st := c.Run(8000)
+	// Serial L1 hits: ~5 cycles each.
+	got := float64(st.Cycles) / float64(st.Retired)
+	if got < 4.5 || got > 6.5 {
+		t.Errorf("serial L1 loads: %.2f cycles per load, want ≈5", got)
+	}
+}
+
+// constPredictor always predicts a fixed value for loads.
+type constPredictor struct {
+	vp.None
+	value   uint64
+	predict bool
+}
+
+func (p *constPredictor) Lookup(d *isa.DynInst, _ *vp.Ctx) vp.Prediction {
+	if p.predict && d.Op.IsLoad() {
+		return vp.Prediction{Valid: true, Value: p.value}
+	}
+	return vp.Prediction{}
+}
+
+func (p *constPredictor) Name() string { return "const" }
+
+func TestCorrectValuePredictionBreaksChain(t *testing.T) {
+	base := New(Skylake(), nil, loadChainTrace(8000), nil)
+	base.WarmCaches([]prog.WarmRange{{Base: 0x100000, Bytes: 4096, Level: 0}})
+	stBase := base.Run(8000)
+
+	pred := New(Skylake(), &constPredictor{value: 7, predict: true}, loadChainTrace(8000), nil)
+	pred.WarmCaches([]prog.WarmRange{{Base: 0x100000, Bytes: 4096, Level: 0}})
+	stPred := pred.Run(8000)
+
+	if stPred.IPC() < stBase.IPC()*2 {
+		t.Errorf("perfect prediction IPC %.2f vs base %.2f — chain not broken",
+			stPred.IPC(), stBase.IPC())
+	}
+	if pred.Meter.Wrong != 0 {
+		t.Errorf("correct predictions flagged wrong: %d", pred.Meter.Wrong)
+	}
+	if pred.Meter.Correct == 0 {
+		t.Error("no predictions validated")
+	}
+}
+
+func TestWrongValuePredictionFlushes(t *testing.T) {
+	pred := New(Skylake(), &constPredictor{value: 999, predict: true}, loadChainTrace(4000), nil)
+	pred.WarmCaches([]prog.WarmRange{{Base: 0x100000, Bytes: 4096, Level: 0}})
+	st := pred.Run(4000)
+	if st.VPFlushes == 0 {
+		t.Fatal("wrong predictions must flush")
+	}
+	if pred.Meter.Correct != 0 {
+		t.Errorf("wrong-value predictor validated correct %d times", pred.Meter.Correct)
+	}
+	// Mispredicting every load must be slower than no prediction.
+	base := New(Skylake(), nil, loadChainTrace(4000), nil)
+	base.WarmCaches([]prog.WarmRange{{Base: 0x100000, Bytes: 4096, Level: 0}})
+	stBase := base.Run(4000)
+	if st.IPC() >= stBase.IPC() {
+		t.Errorf("all-wrong prediction IPC %.3f ≥ baseline %.3f", st.IPC(), stBase.IPC())
+	}
+}
+
+// fwdTrace: store to an address, some filler, then a load of that address —
+// repeatedly, with the load close enough to forward.
+func fwdTrace(n int) *sliceSource {
+	var insts []isa.DynInst
+	seq := uint64(0)
+	add := func(d isa.DynInst) {
+		d.Seq = seq
+		seq++
+		insts = append(insts, d)
+	}
+	for i := 0; len(insts) < n; i++ {
+		addr := uint64(0x200000 + (i%4)*8)
+		add(isa.DynInst{PC: 0x400000, Op: isa.OpALU, Dst: 2, Value: uint64(i)})
+		add(isa.DynInst{PC: 0x400004, Op: isa.OpStore, Src1: 1, Src2: 2, Addr: addr, Value: uint64(i), MemSize: 8})
+		add(isa.DynInst{PC: 0x400008, Op: isa.OpALU, Dst: 3, Value: 1})
+		add(isa.DynInst{PC: 0x40000C, Op: isa.OpLoad, Dst: 4, Src1: 1, Addr: addr, Value: uint64(i), MemSize: 8})
+	}
+	return &sliceSource{insts: insts}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	c := New(Skylake(), nil, fwdTrace(8000), nil)
+	st := c.Run(8000)
+	if st.Forwards == 0 {
+		t.Fatal("no store→load forwarding observed")
+	}
+	if st.MemOrderFlushes > st.Forwards/4 {
+		t.Errorf("too many ordering flushes (%d) vs forwards (%d)",
+			st.MemOrderFlushes, st.Forwards)
+	}
+}
+
+func TestForwardingNotifiesPredictor(t *testing.T) {
+	rec := &recordingPredictor{}
+	c := New(Skylake(), rec, fwdTrace(4000), nil)
+	c.Run(4000)
+	if rec.forwards == 0 {
+		t.Error("predictor did not observe forwarding events")
+	}
+	if rec.forwardLoadPC != 0x40000C || rec.forwardStorePC != 0x400004 {
+		t.Errorf("forward pair = %#x←%#x", rec.forwardLoadPC, rec.forwardStorePC)
+	}
+}
+
+type recordingPredictor struct {
+	vp.None
+	forwards       int
+	forwardLoadPC  uint64
+	forwardStorePC uint64
+	trains         int
+	nearHead       int
+}
+
+func (r *recordingPredictor) Name() string { return "recording" }
+
+func (r *recordingPredictor) OnForward(loadPC, storePC uint64) {
+	r.forwards++
+	r.forwardLoadPC, r.forwardStorePC = loadPC, storePC
+}
+
+func (r *recordingPredictor) Train(d *isa.DynInst, _ *vp.Ctx, info vp.TrainInfo) {
+	r.trains++
+	if info.NearHead {
+		r.nearHead++
+	}
+}
+
+func TestTrainCalledPerExecution(t *testing.T) {
+	rec := &recordingPredictor{}
+	c := New(Skylake(), rec, repeatIndep(5000), nil)
+	c.Run(5000)
+	if rec.trains < 5000 {
+		t.Errorf("trains = %d, want ≥ retired count", rec.trains)
+	}
+}
+
+func TestRetireStallSignalsNearHead(t *testing.T) {
+	rec := &recordingPredictor{}
+	// Serial DRAM loads stall retirement; their executions happen at the
+	// ROB head.
+	c := New(Skylake(), rec, loadChainTrace(2000), nil)
+	c.Run(2000)
+	if rec.nearHead == 0 {
+		t.Error("no near-head executions flagged under retirement stalls")
+	}
+}
+
+func TestRunStatsIPCZeroSafe(t *testing.T) {
+	var st RunStats
+	if st.IPC() != 0 {
+		t.Error("zero stats IPC must be 0")
+	}
+}

@@ -1,0 +1,223 @@
+package ooo
+
+import (
+	"testing"
+
+	"fvp/internal/core"
+	"fvp/internal/isa"
+	"fvp/internal/prog"
+	"fvp/internal/workload"
+)
+
+func TestConservativeDisambiguationNoViolations(t *testing.T) {
+	cfg := Skylake()
+	cfg.ConservativeMemDisambiguation = true
+	w, _ := workload.ByName("cassandra") // store/load heavy
+	p := w.Build()
+	c := New(cfg, nil, prog.NewExec(p), p.BuildMemory())
+	c.WarmCaches(p.WarmRanges)
+	st := c.Run(60_000)
+	if st.MemOrderFlushes != 0 {
+		t.Errorf("conservative mode must never violate ordering (flushes=%d)",
+			st.MemOrderFlushes)
+	}
+	if st.Forwards == 0 {
+		t.Error("forwarding must still work in conservative mode")
+	}
+
+	// Conservative ordering cannot be faster than aggressive speculation.
+	c2 := New(Skylake(), nil, prog.NewExec(p), p.BuildMemory())
+	c2.WarmCaches(p.WarmRanges)
+	st2 := c2.Run(60_000)
+	if st.IPC() > st2.IPC()*1.02 {
+		t.Errorf("conservative IPC %.3f beats aggressive %.3f", st.IPC(), st2.IPC())
+	}
+}
+
+func TestCycleBreakdownSumsToCycles(t *testing.T) {
+	w, _ := workload.ByName("omnetpp")
+	p := w.Build()
+	c := New(Skylake(), nil, prog.NewExec(p), p.BuildMemory())
+	c.WarmCaches(p.WarmRanges)
+	st := c.Run(50_000)
+	var sum uint64
+	for _, v := range st.Breakdown {
+		sum += v
+	}
+	if sum != st.Cycles {
+		t.Errorf("breakdown sums to %d, cycles %d", sum, st.Cycles)
+	}
+	if st.Breakdown[CycRetiring] == 0 {
+		t.Error("no retiring cycles recorded")
+	}
+	if st.Breakdown[CycMemDRAM] == 0 {
+		t.Error("a DRAM-bound kernel must show mem-DRAM stalls")
+	}
+}
+
+func TestCallRetThroughCore(t *testing.T) {
+	b := prog.NewBuilder("callret")
+	b.MovI(1, 0)
+	b.Jump("main")
+	b.Label("fn")
+	b.AddI(1, 1, 1)
+	b.Ret()
+	b.Label("main")
+	b.Label("loop")
+	b.Call("fn")
+	b.Call("fn")
+	b.AddI(2, 2, 1)
+	b.Jump("loop")
+	p := b.MustBuild()
+	c := New(Skylake(), nil, prog.NewExec(p), p.BuildMemory())
+	st := c.Run(20_000)
+	// Call/return pairs are RAS-predicted: mispredicts must be rare.
+	if st.BranchMispredicts > st.Retired/100 {
+		t.Errorf("call/ret mispredicts %d of %d retired", st.BranchMispredicts, st.Retired)
+	}
+	if st.IPC() < 1.0 {
+		t.Errorf("call/ret loop IPC %.2f", st.IPC())
+	}
+}
+
+func TestIndirectJumpPredictedByITTAGE(t *testing.T) {
+	// An indirect jump alternating between two targets, correlated with
+	// a preceding conditional branch pattern.
+	b := prog.NewBuilder("ijmp")
+	b.MovI(3, 0)
+	b.Label("loop")
+	b.AddI(3, 3, 1)
+	b.And(4, 3, 1) // parity
+	// Patterned conditional: gives ITTAGE history to correlate with.
+	b.BEZ(4, "even")
+	b.MovI(5, 8) // target index of "odd" label... computed below
+	b.Jump("dispatch")
+	b.Label("even")
+	b.MovI(5, 11) // target index of "even2"
+	b.Label("dispatch")
+	b.JumpReg(5)
+	b.Label("odd2") // index 8
+	b.Nop()
+	b.Nop()
+	b.Label("even2") // index 11 (odd2 + nop + nop -> 9,10, so even2 = 11)
+	b.Jump("loop")
+	p := b.MustBuild()
+	if idx, _ := p.IndexOf(p.PCOf(8)); idx != 8 {
+		t.Fatal("layout assumption broken")
+	}
+	c := New(Skylake(), nil, prog.NewExec(p), p.BuildMemory())
+	st := c.Run(30_000)
+	rate := float64(st.BranchMispredicts) / float64(st.Retired)
+	if rate > 0.05 {
+		t.Errorf("correlated indirect jump mispredict rate %.3f", rate)
+	}
+}
+
+func TestMRLinkedPredictionEndToEnd(t *testing.T) {
+	// The cassandra kernel exercises the full MR path: after enough
+	// iterations FVP renames the spill reload through the Value File.
+	w, _ := workload.ByName("cassandra")
+	p := w.Build()
+	f := core.New(core.DefaultConfig())
+	c := New(Skylake(), f, prog.NewExec(p), p.BuildMemory())
+	c.WarmCaches(p.WarmRanges)
+	c.Run(400_000)
+	if f.MRPredictions == 0 {
+		t.Fatal("no MR predictions on a spill-heavy server kernel")
+	}
+	if acc := c.Meter.Accuracy(); acc < 0.98 {
+		t.Errorf("MR-heavy accuracy %.3f below the paper's ≥99%% regime", acc)
+	}
+}
+
+func TestOraclePolicyEndToEnd(t *testing.T) {
+	w, _ := workload.ByName("omnetpp")
+	p := w.Build()
+	cfg := core.DefaultConfig()
+	cfg.Policy = core.CritOracle
+	f := core.New(cfg)
+	c := New(Skylake(), f, prog.NewExec(p), p.BuildMemory())
+	c.WarmCaches(p.WarmRanges)
+	c.Run(400_000)
+	if f.RootsSeen == 0 {
+		t.Error("oracle policy found no roots — the DDG walk never marked PCs")
+	}
+	if c.Meter.PredictedLoads == 0 {
+		t.Error("oracle policy produced no predictions")
+	}
+}
+
+func TestIQLimitThrottlesMixedWork(t *testing.T) {
+	// Serial slow loads mixed with independent ALU work: a big IQ lets
+	// the ALUs drain around the waiting loads; a tiny IQ clogs.
+	mk := func(iq int) float64 {
+		cfg := Skylake()
+		cfg.IQSize = iq
+		// Independent DRAM loads, each with a dependent ALU: the ALUs
+		// park in the IQ for the whole memory latency, so a tiny IQ
+		// strangles the load MLP.
+		insts := make([]isa.DynInst, 24_000)
+		for i := range insts {
+			r := isa.Reg(1 + (i/2)%8)
+			if i%2 == 0 {
+				insts[i] = isa.DynInst{
+					Seq: uint64(i), PC: 0x400000, Op: isa.OpLoad,
+					Dst: r, Src1: 9,
+					Addr: uint64(0x40000000 + i*8256), Value: 1, MemSize: 8, // odd line stride: spreads DRAM banks
+				}
+			} else {
+				insts[i] = isa.DynInst{
+					Seq: uint64(i), PC: 0x400004,
+					Op: isa.OpALU, Dst: isa.Reg(20 + i%4), Src1: r, Value: uint64(i),
+				}
+			}
+		}
+		c := New(cfg, nil, &sliceSource{insts: insts}, nil)
+		st := c.Run(24_000)
+		return st.IPC()
+	}
+	if small, big := mk(4), mk(97); small >= big*0.9 {
+		t.Errorf("IQ=4 IPC %.3f not well below IQ=97 IPC %.3f", small, big)
+	}
+}
+
+func TestTinyLQThrottlesLoads(t *testing.T) {
+	mk := func(lq int) float64 {
+		cfg := Skylake()
+		cfg.LQSize = lq
+		insts := make([]isa.DynInst, 20_000)
+		for i := range insts {
+			insts[i] = isa.DynInst{
+				Seq: uint64(i), PC: 0x400000 + uint64(i%8)*4, Op: isa.OpLoad,
+				Dst: isa.Reg(1 + i%4), Src1: 9,
+				Addr: uint64(0x40000000 + i*64), Value: 1, MemSize: 8,
+			}
+		}
+		c := New(cfg, nil, &sliceSource{insts: insts}, nil)
+		st := c.Run(20_000)
+		return st.IPC()
+	}
+	if small, big := mk(4), mk(64); small >= big {
+		t.Errorf("LQ=4 IPC %.3f not below LQ=64 IPC %.3f", small, big)
+	}
+}
+
+func TestICachePressureSlowsFetch(t *testing.T) {
+	// A huge code footprint (sequential walk through many lines, restarted)
+	// must show I-cache misses and frontend stalls.
+	b := prog.NewBuilder("bigcode")
+	for i := 0; i < 40_000; i++ {
+		b.AddI(isa.Reg(1+i%8), isa.Reg(1+i%8), 1)
+	}
+	b.Halt()
+	p := b.MustBuild()
+	c := New(Skylake(), nil, prog.NewExec(p), p.BuildMemory())
+	st := c.Run(120_000)
+	h := c.Hierarchy()
+	if h.L1I.Stats.Misses == 0 {
+		t.Fatal("160 KB of code must miss a 64 KB L1I")
+	}
+	if st.IPC() > 3.5 {
+		t.Errorf("I-cache-bound code IPC %.2f — fetch stalls not charged", st.IPC())
+	}
+}

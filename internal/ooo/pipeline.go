@@ -1,0 +1,358 @@
+package ooo
+
+import (
+	"fvp/internal/isa"
+	"fvp/internal/memsys"
+	"fvp/internal/vp"
+)
+
+// Run simulates until the total retired-instruction count reaches
+// maxRetired (or the source is exhausted) and returns the cumulative run
+// statistics. Run may be called repeatedly with growing targets — the
+// warmup/measure protocol snapshots Stats between calls.
+func (c *Core) Run(maxRetired uint64) RunStats {
+	for c.Stats.Retired < maxRetired {
+		c.now++
+		c.Stats.Cycles++
+		c.stageRetire()
+		c.stageWriteback()
+		c.stageIssue()
+		c.stageRename()
+		c.stageFetch()
+		if c.srcDone && c.count == 0 && len(c.fetchQ) == 0 &&
+			len(c.replay) == 0 && c.pending == nil {
+			break
+		}
+	}
+	return c.Stats
+}
+
+// classOf maps an op to its issue-port class.
+func classOf(op isa.Op) int {
+	switch op {
+	case isa.OpALU:
+		return classALU
+	case isa.OpIMul:
+		return classIMul
+	case isa.OpIDiv:
+		return classIDiv
+	case isa.OpFP:
+		return classFP
+	case isa.OpFPDiv:
+		return classFPDiv
+	case isa.OpLoad:
+		return classLoad
+	case isa.OpStore:
+		return classStore
+	case isa.OpBranch, isa.OpJump, isa.OpCall, isa.OpRet, isa.OpIndirect:
+		return classBranch
+	default:
+		return classNop
+	}
+}
+
+// ---------------------------------------------------------------- retire
+
+func (c *Core) stageRetire() {
+	retired := 0
+	for retired < c.cfg.RetireWidth && c.count > 0 {
+		e := &c.rob[c.head]
+		if e.state != sDone || e.doneAt > c.now {
+			break
+		}
+		c.commit(e)
+		c.head = (c.head + 1) % len(c.rob)
+		c.count--
+		retired++
+	}
+	if retired > 0 {
+		c.Stats.Breakdown[CycRetiring]++
+		return
+	}
+	if c.count == 0 {
+		c.Stats.EmptyWindowCycles++
+		c.Stats.Breakdown[CycFrontend]++
+		return
+	}
+	c.Stats.RetireStallCycles++
+	h := &c.rob[c.head]
+	if h.d.Op.IsLoad() {
+		c.Stats.StallHeadLoads++
+	} else {
+		c.Stats.StallHeadOther++
+	}
+	c.Stats.Breakdown[c.classifyStall(h)]++
+	if h.d.Seq != c.lastStallSeq {
+		c.lastStallSeq = h.d.Seq
+		c.oracleWalk()
+	}
+}
+
+// classifyStall attributes a retirement-stall cycle to the head's blocker.
+func (c *Core) classifyStall(h *rent) int {
+	switch h.state {
+	case sWaitStore:
+		return CycStoreFwd
+	case sIssued, sDone:
+		if h.d.Op.IsLoad() && h.issuedToMem {
+			switch h.lvl {
+			case memsys.LvlL1:
+				return CycMemL1
+			case memsys.LvlL2:
+				return CycMemL2
+			case memsys.LvlLLC:
+				return CycMemLLC
+			default:
+				return CycMemDRAM
+			}
+		}
+		if h.d.Op.IsLoad() {
+			return CycStoreFwd
+		}
+		return CycExec
+	default:
+		return CycDependency
+	}
+}
+
+func (c *Core) commit(e *rent) {
+	d := &e.d
+	c.Stats.Retired++
+	c.Meter.Insts++
+	switch {
+	case d.Op.IsLoad():
+		c.Stats.RetiredLoads++
+		c.Meter.Loads++
+		if e.predicted {
+			c.Meter.PredictedLoads++
+		}
+		if e.issuedToMem {
+			c.Stats.LoadsByLevel[e.lvl]++
+		} else {
+			c.Stats.LoadsByLevel[memsys.LvlL1]++
+		}
+		c.lqCount--
+	case d.Op.IsStore():
+		c.Stats.RetiredStores++
+		c.shadow.Write(d.Addr, d.Value)
+		c.hier.Store(c.now, d.Addr)
+		c.ss.CompleteStore(d.PC, d.Seq)
+		c.sqCount--
+	default:
+		if e.predicted {
+			c.Meter.PredictedOther++
+		}
+	}
+	if e.d.HasDest() {
+		c.retRegPC[d.Dst] = d.PC
+	}
+	c.pred.OnRetire(d)
+	c.retiredCount++
+	if c.retiredCount%oracleEpoch == 0 {
+		clear16(c.oracleSet)
+		clear16(c.brChain)
+	}
+}
+
+// oracleEpoch matches the CIT criticality epoch so the oracle table follows
+// the same phase cadence.
+const oracleEpoch = 400_000
+
+func clear16(t []uint16) {
+	for i := range t {
+		t[i] = 0
+	}
+}
+
+func pcTag16(pc uint64) uint16 {
+	t := uint16(pc>>2) ^ uint16(pc>>18)
+	if t == 0 {
+		t = 1
+	}
+	return t
+}
+
+func (c *Core) oracleInsert(pc uint64) { c.oracleSet[(pc>>2)&c.oracleMask] = pcTag16(pc) }
+
+func (c *Core) oracleHit(pc uint64) bool {
+	return c.oracleSet[(pc>>2)&c.oracleMask] == pcTag16(pc)
+}
+
+func (c *Core) brChainInsert(pc uint64) { c.brChain[(pc>>2)&c.brChainMask] = pcTag16(pc) }
+
+func (c *Core) brChainHit(pc uint64) bool {
+	return c.brChain[(pc>>2)&c.brChainMask] == pcTag16(pc)
+}
+
+// oracleWalk marks the PCs of the last-arriving dependence chain rooted at
+// the stalled head — the graph-buffering oracle of §VI-C: a DDG backward
+// walk from the retirement bottleneck.
+func (c *Core) oracleWalk() {
+	i := c.head
+	for step := 0; step < 64; step++ {
+		e := &c.rob[i]
+		c.oracleInsert(e.d.PC)
+		next := -1
+		// Prefer a still-blocking producer; otherwise the recorded
+		// last-arriving one.
+		for s := 0; s < 2; s++ {
+			if !e.src[s].hasProd {
+				continue
+			}
+			p := &c.rob[e.src[s].prodIdx]
+			if p.d.Seq != e.src[s].prodSeq {
+				continue
+			}
+			if avail, ok := c.destAvail(p); !ok || avail > c.now {
+				next = e.src[s].prodIdx
+				break
+			}
+		}
+		if next < 0 && e.critProd >= 0 {
+			p := &c.rob[e.critProd]
+			if p.d.Seq == e.critProdSeq {
+				next = e.critProd
+			}
+		}
+		if next < 0 || next == i {
+			return
+		}
+		i = next
+	}
+}
+
+// ------------------------------------------------------------- writeback
+
+// flushReq records the oldest squash demanded this cycle.
+type flushReq struct {
+	active    bool
+	dist      int // distance from head of the faulting entry
+	inclusive bool
+	penalty   uint64
+}
+
+func (f *flushReq) request(dist int, inclusive bool, penalty uint64) {
+	if !f.active || dist < f.dist {
+		*f = flushReq{active: true, dist: dist, inclusive: inclusive, penalty: penalty}
+	}
+}
+
+func (c *Core) stageWriteback() {
+	var flush flushReq
+	for i := 0; i < c.count; i++ {
+		ri := c.idx(i)
+		e := &c.rob[ri]
+		switch e.state {
+		case sIssued:
+			if e.d.Op.IsStore() && e.doneAt == 0 {
+				// Address resolved; waiting for store data.
+				if avail, ok := c.srcReady(e, 1, c.now); ok {
+					dr := e.addrKnownAt
+					if avail > dr {
+						dr = avail
+					}
+					if c.now > dr {
+						dr = c.now
+					}
+					e.doneAt = dr
+				}
+			}
+			if e.doneAt != 0 && e.doneAt <= c.now {
+				c.complete(ri, e, &flush)
+			}
+		case sWaitStore:
+			c.retryWaitStore(ri, e)
+			if e.state == sIssued && e.doneAt != 0 && e.doneAt <= c.now {
+				c.complete(ri, e, &flush)
+			}
+		}
+	}
+	if flush.active {
+		c.applyFlush(flush)
+	}
+}
+
+// retryWaitStore advances a load that deferred on an older store's data.
+func (c *Core) retryWaitStore(ri int, e *rent) {
+	st := &c.rob[e.waitStore]
+	if st.d.Seq != e.waitStoreSeq {
+		// The store retired: its data is in the cache by now.
+		done, lvl := c.hier.Load(c.now, e.d.Addr, e.d.PC)
+		e.state = sIssued
+		e.doneAt = done
+		e.lvl = lvl
+		e.issuedToMem = true
+		return
+	}
+	if st.addrKnownAt != 0 && st.addrKnownAt <= c.now && st.d.Addr != e.d.Addr {
+		// The load was parked behind an unresolved store (conservative
+		// disambiguation) that turned out not to alias: release it back
+		// to the scheduler as soon as the address disambiguates.
+		e.state = sWaiting
+		e.inIQ = true
+		c.iqCount++
+		return
+	}
+	if st.doneAt != 0 && st.doneAt <= c.now {
+		start := st.doneAt
+		if c.now > start {
+			start = c.now
+		}
+		e.state = sIssued
+		e.doneAt = start + c.cfg.ForwardLat
+		e.fwdFromSeq = st.d.Seq
+		c.Stats.Forwards++
+		c.pred.OnForward(e.d.PC, st.d.PC)
+	}
+}
+
+// complete finishes execution of entry ri: validation, training, branch
+// resolution.
+func (c *Core) complete(ri int, e *rent, flush *flushReq) {
+	e.state = sDone
+	d := &e.d
+	dist := c.distFromHead(ri)
+	nearHead := dist < c.cfg.RetireWidth
+
+	info := vp.TrainInfo{NearHead: nearHead}
+	if d.Op.IsLoad() {
+		info.Forwarded = e.fwdFromSeq != 0
+		if e.issuedToMem {
+			info.L1Miss = e.lvl > memsys.LvlL1
+			info.LLCMiss = e.lvl == memsys.LvlMem
+		}
+	}
+	info.OracleCritical = c.oracleHit(d.PC)
+	info.MispredictedBranchChain = c.brChainHit(d.PC)
+
+	if e.predicted && !e.validated {
+		e.validated = true
+		correct := e.predValue == d.Value
+		info.WasPredicted = true
+		info.Correct = correct
+		if correct {
+			c.Meter.Correct++
+		} else {
+			c.Meter.Wrong++
+			c.Meter.Flushes++
+			c.Stats.VPFlushes++
+			flush.request(dist, false, c.cfg.VPMispredictPenalty)
+		}
+	}
+
+	c.ctx.Hist = e.histSnap
+	c.ctx.Parents = e.parents
+	c.ctx.NumParents = e.nparents
+	c.pred.Train(d, &c.ctx, info)
+
+	if d.Op.IsStore() {
+		c.ss.CompleteStore(d.PC, d.Seq)
+	}
+	if e.brMispredict && c.redirectActive && c.redirectSeq == d.Seq {
+		c.redirectActive = false
+		resume := e.doneAt + c.cfg.BranchMispredictPenalty
+		if resume > c.fetchStallUntil {
+			c.fetchStallUntil = resume
+		}
+	}
+}

@@ -1,0 +1,519 @@
+package ooo
+
+import "fvp/internal/isa"
+
+// ------------------------------------------------------------------ issue
+
+// portBudget is the per-cycle issue bandwidth per class.
+type portBudget struct {
+	alu, load, store, fp, br int
+}
+
+func (c *Core) budget() portBudget {
+	return portBudget{
+		alu:   c.cfg.ALUPorts,
+		load:  c.cfg.LoadPorts,
+		store: c.cfg.StorePorts,
+		fp:    c.cfg.FPPorts,
+		br:    c.cfg.BranchPorts,
+	}
+}
+
+func (b *portBudget) take(class int) bool {
+	var p *int
+	switch class {
+	case classLoad:
+		p = &b.load
+	case classStore:
+		p = &b.store
+	case classFP, classFPDiv:
+		p = &b.fp
+	case classBranch:
+		p = &b.br
+	case classNop:
+		return true
+	default:
+		p = &b.alu
+	}
+	if *p <= 0 {
+		return false
+	}
+	*p--
+	return true
+}
+
+func (c *Core) stageIssue() {
+	b := c.budget()
+	for i := 0; i < c.count; i++ {
+		ri := c.idx(i)
+		e := &c.rob[ri]
+		if e.state != sWaiting {
+			continue
+		}
+		class := classOf(e.d.Op)
+		switch class {
+		case classStore:
+			// Store-address issue needs only the address source.
+			if _, ok := c.srcReady(e, 0, c.now); !ok {
+				continue
+			}
+			if !b.take(class) {
+				continue
+			}
+			c.issueStore(ri, e)
+		case classLoad:
+			if !c.ready(e, c.now) {
+				continue
+			}
+			if !c.loadMayIssue(e) {
+				continue
+			}
+			if !b.take(class) {
+				continue
+			}
+			c.issueLoad(ri, e)
+		default:
+			if !c.ready(e, c.now) {
+				continue
+			}
+			if !b.take(class) {
+				continue
+			}
+			e.issueAt = c.now
+			e.state = sIssued
+			e.doneAt = c.now + c.cfg.latencyFor(class)
+			e.inIQ = false
+			c.iqCount--
+		}
+	}
+}
+
+// loadMayIssue applies the store-sets gate: a load predicted dependent on a
+// specific store waits until that store has produced its data.
+func (c *Core) loadMayIssue(e *rent) bool {
+	if e.ssWaitIdx < 0 {
+		return true
+	}
+	st := &c.rob[e.ssWaitIdx]
+	if st.d.Seq != e.ssWaitSeq {
+		e.ssWaitIdx = -1 // the store left the window
+		return true
+	}
+	if st.state == sDone || (st.state == sIssued && st.doneAt != 0 && st.doneAt <= c.now) {
+		e.ssWaitIdx = -1
+		return true
+	}
+	return false
+}
+
+func (c *Core) issueStore(ri int, e *rent) {
+	e.issueAt = c.now
+	e.state = sIssued
+	e.addrKnownAt = c.now + 1
+	e.doneAt = 0 // pending data; stageWriteback resolves
+	e.inIQ = false
+	c.iqCount--
+	// If data is already available the store completes next cycle.
+	if avail, ok := c.srcReady(e, 1, c.now); ok {
+		dr := e.addrKnownAt
+		if avail > dr {
+			dr = avail
+		}
+		e.doneAt = dr
+	}
+	c.scanViolations(ri, e)
+}
+
+// scanViolations runs when a store's address resolves: any younger load
+// that already obtained data without seeing this store is a memory-order
+// violation (machine clear + store-sets training). Younger deferred loads
+// re-link to this store if it is a better (younger) match.
+func (c *Core) scanViolations(ri int, st *rent) {
+	dist := c.distFromHead(ri)
+	var flush flushReq
+	for j := dist + 1; j < c.count; j++ {
+		li := c.idx(j)
+		le := &c.rob[li]
+		if !le.d.Op.IsLoad() || le.d.Addr != st.d.Addr {
+			continue
+		}
+		switch le.state {
+		case sIssued, sDone:
+			if le.fwdFromSeq < st.d.Seq {
+				c.ss.Violation(le.d.PC, st.d.PC)
+				c.Stats.MemOrderFlushes++
+				flush.request(j, true, c.cfg.MemFlushPenalty)
+			}
+		case sWaitStore:
+			if le.waitStoreSeq < st.d.Seq {
+				le.waitStore = ri
+				le.waitStoreSeq = st.d.Seq
+			}
+		}
+	}
+	if flush.active {
+		c.applyFlush(flush)
+	}
+}
+
+func (c *Core) issueLoad(ri int, e *rent) {
+	e.issueAt = c.now
+	e.inIQ = false
+	c.iqCount--
+
+	// Search older stores youngest-first for a same-address match with a
+	// resolved address; speculate past unresolved addresses (aggressive
+	// disambiguation — the store-sets gate already ran).
+	dist := c.distFromHead(ri)
+	for j := dist - 1; j >= 0; j-- {
+		si := c.idx(j)
+		st := &c.rob[si]
+		if !st.d.Op.IsStore() {
+			continue
+		}
+		if st.state == sWaiting || st.addrKnownAt == 0 || st.addrKnownAt > c.now {
+			if c.cfg.ConservativeMemDisambiguation {
+				// Conservative policy: an unresolved older store
+				// blocks the load entirely.
+				e.state = sWaitStore
+				e.waitStore = si
+				e.waitStoreSeq = st.d.Seq
+				return
+			}
+			continue // address unknown: speculate past
+		}
+		if st.d.Addr != e.d.Addr {
+			continue
+		}
+		// Conflicting older store found.
+		if st.state == sDone || (st.doneAt != 0 && st.doneAt <= c.now) {
+			e.state = sIssued
+			e.doneAt = c.now + c.cfg.ForwardLat
+			e.fwdFromSeq = st.d.Seq
+			c.Stats.Forwards++
+			c.pred.OnForward(e.d.PC, st.d.PC)
+		} else {
+			e.state = sWaitStore
+			e.waitStore = si
+			e.waitStoreSeq = st.d.Seq
+		}
+		return
+	}
+	done, lvl := c.hier.Load(c.now, e.d.Addr, e.d.PC)
+	e.state = sIssued
+	e.doneAt = done
+	e.lvl = lvl
+	e.issuedToMem = true
+}
+
+// ----------------------------------------------------------------- rename
+
+func (c *Core) stageRename() {
+	// Per-cycle value-prediction bandwidth: the paper's Value Table
+	// predicts up to LoadPorts loads per cycle (§IV-C).
+	vpBudget := c.cfg.LoadPorts
+	for n := 0; n < c.cfg.RenameWidth; n++ {
+		if len(c.fetchQ) == 0 || c.fetchQ[0].readyAt > c.now {
+			return
+		}
+		if c.count >= c.cfg.ROBSize || c.iqCount >= c.cfg.IQSize {
+			return
+		}
+		fe := &c.fetchQ[0]
+		if fe.d.Op.IsLoad() && c.lqCount >= c.cfg.LQSize {
+			return
+		}
+		if fe.d.Op.IsStore() && c.sqCount >= c.cfg.SQSize {
+			return
+		}
+		c.rename(fe, &vpBudget)
+		c.fetchQ = c.fetchQ[1:]
+	}
+}
+
+func (c *Core) rename(fe *fetchEnt, vpBudget *int) {
+	slot := (c.head + c.count) % len(c.rob)
+	e := &c.rob[slot]
+	*e = rent{
+		d:         fe.d,
+		state:     sWaiting,
+		inIQ:      true,
+		linkStore: -1,
+		waitStore: -1,
+		ssWaitIdx: -1,
+		critProd:  -1,
+		histSnap:  fe.histSnap,
+	}
+	d := &e.d
+
+	// Source lookup through the RAT; parent PCs through RAT-PC.
+	srcRegs := [2]isa.Reg{d.Src1, d.Src2}
+	for s, r := range srcRegs {
+		if r == isa.RegZero {
+			continue
+		}
+		rp := c.regProd[r]
+		if rp.hasProd && c.rob[rp.prodIdx].d.Seq == rp.prodSeq {
+			e.src[s] = srcDep{prodIdx: rp.prodIdx, prodSeq: rp.prodSeq, hasProd: true}
+		}
+		if pc := c.regPC[r]; pc != 0 {
+			dup := false
+			for k := 0; k < e.nparents; k++ {
+				if e.parents[k] == pc {
+					dup = true
+					break
+				}
+			}
+			if !dup && e.nparents < 2 {
+				e.parents[e.nparents] = pc
+				e.nparents++
+			}
+		}
+	}
+
+	// Memory-dependence prediction (store sets).
+	switch {
+	case d.Op.IsLoad():
+		if waitSeq, ok := c.ss.DispatchLoad(d.PC); ok {
+			if si, found := c.findStoreBySeq(waitSeq); found {
+				e.ssWaitIdx = si
+				e.ssWaitSeq = waitSeq
+			}
+		}
+		c.lqCount++
+	case d.Op.IsStore():
+		c.ss.DispatchStore(d.PC, d.Seq)
+		c.sqCount++
+	}
+
+	// Value prediction lookup. Every instruction accesses the predictor
+	// (stores deposit their identity in MR's Value File); accepting a
+	// prediction is limited by the per-cycle budget.
+	c.ctx.Hist = fe.histSnap
+	c.ctx.Parents = e.parents
+	c.ctx.NumParents = e.nparents
+	p := c.pred.Lookup(d, &c.ctx)
+	if p.Valid && *vpBudget > 0 {
+		switch {
+		case p.StoreLinked:
+			if si, found := c.findStoreBySeq(p.StoreSeq); found {
+				st := &c.rob[si]
+				e.predicted = true
+				e.predValue = st.d.Value
+				e.linkStore = si
+				e.fwdPredSeq = st.d.Seq
+				*vpBudget--
+			} else if p.DataReady {
+				e.predicted = true
+				e.predValue = p.Value
+				e.predAvailAt = c.now
+				*vpBudget--
+			}
+		default:
+			e.predicted = true
+			e.predValue = p.Value
+			e.predAvailAt = c.now
+			*vpBudget--
+		}
+	}
+
+	// Mispredicting branch: remember its producers for the §VI-A3 signal.
+	if fe.mispred {
+		e.brMispredict = true
+		c.Stats.BranchMispredicts++
+		for k := 0; k < e.nparents; k++ {
+			c.brChainInsert(e.parents[k])
+		}
+	}
+
+	// RAT update.
+	if e.d.HasDest() {
+		c.regProd[d.Dst] = srcDep{prodIdx: slot, prodSeq: d.Seq, hasProd: true}
+		c.regPC[d.Dst] = d.PC
+	}
+	c.count++
+	c.iqCount++
+}
+
+// findStoreBySeq locates an in-window store by sequence number (nil when it
+// already retired or never existed).
+func (c *Core) findStoreBySeq(seq uint64) (int, bool) {
+	for j := c.count - 1; j >= 0; j-- {
+		ri := c.idx(j)
+		e := &c.rob[ri]
+		if e.d.Seq == seq {
+			if e.d.Op.IsStore() {
+				return ri, true
+			}
+			return 0, false
+		}
+		if e.d.Seq < seq {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// ------------------------------------------------------------------ fetch
+
+func (c *Core) stageFetch() {
+	if c.now < c.fetchStallUntil || c.redirectActive {
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(c.fetchQ) >= c.cfg.FetchBufferSize {
+			return
+		}
+		fe, ok := c.nextInst()
+		if !ok {
+			return
+		}
+		// Instruction cache: charge a stall when fetch crosses into an
+		// uncached line.
+		line := fe.d.PC >> 6
+		if line != c.lastFetchLine {
+			done, _ := c.hier.Fetch(c.now, fe.d.PC)
+			c.lastFetchLine = line
+			if done > c.now {
+				c.fetchStallUntil = done
+				c.pending = fe
+				return
+			}
+		}
+		if !fe.replayed {
+			if fe.d.Op.IsBranch() {
+				fe.histSnap = c.bu.Hist.Bits(32)
+				out := c.bu.PredictAndTrain(&fe.d)
+				fe.mispred = !out.Correct
+			} else {
+				fe.histSnap = c.bu.Hist.Bits(32)
+			}
+		}
+		fe.readyAt = c.now + c.cfg.FrontEndDepth
+		c.fetchQ = append(c.fetchQ, *fe)
+		c.Stats.Fetched++
+		if fe.mispred {
+			// Fetch stops behind the mispredicted branch until it
+			// resolves.
+			c.redirectActive = true
+			c.redirectSeq = fe.d.Seq
+			return
+		}
+	}
+}
+
+// nextInst obtains the next micro-op in program order: the I-cache-stalled
+// holdover, then the flush-replay queue, then the trace source.
+func (c *Core) nextInst() (*fetchEnt, bool) {
+	if c.pending != nil {
+		fe := c.pending
+		c.pending = nil
+		return fe, true
+	}
+	if len(c.replay) > 0 {
+		fe := c.replay[0]
+		c.replay = c.replay[1:]
+		return &fe, true
+	}
+	if c.srcDone {
+		return nil, false
+	}
+	var fe fetchEnt
+	if !c.src.Next(&fe.d) {
+		c.srcDone = true
+		return nil, false
+	}
+	return &fe, true
+}
+
+// ------------------------------------------------------------------ flush
+
+// applyFlush squashes the window from the request point, queues the
+// squashed micro-ops (plus everything in the front end) for replay, repairs
+// the RAT images and charges the refetch penalty.
+func (c *Core) applyFlush(f flushReq) {
+	start := f.dist
+	if !f.inclusive {
+		start++
+	}
+	if start >= c.count {
+		// Nothing younger in the window; still clear the front end and
+		// charge the penalty.
+		start = c.count
+	}
+
+	squashed := make([]fetchEnt, 0, c.count-start+len(c.fetchQ)+1)
+	for j := start; j < c.count; j++ {
+		e := &c.rob[c.idx(j)]
+		squashed = append(squashed, fetchEnt{
+			d:        e.d,
+			mispred:  e.brMispredict,
+			histSnap: e.histSnap,
+			replayed: true,
+		})
+		switch {
+		case e.d.Op.IsLoad():
+			c.lqCount--
+		case e.d.Op.IsStore():
+			c.sqCount--
+		}
+		if e.inIQ {
+			c.iqCount--
+		}
+		// Invalidate the slot so stale prodIdx references miscompare.
+		e.d.Seq = ^uint64(0)
+		e.state = sDone
+	}
+	c.count = start
+
+	for i := range c.fetchQ {
+		fe := c.fetchQ[i]
+		fe.replayed = true
+		squashed = append(squashed, fe)
+	}
+	c.fetchQ = c.fetchQ[:0]
+	if c.pending != nil {
+		// The I-cache holdover was never predicted or renamed; it goes
+		// back as a fresh fetch.
+		squashed = append(squashed, *c.pending)
+		c.pending = nil
+	}
+	c.replay = append(squashed, c.replay...)
+
+	// Rebuild speculative RAT/RAT-PC from the retired images plus the
+	// surviving window.
+	for r := range c.regProd {
+		c.regProd[r] = srcDep{}
+		c.regPC[r] = c.retRegPC[r]
+	}
+	for j := 0; j < c.count; j++ {
+		ri := c.idx(j)
+		e := &c.rob[ri]
+		if e.d.HasDest() {
+			c.regProd[e.d.Dst] = srcDep{prodIdx: ri, prodSeq: e.d.Seq, hasProd: true}
+			c.regPC[e.d.Dst] = e.d.PC
+		}
+	}
+
+	// A redirect pending on a squashed branch is re-established when the
+	// branch is refetched.
+	if c.redirectActive {
+		found := false
+		for j := 0; j < c.count; j++ {
+			if c.rob[c.idx(j)].d.Seq == c.redirectSeq {
+				found = true
+				break
+			}
+		}
+		if !found {
+			c.redirectActive = false
+		}
+	}
+
+	c.ss.Flush()
+	c.pred.OnFlush()
+	c.lastFetchLine = ^uint64(0)
+	if resume := c.now + f.penalty; resume > c.fetchStallUntil {
+		c.fetchStallUntil = resume
+	}
+}

@@ -1,0 +1,89 @@
+package ooo
+
+import (
+	"bytes"
+	"testing"
+
+	"fvp/internal/isa"
+	"fvp/internal/prog"
+	"fvp/internal/trace"
+	"fvp/internal/workload"
+)
+
+// TestTraceReplayEquivalence checks a core invariant of the trace-driven
+// design: simulating from a recorded binary trace must produce exactly the
+// same timing as simulating from the live functional executor, because the
+// timing model consumes only the DynInst stream.
+func TestTraceReplayEquivalence(t *testing.T) {
+	w, ok := workload.ByName("astar")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	p := w.Build()
+	const n = 60_000
+
+	// Record the trace.
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := prog.NewExec(p)
+	var d isa.DynInst
+	for i := 0; i < n+5000; i++ {
+		if !rec.Next(&d) {
+			t.Fatalf("executor halted at %d", i)
+		}
+		if err := tw.Append(&d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live run.
+	live := New(Skylake(), nil, prog.NewExec(p), p.BuildMemory())
+	live.WarmCaches(p.WarmRanges)
+	liveStats := live.Run(n)
+
+	// Replay run.
+	tr, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := New(Skylake(), nil, tr, p.BuildMemory())
+	replay.WarmCaches(p.WarmRanges)
+	replayStats := replay.Run(n)
+
+	if liveStats.Cycles != replayStats.Cycles {
+		t.Errorf("cycles differ: live %d vs replay %d", liveStats.Cycles, replayStats.Cycles)
+	}
+	if liveStats.Retired != replayStats.Retired {
+		t.Errorf("retired differ: %d vs %d", liveStats.Retired, replayStats.Retired)
+	}
+	if liveStats.BranchMispredicts != replayStats.BranchMispredicts {
+		t.Errorf("mispredicts differ: %d vs %d",
+			liveStats.BranchMispredicts, replayStats.BranchMispredicts)
+	}
+	if liveStats.LoadsByLevel != replayStats.LoadsByLevel {
+		t.Errorf("load levels differ: %v vs %v",
+			liveStats.LoadsByLevel, replayStats.LoadsByLevel)
+	}
+}
+
+// TestDeterminism: two identical runs must agree cycle-for-cycle (the whole
+// stack is deterministic by construction).
+func TestDeterminism(t *testing.T) {
+	w, _ := workload.ByName("cassandra")
+	p := w.Build()
+	run := func() RunStats {
+		c := New(Skylake(), nil, prog.NewExec(p), p.BuildMemory())
+		c.WarmCaches(p.WarmRanges)
+		return c.Run(50_000)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("non-deterministic runs:\n%+v\n%+v", a, b)
+	}
+}

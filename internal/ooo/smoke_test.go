@@ -1,0 +1,47 @@
+package ooo
+
+import (
+	"testing"
+
+	"fvp/internal/prog"
+)
+
+// buildLoop returns a simple counted loop: sum += a[i] over a small array,
+// wrapped so the executor restarts forever.
+func buildLoop(t testing.TB) *prog.Program {
+	t.Helper()
+	b := prog.NewBuilder("smoke-loop")
+	const base = 0x10000
+	const n = 64
+	for i := 0; i < n; i++ {
+		b.InitMem(base+uint64(i*8), uint64(i*3+1))
+	}
+	b.InitReg(1, base) // r1 = array base
+	b.MovI(2, n)       // r2 = count
+	b.MovI(3, 0)       // r3 = sum
+	b.Label("loop")
+	b.Load(4, 1, 0) // r4 = *r1
+	b.Add(3, 3, 4)  // sum += r4
+	b.AddI(1, 1, 8) // r1 += 8
+	b.SubI(2, 2, 1) // r2--
+	b.BNZ(2, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestSmokeBaselineRuns(t *testing.T) {
+	p := buildLoop(t)
+	ex := prog.NewExec(p)
+	c := New(Skylake(), nil, ex, p.BuildMemory())
+	st := c.Run(20000)
+	if st.Retired < 20000 {
+		t.Fatalf("retired %d, want 20000", st.Retired)
+	}
+	ipc := st.IPC()
+	if ipc < 0.3 || ipc > 4.0 {
+		t.Fatalf("implausible IPC %.3f (cycles=%d)", ipc, st.Cycles)
+	}
+	t.Logf("IPC=%.3f cycles=%d loads=%d brMiss=%d fwd=%d stall=%d empty=%d loadsByLvl=%v",
+		ipc, st.Cycles, st.RetiredLoads, st.BranchMispredicts, st.Forwards,
+		st.RetireStallCycles, st.EmptyWindowCycles, st.LoadsByLevel)
+}

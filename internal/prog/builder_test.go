@@ -1,0 +1,120 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Jump("nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("want undefined-label error, got %v", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Label("x").Nop().Label("x").Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("want duplicate-label error, got %v", err)
+	}
+}
+
+func TestBuilderEmptyProgram(t *testing.T) {
+	if _, err := NewBuilder("empty").Build(); err == nil {
+		t.Fatal("want error for empty program")
+	}
+}
+
+func TestBuilderForwardAndBackwardLabels(t *testing.T) {
+	b := NewBuilder("labels")
+	b.Label("start")
+	b.Jump("end") // forward reference
+	b.Jump("start")
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Target != 2 {
+		t.Errorf("forward jump target = %d, want 2", p.Code[0].Target)
+	}
+	if p.Code[1].Target != 0 {
+		t.Errorf("backward jump target = %d, want 0", p.Code[1].Target)
+	}
+}
+
+func TestProgramPCMapping(t *testing.T) {
+	b := NewBuilder("pc")
+	b.Nop().Nop().Halt()
+	p := b.MustBuild()
+	for i := range p.Code {
+		pc := p.PCOf(i)
+		idx, ok := p.IndexOf(pc)
+		if !ok || idx != i {
+			t.Errorf("IndexOf(PCOf(%d)) = %d,%v", i, idx, ok)
+		}
+	}
+	if _, ok := p.IndexOf(p.CodeBase - 4); ok {
+		t.Error("address below code base must not map")
+	}
+	if _, ok := p.IndexOf(p.PCOf(len(p.Code))); ok {
+		t.Error("address past code end must not map")
+	}
+}
+
+func TestValidateBadTarget(t *testing.T) {
+	p := &Program{Name: "bad", Code: []Inst{{Fn: FnJump, Target: 5}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("want out-of-range target error")
+	}
+}
+
+func TestValidateBadRegister(t *testing.T) {
+	p := &Program{Name: "badreg", Code: []Inst{{Fn: FnAdd, Dst: 200}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("want bad-register error")
+	}
+}
+
+func TestBuilderSetCodeBase(t *testing.T) {
+	b := NewBuilder("base").SetCodeBase(0x7000_0003) // aligned down
+	b.Halt()
+	p := b.MustBuild()
+	if p.CodeBase != 0x7000_0000 {
+		t.Errorf("code base = %#x", p.CodeBase)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Fn: FnLoad, Dst: 1, Src1: 2, Imm: 8}, "load"},
+		{Inst{Fn: FnStore, Src1: 1, Src2: 2}, "store"},
+		{Inst{Fn: FnMovI, Dst: 1, Imm: 5}, "movi"},
+		{Inst{Fn: FnBNZ, Src1: 1, Target: 3}, "@3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); !strings.Contains(got, c.want) {
+			t.Errorf("String() = %q, want substring %q", got, c.want)
+		}
+	}
+}
+
+func TestFnOpMapping(t *testing.T) {
+	cases := map[Fn]string{
+		FnAdd: "alu", FnMul: "imul", FnDiv: "idiv", FnFPAdd: "fp",
+		FnFPDiv: "fpdiv", FnLoad: "load", FnStore: "store", FnBEZ: "br",
+		FnJump: "jmp", FnCall: "call", FnRet: "ret", FnJumpReg: "ijmp",
+		FnHalt: "nop",
+	}
+	for fn, want := range cases {
+		if got := fn.Op().String(); got != want {
+			t.Errorf("%v.Op() = %v, want %v", fn, got, want)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package prog
+
+import (
+	"fmt"
+
+	"fvp/internal/isa"
+)
+
+// Exec functionally executes a Program, producing the dynamic micro-op
+// stream the timing model consumes. When the program halts, execution
+// restarts from instruction 0 with registers and memory preserved, so a
+// finite kernel yields an unbounded trace (each restart behaves like the
+// next outer iteration of the workload).
+type Exec struct {
+	prog  *Program
+	regs  [isa.NumArchRegs]uint64
+	mem   *Memory
+	pc    int // static instruction index
+	seq   uint64
+	stack []int // call stack of static return indices
+	// halted is set when the program executed FnHalt and MaxRestarts was
+	// exhausted; Next then returns false.
+	halted   bool
+	restarts int
+	// MaxRestarts bounds how many times the program may wrap around after
+	// FnHalt; <0 means unlimited (the default from NewExec).
+	MaxRestarts int
+}
+
+// NewExec creates an executor positioned at the program entry, with the
+// initial register file and memory image applied.
+func NewExec(p *Program) *Exec {
+	e := &Exec{
+		prog:        p,
+		mem:         p.BuildMemory(),
+		MaxRestarts: -1,
+	}
+	for r, v := range p.InitRegs {
+		if r != isa.RegZero {
+			e.regs[r] = v
+		}
+	}
+	return e
+}
+
+// Program returns the program being executed.
+func (e *Exec) Program() *Program { return e.prog }
+
+// Reg returns the current architectural value of r.
+func (e *Exec) Reg(r isa.Reg) uint64 {
+	if r == isa.RegZero {
+		return 0
+	}
+	return e.regs[r]
+}
+
+// Mem returns the current 8-byte word at the (aligned-down) byte address.
+func (e *Exec) Mem(addr uint64) uint64 { return e.mem.Read(addr) }
+
+// Seq returns the number of dynamic instructions executed so far.
+func (e *Exec) Seq() uint64 { return e.seq }
+
+func (e *Exec) setReg(r isa.Reg, v uint64) {
+	if r != isa.RegZero {
+		e.regs[r] = v
+	}
+}
+
+// Next executes one instruction and fills d with its architectural outcome.
+// It returns false when the program has halted (only possible when
+// MaxRestarts is set) or when the executor detects a runaway (pc escaped the
+// program, which Validate-d programs cannot do).
+func (e *Exec) Next(d *isa.DynInst) bool {
+	if e.halted {
+		return false
+	}
+	if e.pc < 0 || e.pc >= len(e.prog.Code) {
+		e.halted = true
+		return false
+	}
+	in := &e.prog.Code[e.pc]
+	*d = isa.DynInst{
+		Seq:  e.seq,
+		PC:   e.prog.PCOf(e.pc),
+		Op:   in.Fn.Op(),
+		Dst:  in.Dst,
+		Src1: in.Src1,
+		Src2: in.Src2,
+	}
+	s1, s2 := e.Reg(in.Src1), e.Reg(in.Src2)
+	next := e.pc + 1
+
+	switch in.Fn {
+	case FnNop:
+		d.Dst = isa.RegZero
+	case FnMovI:
+		d.Value = uint64(in.Imm)
+		e.setReg(in.Dst, d.Value)
+	case FnAdd:
+		d.Value = s1 + s2 + uint64(in.Imm)
+		e.setReg(in.Dst, d.Value)
+	case FnSub:
+		d.Value = s1 - s2 + uint64(in.Imm)
+		e.setReg(in.Dst, d.Value)
+	case FnAnd:
+		d.Value = s1 & (s2 | uint64(in.Imm))
+		e.setReg(in.Dst, d.Value)
+	case FnOr:
+		d.Value = s1 | s2 | uint64(in.Imm)
+		e.setReg(in.Dst, d.Value)
+	case FnXor:
+		d.Value = s1 ^ s2 ^ uint64(in.Imm)
+		e.setReg(in.Dst, d.Value)
+	case FnShl:
+		d.Value = s1 << (uint64(in.Imm) & 63)
+		e.setReg(in.Dst, d.Value)
+	case FnShr:
+		d.Value = s1 >> (uint64(in.Imm) & 63)
+		e.setReg(in.Dst, d.Value)
+	case FnMul:
+		d.Value = s1 * s2
+		e.setReg(in.Dst, d.Value)
+	case FnMulI:
+		d.Value = s1 * uint64(in.Imm)
+		e.setReg(in.Dst, d.Value)
+	case FnDiv:
+		if s2 == 0 {
+			d.Value = ^uint64(0)
+		} else {
+			d.Value = s1 / s2
+		}
+		e.setReg(in.Dst, d.Value)
+	case FnFPAdd:
+		d.Value = s1 + s2 + uint64(in.Imm)
+		e.setReg(in.Dst, d.Value)
+	case FnFPMul:
+		d.Value = s1 * s2
+		e.setReg(in.Dst, d.Value)
+	case FnFPDiv:
+		if s2 == 0 {
+			d.Value = ^uint64(0)
+		} else {
+			d.Value = s1 / s2
+		}
+		e.setReg(in.Dst, d.Value)
+	case FnLoad:
+		d.Addr = (s1 + uint64(in.Imm)) &^ 7
+		d.MemSize = 8
+		d.Value = e.mem.Read(d.Addr)
+		e.setReg(in.Dst, d.Value)
+	case FnStore:
+		d.Addr = (s1 + uint64(in.Imm)) &^ 7
+		d.MemSize = 8
+		d.Value = s2
+		d.Dst = isa.RegZero
+		e.mem.Write(d.Addr, s2)
+	case FnBEZ:
+		d.Taken = s1 == 0
+		if d.Taken {
+			next = in.Target
+		}
+		d.Dst = isa.RegZero
+	case FnBNZ:
+		d.Taken = s1 != 0
+		if d.Taken {
+			next = in.Target
+		}
+		d.Dst = isa.RegZero
+	case FnBLT:
+		d.Taken = int64(s1) < int64(s2)
+		if d.Taken {
+			next = in.Target
+		}
+		d.Dst = isa.RegZero
+	case FnBGE:
+		d.Taken = int64(s1) >= int64(s2)
+		if d.Taken {
+			next = in.Target
+		}
+		d.Dst = isa.RegZero
+	case FnJump:
+		d.Taken = true
+		next = in.Target
+		d.Dst = isa.RegZero
+	case FnCall:
+		d.Taken = true
+		e.stack = append(e.stack, e.pc+1)
+		d.Value = e.prog.PCOf(e.pc + 1)
+		e.setReg(in.Dst, d.Value)
+		next = in.Target
+	case FnRet:
+		d.Taken = true
+		if n := len(e.stack); n > 0 {
+			next = e.stack[n-1]
+			e.stack = e.stack[:n-1]
+		} else {
+			next = 0 // underflow: restart, keeps traces well-defined
+		}
+		d.Dst = isa.RegZero
+	case FnJumpReg:
+		d.Taken = true
+		if idx := int(s1); idx >= 0 && idx < len(e.prog.Code) {
+			next = idx
+		} else {
+			next = 0
+		}
+		d.Dst = isa.RegZero
+	case FnHalt:
+		d.Dst = isa.RegZero
+		e.restarts++
+		if e.MaxRestarts >= 0 && e.restarts > e.MaxRestarts {
+			e.halted = true
+			return false
+		}
+		next = 0
+		e.stack = e.stack[:0]
+	default:
+		panic(fmt.Sprintf("prog: unhandled fn %v", in.Fn))
+	}
+
+	if d.Op.IsBranch() {
+		d.Target = e.prog.PCOf(next)
+	}
+	e.pc = next
+	e.seq++
+	return true
+}
+
+// Run executes up to n instructions, calling emit for each (emit may be
+// nil). It returns the number actually executed (less than n only when the
+// program halted).
+func (e *Exec) Run(n uint64, emit func(*isa.DynInst)) uint64 {
+	var d isa.DynInst
+	var done uint64
+	for done < n && e.Next(&d) {
+		if emit != nil {
+			emit(&d)
+		}
+		done++
+	}
+	return done
+}

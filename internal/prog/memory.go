@@ -1,0 +1,74 @@
+package prog
+
+// Memory is a sparse, paged 64-bit word memory. Pages are 4 KiB (512
+// words), allocated on first touch, so workloads with multi-megabyte
+// footprints (the LLC-missing kernels) cost ~8 bytes per touched word
+// instead of the ~50 bytes a Go map entry would.
+type Memory struct {
+	pages map[uint64]*[wordsPerPage]uint64
+	// background, when non-nil, supplies the value of words that were
+	// never written. Workloads use a deterministic address hash so
+	// multi-megabyte cold tables exist without materializing pages.
+	background func(addr uint64) uint64
+}
+
+const (
+	pageShift    = 12 // 4 KiB pages
+	wordsPerPage = 1 << (pageShift - 3)
+	wordMask     = wordsPerPage - 1
+)
+
+// NewMemory returns an empty memory (all words read as zero).
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[wordsPerPage]uint64)}
+}
+
+// SetBackground installs a deterministic default-value function for
+// never-written words (nil restores reads-as-zero).
+func (m *Memory) SetBackground(f func(addr uint64) uint64) { m.background = f }
+
+// Read returns the 8-byte word at the aligned-down byte address.
+func (m *Memory) Read(addr uint64) uint64 {
+	p := m.pages[addr>>pageShift]
+	if p == nil {
+		if m.background != nil {
+			return m.background(addr &^ 7)
+		}
+		return 0
+	}
+	return p[(addr>>3)&wordMask]
+}
+
+// Write stores the 8-byte word at the aligned-down byte address.
+func (m *Memory) Write(addr, v uint64) {
+	key := addr >> pageShift
+	p := m.pages[key]
+	if p == nil {
+		p = new([wordsPerPage]uint64)
+		if m.background != nil {
+			base := key << pageShift
+			for i := range p {
+				p[i] = m.background(base + uint64(i)*8)
+			}
+		}
+		m.pages[key] = p
+	}
+	p[(addr>>3)&wordMask] = v
+}
+
+// Clone returns a deep copy (the timing model's retired-memory shadow
+// starts as a clone of the initial image).
+func (m *Memory) Clone() *Memory {
+	c := &Memory{
+		pages:      make(map[uint64]*[wordsPerPage]uint64, len(m.pages)),
+		background: m.background,
+	}
+	for k, p := range m.pages {
+		cp := *p
+		c.pages[k] = &cp
+	}
+	return c
+}
+
+// Pages returns the number of allocated pages (footprint/8 KiB roughly).
+func (m *Memory) Pages() int { return len(m.pages) }

@@ -1,0 +1,134 @@
+package prog
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fvp/internal/isa"
+)
+
+// TestExecutorInvariants: for any (small, random) straight-line program the
+// executor emits monotonically increasing sequence numbers, PCs inside the
+// program, and memory ops with aligned addresses.
+func TestExecutorInvariants(t *testing.T) {
+	f := func(ops []uint8, imms []int16) bool {
+		n := len(ops)
+		if len(imms) < n {
+			n = len(imms)
+		}
+		if n == 0 {
+			return true
+		}
+		b := NewBuilder("prop")
+		b.MovI(1, 0x5000) // valid memory base
+		for i := 0; i < n; i++ {
+			dst := isa.Reg(2 + i%6)
+			imm := int64(imms[i])
+			switch ops[i] % 6 {
+			case 0:
+				b.AddI(dst, 1, imm)
+			case 1:
+				b.XorI(dst, dst, imm)
+			case 2:
+				b.Load(dst, 1, imm&0xFF8)
+			case 3:
+				b.Store(1, imm&0xFF8, dst)
+			case 4:
+				b.MulI(dst, 1, imm)
+			case 5:
+				b.Shr(dst, 1, imm&31)
+			}
+		}
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		e := NewExec(p)
+		var d isa.DynInst
+		var lastSeq uint64
+		for i := 0; i < n+2; i++ {
+			if !e.Next(&d) {
+				return false
+			}
+			if i > 0 && d.Seq != lastSeq+1 {
+				return false
+			}
+			lastSeq = d.Seq
+			if _, ok := p.IndexOf(d.PC); !ok {
+				return false
+			}
+			if d.Op.IsMem() && d.Addr%8 != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStoreLoadConsistencyProperty: any store followed by a load of the
+// same address observes the stored value.
+func TestStoreLoadConsistencyProperty(t *testing.T) {
+	f := func(vals []uint64, offs []uint8) bool {
+		n := len(vals)
+		if len(offs) < n {
+			n = len(offs)
+		}
+		if n == 0 {
+			return true
+		}
+		b := NewBuilder("slprop")
+		b.MovI(1, 0x8000)
+		for i := 0; i < n; i++ {
+			b.MovI(2, int64(vals[i]&0x7FFFFFFF))
+			b.Store(1, int64(offs[i])*8, 2)
+			b.Load(3, 1, int64(offs[i])*8)
+			b.Xor(4, 2, 3) // must be zero
+			b.BNZ(4, "fail")
+		}
+		b.Halt()
+		b.Label("fail")
+		b.MovI(31, 1)
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		e := NewExec(p)
+		e.MaxRestarts = 0
+		var d isa.DynInst
+		for e.Next(&d) {
+		}
+		return e.Reg(31) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBackgroundStability: background values are a pure function of the
+// address — two reads of the same address agree, and writes override.
+func TestBackgroundStability(t *testing.T) {
+	f := func(addrs []uint32, v uint64) bool {
+		m := NewMemory()
+		m.SetBackground(func(a uint64) uint64 { return a*0x9E3779B1 + 1 })
+		for _, a32 := range addrs {
+			a := uint64(a32)
+			first := m.Read(a)
+			if m.Read(a) != first {
+				return false
+			}
+			m.Write(a, v)
+			if m.Read(a) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

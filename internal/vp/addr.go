@@ -1,0 +1,245 @@
+package vp
+
+import (
+	"fmt"
+
+	"fvp/internal/isa"
+)
+
+// SAP is the Stride Address Predictor component of the Composite predictor
+// (Sheikh & Hower, after DLVP): it predicts a load's *address* from a
+// per-PC stride, probes the data cache early for the value at that address
+// and uses it as the value prediction. A prediction is only made when the
+// line is cached (the early probe reads the cache, not DRAM) and the
+// stride is confident.
+type SAP struct {
+	entries []sapEntry
+	mask    uint64
+	// MaxLevel is the deepest cache level the early probe may read
+	// (0=L1, 1=L2, 2=LLC).
+	MaxLevel int
+}
+
+type sapEntry struct {
+	tag     uint16
+	valid   bool
+	last    uint64 // address of the newest (by sequence) trained instance
+	maxSeq  uint64 // newest instance seen at train (trains arrive OOO)
+	spec    uint64 // speculative cursor advanced at lookup (in-flight instances)
+	stride  int64
+	conf    uint8
+	pending uint8 // predictions issued but not yet validated
+}
+
+const (
+	sapConfMax = 3
+	// sapEntryBits: tag 11 + last addr 64 + stride 16 + conf 2.
+	sapEntryBits = 11 + 64 + 16 + 2
+)
+
+// NewSAP builds a direct-mapped stride address predictor with 2^bits
+// entries.
+func NewSAP(bits uint) *SAP {
+	return &SAP{
+		entries:  make([]sapEntry, 1<<bits),
+		mask:     1<<bits - 1,
+		MaxLevel: 2,
+	}
+}
+
+func (s *SAP) at(pc uint64) *sapEntry { return &s.entries[(pc>>2)&s.mask] }
+
+// Name implements Predictor.
+func (s *SAP) Name() string { return fmt.Sprintf("SAP-%d", len(s.entries)) }
+
+// Lookup implements Predictor.
+func (s *SAP) Lookup(d *isa.DynInst, ctx *Ctx) Prediction {
+	if !d.Op.IsLoad() || ctx.MemPeek == nil || ctx.CacheLevel == nil {
+		return Prediction{}
+	}
+	e := s.at(d.PC)
+	if !e.valid || e.tag != tag11(d.PC) || e.conf < sapConfMax {
+		return Prediction{}
+	}
+	// Advance the speculative cursor: with several in-flight instances of
+	// one load PC, each prediction must target its own future address
+	// (DLVP updates its table speculatively at fetch).
+	addr := uint64(int64(e.spec) + e.stride)
+	e.spec = addr
+	if ctx.CacheLevel(addr) > s.MaxLevel {
+		// Dropped (line uncached): the cursor still advances for the
+		// next instance, but no validation will come back, so the
+		// outstanding count must not grow.
+		return Prediction{}
+	}
+	if e.pending < 255 {
+		e.pending++
+	}
+	return Prediction{Valid: true, Value: ctx.MemPeek(addr)}
+}
+
+// Train implements Predictor. Address predictors train on the load's
+// *address* stream, not its value stream.
+func (s *SAP) Train(d *isa.DynInst, _ *Ctx, info TrainInfo) {
+	if !d.Op.IsLoad() {
+		return
+	}
+	e := s.at(d.PC)
+	if !e.valid || e.tag != tag11(d.PC) {
+		*e = sapEntry{tag: tag11(d.PC), valid: true, last: d.Addr, spec: d.Addr, maxSeq: d.Seq}
+		return
+	}
+	if info.WasPredicted && e.pending > 0 {
+		e.pending--
+	}
+	if d.Seq < e.maxSeq {
+		// Out-of-order completion of an older instance: its delta is
+		// meaningless for stride learning and its address is stale for
+		// the cursor. Only a misprediction acts (stop predicting until
+		// the stride re-confirms in order).
+		if info.WasPredicted && !info.Correct {
+			e.conf = 0
+		}
+		return
+	}
+	e.maxSeq = d.Seq
+	delta := int64(d.Addr) - int64(e.last)
+	if delta == e.stride {
+		if e.conf < sapConfMax {
+			e.conf++
+		}
+	} else {
+		e.stride = delta
+		e.conf = 0
+	}
+	e.last = d.Addr
+	// Resynchronize the speculative cursor while unconfident, whenever no
+	// prediction is outstanding, and after a validation miss (flush
+	// replays can otherwise leave it permanently drifted).
+	if e.conf < sapConfMax || e.pending == 0 || (info.WasPredicted && !info.Correct) {
+		e.spec = d.Addr
+		e.pending = 0
+	}
+}
+
+// OnForward implements Predictor.
+func (s *SAP) OnForward(uint64, uint64) {}
+
+// OnFlush implements Predictor: squashed in-flight instances will replay
+// and re-advance the cursors, so every speculative cursor rewinds to its
+// architectural anchor (hardware restores the checkpointed DLVP state).
+func (s *SAP) OnFlush() {
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.valid {
+			e.spec = e.last
+			e.pending = 0
+		}
+	}
+}
+
+// OnRetire implements Predictor.
+func (s *SAP) OnRetire(*isa.DynInst) {}
+
+// StorageBits implements Predictor.
+func (s *SAP) StorageBits() int { return len(s.entries) * sapEntryBits }
+
+// CAP is the Context Address Predictor component: like SAP but the
+// predicted address is keyed on PC plus folded global branch history, which
+// captures loads whose address correlates with the control-flow path
+// (pointer loads selected by branches).
+type CAP struct {
+	entries  []capEntry
+	mask     uint64
+	histBits uint
+	// MaxLevel bounds the early cache probe as for SAP.
+	MaxLevel int
+}
+
+type capEntry struct {
+	tag   uint16
+	valid bool
+	addr  uint64
+	conf  uint8
+}
+
+const (
+	capConfMax = 3
+	// capEntryBits: tag 11 + addr 64 + conf 2.
+	capEntryBits = 11 + 64 + 2
+)
+
+// NewCAP builds a direct-mapped context address predictor with 2^bits
+// entries keyed on histBits of branch history.
+func NewCAP(bits, histBits uint) *CAP {
+	return &CAP{
+		entries:  make([]capEntry, 1<<bits),
+		mask:     1<<bits - 1,
+		histBits: histBits,
+		MaxLevel: 2,
+	}
+}
+
+func (c *CAP) at(pc, hist uint64) *capEntry {
+	bits := uint(0)
+	for m := c.mask; m != 0; m >>= 1 {
+		bits++
+	}
+	i := ((pc >> 2) ^ foldHist(hist, c.histBits, bits)) & c.mask
+	return &c.entries[i]
+}
+
+func (c *CAP) tagOf(pc, hist uint64) uint16 {
+	return uint16(((pc >> 2) ^ foldHist(hist, c.histBits, 11)<<1) & (1<<11 - 1))
+}
+
+// Name implements Predictor.
+func (c *CAP) Name() string { return fmt.Sprintf("CAP-%d", len(c.entries)) }
+
+// Lookup implements Predictor.
+func (c *CAP) Lookup(d *isa.DynInst, ctx *Ctx) Prediction {
+	if !d.Op.IsLoad() || ctx.MemPeek == nil || ctx.CacheLevel == nil {
+		return Prediction{}
+	}
+	e := c.at(d.PC, ctx.Hist)
+	if !e.valid || e.tag != c.tagOf(d.PC, ctx.Hist) || e.conf < capConfMax {
+		return Prediction{}
+	}
+	if ctx.CacheLevel(e.addr) > c.MaxLevel {
+		return Prediction{}
+	}
+	return Prediction{Valid: true, Value: ctx.MemPeek(e.addr)}
+}
+
+// Train implements Predictor.
+func (c *CAP) Train(d *isa.DynInst, ctx *Ctx, _ TrainInfo) {
+	if !d.Op.IsLoad() {
+		return
+	}
+	e := c.at(d.PC, ctx.Hist)
+	if !e.valid || e.tag != c.tagOf(d.PC, ctx.Hist) {
+		*e = capEntry{tag: c.tagOf(d.PC, ctx.Hist), valid: true, addr: d.Addr}
+		return
+	}
+	if e.addr == d.Addr {
+		if e.conf < capConfMax {
+			e.conf++
+		}
+	} else {
+		e.addr = d.Addr
+		e.conf = 0
+	}
+}
+
+// OnForward implements Predictor.
+func (c *CAP) OnForward(uint64, uint64) {}
+
+// OnFlush implements Predictor (CAP predicts fixed per-context addresses;
+// no speculative state to repair).
+func (c *CAP) OnFlush() {}
+
+// OnRetire implements Predictor.
+func (c *CAP) OnRetire(*isa.DynInst) {}
+
+// StorageBits implements Predictor.
+func (c *CAP) StorageBits() int { return len(c.entries) * capEntryBits }

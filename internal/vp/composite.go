@@ -1,0 +1,83 @@
+package vp
+
+import "fvp/internal/isa"
+
+// Composite combines the four components of Sheikh & Hower's predictor —
+// LVP, CVP (the EVES side) and SAP, CAP (the DLVP side) — with fixed
+// priority LVP > CVP > SAP > CAP among confident components. It maximizes
+// coverage, which is exactly the design philosophy the paper contrasts FVP
+// against.
+type Composite struct {
+	label string
+	Lvp   *LVP
+	Cvp   *CVP
+	Sap   *SAP
+	Cap   *CAP
+}
+
+// NewComposite8KB builds the ≈8 KB configuration of Figs 10/11.
+func NewComposite8KB(seed uint64) *Composite {
+	return &Composite{
+		label: "Composite-8KB",
+		Lvp:   NewLVP(256, 2, seed),
+		Cvp:   NewCVP(64, nil, seed+1),
+		Sap:   NewSAP(7), // 128 entries
+		Cap:   NewCAP(7, 16),
+	}
+}
+
+// NewComposite1KB builds the area-matched ≈1 KB configuration.
+func NewComposite1KB(seed uint64) *Composite {
+	return &Composite{
+		label: "Composite-1KB",
+		Lvp:   NewLVP(32, 2, seed),
+		Cvp:   NewCVP(8, nil, seed+1),
+		Sap:   NewSAP(4), // 16 entries
+		Cap:   NewCAP(4, 16),
+	}
+}
+
+// Name implements Predictor.
+func (c *Composite) Name() string { return c.label }
+
+// Lookup implements Predictor.
+func (c *Composite) Lookup(d *isa.DynInst, ctx *Ctx) Prediction {
+	if p := c.Lvp.Lookup(d, ctx); p.Valid {
+		return p
+	}
+	if p := c.Cvp.Lookup(d, ctx); p.Valid {
+		return p
+	}
+	if p := c.Sap.Lookup(d, ctx); p.Valid {
+		return p
+	}
+	return c.Cap.Lookup(d, ctx)
+}
+
+// Train implements Predictor.
+func (c *Composite) Train(d *isa.DynInst, ctx *Ctx, info TrainInfo) {
+	c.Lvp.Train(d, ctx, info)
+	c.Cvp.Train(d, ctx, info)
+	c.Sap.Train(d, ctx, info)
+	c.Cap.Train(d, ctx, info)
+}
+
+// OnForward implements Predictor.
+func (c *Composite) OnForward(uint64, uint64) {}
+
+// OnRetire implements Predictor.
+func (c *Composite) OnRetire(*isa.DynInst) {}
+
+// OnFlush implements Predictor.
+func (c *Composite) OnFlush() {
+	c.Lvp.OnFlush()
+	c.Cvp.OnFlush()
+	c.Sap.OnFlush()
+	c.Cap.OnFlush()
+}
+
+// StorageBits implements Predictor.
+func (c *Composite) StorageBits() int {
+	return c.Lvp.StorageBits() + c.Cvp.StorageBits() +
+		c.Sap.StorageBits() + c.Cap.StorageBits()
+}

@@ -1,0 +1,168 @@
+package vp
+
+import (
+	"fmt"
+
+	"fvp/internal/isa"
+	"fvp/internal/prog"
+)
+
+// CVP is a VTAGE-like context value predictor (Perais & Seznec): several
+// tagged tables indexed by PC hashed with geometrically longer slices of
+// global branch history; the longest-history hit provides the value. It is
+// the context component of the Composite predictor.
+type CVP struct {
+	tables   [][]cvpEntry
+	histLens []uint
+	tblMask  uint64
+	rng      *prog.RNG
+	// LoadsOnly restricts allocation to loads.
+	LoadsOnly bool
+}
+
+type cvpEntry struct {
+	tag   uint16
+	valid bool
+	value uint64
+	conf  uint8 // 3-bit, predict at cvpConfMax
+	util  uint8
+}
+
+const (
+	cvpConfMax = 7
+	cvpTagBits = 11
+	// cvpEntryBits: tag 11 + value 64 + conf 3 + util 2.
+	cvpEntryBits = cvpTagBits + 64 + 3 + 2
+)
+
+// NewCVP builds a predictor with entriesPerTable in each of len(histLens)
+// tables. histLens nil selects the default {2, 8, 16, 32}.
+func NewCVP(entriesPerTable int, histLens []uint, seed uint64) *CVP {
+	if histLens == nil {
+		histLens = []uint{2, 8, 16, 32}
+	}
+	n := entriesPerTable
+	for n&(n-1) != 0 { // round down to power of two
+		n &= n - 1
+	}
+	if n == 0 {
+		n = 1
+	}
+	c := &CVP{
+		tables:    make([][]cvpEntry, len(histLens)),
+		histLens:  histLens,
+		tblMask:   uint64(n - 1),
+		rng:       prog.NewRNG(seed),
+		LoadsOnly: true,
+	}
+	for i := range c.tables {
+		c.tables[i] = make([]cvpEntry, n)
+	}
+	return c
+}
+
+func foldHist(h uint64, lenBits, outBits uint) uint64 {
+	if lenBits < 64 {
+		h &= 1<<lenBits - 1
+	}
+	var f uint64
+	for h != 0 {
+		f ^= h & (1<<outBits - 1)
+		h >>= outBits
+	}
+	return f
+}
+
+func (c *CVP) idx(pc, hist uint64, t int) uint64 {
+	bits := uint(0)
+	for m := c.tblMask; m != 0; m >>= 1 {
+		bits++
+	}
+	if bits == 0 {
+		return 0
+	}
+	return ((pc >> 2) ^ foldHist(hist, c.histLens[t], bits)) & c.tblMask
+}
+
+func (c *CVP) tag(pc, hist uint64, t int) uint16 {
+	return uint16(((pc >> 2) ^ (pc >> 13) ^ foldHist(hist, c.histLens[t], cvpTagBits)) & (1<<cvpTagBits - 1))
+}
+
+// Name implements Predictor.
+func (c *CVP) Name() string {
+	return fmt.Sprintf("CVP-%dx%d", len(c.tables), c.tblMask+1)
+}
+
+// Lookup implements Predictor.
+func (c *CVP) Lookup(d *isa.DynInst, ctx *Ctx) Prediction {
+	if c.LoadsOnly && !d.Op.IsLoad() {
+		return Prediction{}
+	}
+	for t := len(c.tables) - 1; t >= 0; t-- {
+		e := &c.tables[t][c.idx(d.PC, ctx.Hist, t)]
+		if e.valid && e.tag == c.tag(d.PC, ctx.Hist, t) {
+			if e.conf >= cvpConfMax {
+				return Prediction{Valid: true, Value: e.value}
+			}
+			return Prediction{}
+		}
+	}
+	return Prediction{}
+}
+
+// Train implements Predictor.
+func (c *CVP) Train(d *isa.DynInst, ctx *Ctx, _ TrainInfo) {
+	if !d.HasDest() || (c.LoadsOnly && !d.Op.IsLoad()) {
+		return
+	}
+	// Train the provider if any; on a value change allocate a
+	// longer-history entry (TAGE-style escalation).
+	provider := -1
+	for t := len(c.tables) - 1; t >= 0; t-- {
+		e := &c.tables[t][c.idx(d.PC, ctx.Hist, t)]
+		if e.valid && e.tag == c.tag(d.PC, ctx.Hist, t) {
+			provider = t
+			if e.value == d.Value {
+				if e.conf < cvpConfMax && c.rng.Intn(16) == 0 {
+					e.conf++
+				}
+				if e.util < 3 {
+					e.util++
+				}
+				return
+			}
+			e.value = d.Value
+			e.conf = 0
+			if e.util > 0 {
+				e.util--
+			}
+			break
+		}
+	}
+	for t := provider + 1; t < len(c.tables); t++ {
+		e := &c.tables[t][c.idx(d.PC, ctx.Hist, t)]
+		if !e.valid || e.util == 0 {
+			*e = cvpEntry{
+				tag:   c.tag(d.PC, ctx.Hist, t),
+				valid: true,
+				value: d.Value,
+			}
+			return
+		}
+		e.util--
+	}
+}
+
+// OnForward implements Predictor.
+func (c *CVP) OnForward(uint64, uint64) {}
+
+// OnRetire implements Predictor.
+func (c *CVP) OnRetire(*isa.DynInst) {}
+
+// OnFlush implements Predictor.
+func (c *CVP) OnFlush() {}
+
+// StorageBits implements Predictor.
+func (c *CVP) StorageBits() int {
+	return len(c.tables) * int(c.tblMask+1) * cvpEntryBits
+}

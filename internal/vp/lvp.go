@@ -1,0 +1,157 @@
+package vp
+
+import (
+	"fmt"
+
+	"fvp/internal/isa"
+	"fvp/internal/prog"
+)
+
+// LVP is a tagged, set-associative last-value predictor with EVES-style
+// probabilistic confidence: the confidence counter increments with
+// probability 1/16 on each value repeat, so only very stable values reach
+// the prediction threshold, keeping accuracy high (≥99 %) despite the
+// 20-cycle misprediction flush.
+type LVP struct {
+	sets    [][]lvpEntry
+	setMask uint64
+	ways    int
+	rng     *prog.RNG
+	tick    uint64
+	// LoadsOnly restricts allocation to load instructions (the common
+	// configuration; §VI-A2 found no benefit beyond loads).
+	LoadsOnly bool
+}
+
+type lvpEntry struct {
+	tag   uint16
+	valid bool
+	value uint64
+	conf  uint8 // 3-bit, predict at 7
+	util  uint8 // 2-bit replacement utility
+	lru   uint64
+}
+
+const (
+	lvpConfMax = 7
+	lvpTagBits = 11
+	// lvpEntryBits: tag 11 + value 64 + conf 3 + util 2.
+	lvpEntryBits = lvpTagBits + 64 + 3 + 2
+)
+
+// NewLVP builds a predictor with the given total entries and associativity.
+func NewLVP(entries, ways int, seed uint64) *LVP {
+	if ways <= 0 {
+		ways = 2
+	}
+	nSets := entries / ways
+	if nSets <= 0 {
+		nSets = 1
+	}
+	// Round sets down to a power of two for mask indexing.
+	for nSets&(nSets-1) != 0 {
+		nSets &= nSets - 1
+	}
+	l := &LVP{
+		sets:      make([][]lvpEntry, nSets),
+		setMask:   uint64(nSets - 1),
+		ways:      ways,
+		rng:       prog.NewRNG(seed),
+		LoadsOnly: true,
+	}
+	for i := range l.sets {
+		l.sets[i] = make([]lvpEntry, ways)
+	}
+	return l
+}
+
+func (l *LVP) find(pc uint64) *lvpEntry {
+	set := l.sets[(pc>>2)&l.setMask]
+	tag := uint16(pc>>2) & (1<<lvpTagBits - 1)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Name implements Predictor.
+func (l *LVP) Name() string { return fmt.Sprintf("LVP-%d", len(l.sets)*l.ways) }
+
+// Lookup implements Predictor.
+func (l *LVP) Lookup(d *isa.DynInst, _ *Ctx) Prediction {
+	if l.LoadsOnly && !d.Op.IsLoad() {
+		return Prediction{}
+	}
+	if e := l.find(d.PC); e != nil && e.conf >= lvpConfMax {
+		return Prediction{Valid: true, Value: e.value}
+	}
+	return Prediction{}
+}
+
+// Train implements Predictor.
+func (l *LVP) Train(d *isa.DynInst, _ *Ctx, _ TrainInfo) {
+	if !d.HasDest() || (l.LoadsOnly && !d.Op.IsLoad()) {
+		return
+	}
+	l.tick++
+	e := l.find(d.PC)
+	if e == nil {
+		l.allocate(d.PC, d.Value)
+		return
+	}
+	e.lru = l.tick
+	if e.value == d.Value {
+		if e.conf < lvpConfMax && l.rng.Intn(16) == 0 {
+			e.conf++
+		}
+		if e.util < 3 {
+			e.util++
+		}
+	} else {
+		e.value = d.Value
+		e.conf = 0
+		e.util = 0
+	}
+}
+
+func (l *LVP) allocate(pc, value uint64) {
+	set := l.sets[(pc>>2)&l.setMask]
+	tag := uint16(pc>>2) & (1<<lvpTagBits - 1)
+	// Prefer an invalid way, else a zero-utility LRU victim; if every
+	// way is useful, decay utilities instead of thrashing.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		for i := range set {
+			if set[i].util == 0 && (victim < 0 || set[i].lru < set[victim].lru) {
+				victim = i
+			}
+		}
+	}
+	if victim < 0 {
+		for i := range set {
+			set[i].util--
+		}
+		return
+	}
+	set[victim] = lvpEntry{tag: tag, valid: true, value: value, lru: l.tick}
+}
+
+// OnForward implements Predictor.
+func (l *LVP) OnForward(uint64, uint64) {}
+
+// OnRetire implements Predictor.
+func (l *LVP) OnRetire(*isa.DynInst) {}
+
+// OnFlush implements Predictor.
+func (l *LVP) OnFlush() {}
+
+// StorageBits implements Predictor.
+func (l *LVP) StorageBits() int { return len(l.sets) * l.ways * lvpEntryBits }

@@ -1,0 +1,201 @@
+package vp
+
+import (
+	"fmt"
+
+	"fvp/internal/isa"
+)
+
+// MR implements Memory Renaming (Tyson & Austin): it learns store→load PC
+// pairs from LSQ forwarding events and, once confident, predicts the load's
+// value to be the associated store's data — before the load's address is
+// even computed. The association is held implicitly: the store's and the
+// load's Store/Load-cache entries point at the same Value File slot; the
+// store deposits its identity (and later its data) there, and the load
+// picks it up.
+//
+// MR is used standalone as the paper's first prior-art baseline (8 KB and
+// 1 KB configurations, Figs 10/11) and embedded inside FVP (internal/core)
+// for its memory-dependence component.
+type MR struct {
+	cfg    MRConfig
+	sl     []slEntry // store/load PC cache
+	slMask uint64
+	vf     []vfEntry // value file
+	nextVF int
+	tick   uint64
+	// Critical, when non-nil, gates load-side renaming to loads the
+	// filter approves (FVP restricts MR to focused loads; standalone MR
+	// renames everything).
+	Critical func(loadPC uint64) bool
+
+	Associations uint64 // learned pairs
+	Renames      uint64 // load lookups that produced a prediction
+}
+
+type slEntry struct {
+	tag   uint16
+	valid bool
+	conf  uint8 // 3-bit
+	lru   uint8 // 2-bit (kept as the paper sizes it; aged modulo 4)
+	vfIdx int32
+}
+
+type vfEntry struct {
+	storeSeq  uint64
+	storePC   uint64
+	data      uint64
+	seqValid  bool
+	dataValid bool
+}
+
+// MRConfig sizes the structure.
+type MRConfig struct {
+	// SLEntries is the Store/Load PC cache size (direct-mapped).
+	SLEntries int
+	// VFEntries is the Value File size.
+	VFEntries int
+	// ConfThreshold is the confidence needed to rename (3-bit counter).
+	ConfThreshold uint8
+}
+
+// PaperMRConfig is the FVP-internal sizing from Table I: 136-entry
+// Store/Load cache, 40-entry Value File.
+func PaperMRConfig() MRConfig {
+	return MRConfig{SLEntries: 136, VFEntries: 40, ConfThreshold: 7}
+}
+
+// MR8KBConfig is the large standalone baseline (≈8 KB).
+func MR8KBConfig() MRConfig {
+	return MRConfig{SLEntries: 2048, VFEntries: 760, ConfThreshold: 7}
+}
+
+// MR1KBConfig is the area-matched standalone baseline (≈1 KB).
+func MR1KBConfig() MRConfig {
+	return MRConfig{SLEntries: 256, VFEntries: 56, ConfThreshold: 7}
+}
+
+// NewMR builds a Memory Renaming predictor.
+func NewMR(cfg MRConfig) *MR {
+	if cfg.SLEntries <= 0 || cfg.VFEntries <= 0 {
+		panic("vp: empty MR configuration")
+	}
+	m := &MR{cfg: cfg}
+	n := cfg.SLEntries
+	for n&(n-1) != 0 {
+		n &= n - 1
+	}
+	m.sl = make([]slEntry, n)
+	m.slMask = uint64(n - 1)
+	m.vf = make([]vfEntry, cfg.VFEntries)
+	for i := range m.sl {
+		m.sl[i].vfIdx = -1
+	}
+	return m
+}
+
+func (m *MR) at(pc uint64) *slEntry { return &m.sl[(pc>>2)&m.slMask] }
+
+// Name implements Predictor.
+func (m *MR) Name() string { return fmt.Sprintf("MR-%d/%d", len(m.sl), len(m.vf)) }
+
+// Lookup implements Predictor. Loads with a confident association read the
+// Value File; stores deposit their sequence number there (their Lookup
+// returns no prediction but has the allocation side effect, mirroring the
+// hardware where stores access the MR at allocation).
+func (m *MR) Lookup(d *isa.DynInst, _ *Ctx) Prediction {
+	e := m.at(d.PC)
+	if !e.valid || e.tag != tag11(d.PC) || e.vfIdx < 0 {
+		return Prediction{}
+	}
+	if d.Op.IsStore() {
+		if e.conf >= m.cfg.ConfThreshold {
+			m.vf[e.vfIdx] = vfEntry{storeSeq: d.Seq, storePC: d.PC, seqValid: true}
+		}
+		return Prediction{}
+	}
+	if !d.Op.IsLoad() || e.conf < m.cfg.ConfThreshold {
+		return Prediction{}
+	}
+	if m.Critical != nil && !m.Critical(d.PC) {
+		return Prediction{}
+	}
+	v := &m.vf[e.vfIdx]
+	if !v.seqValid || v.storeSeq >= d.Seq {
+		return Prediction{}
+	}
+	m.Renames++
+	return Prediction{
+		Valid:       true,
+		Value:       v.data,
+		StoreLinked: true,
+		StoreSeq:    v.storeSeq,
+		DataReady:   v.dataValid,
+	}
+}
+
+// Train implements Predictor. A store that owns a Value File slot deposits
+// its data when it executes; a renamed load that validated wrong loses
+// confidence.
+func (m *MR) Train(d *isa.DynInst, _ *Ctx, info TrainInfo) {
+	e := m.at(d.PC)
+	if !e.valid || e.tag != tag11(d.PC) || e.vfIdx < 0 {
+		return
+	}
+	if d.Op.IsStore() {
+		v := &m.vf[e.vfIdx]
+		if v.seqValid && v.storeSeq == d.Seq {
+			v.data = d.Value
+			v.dataValid = true
+		}
+		return
+	}
+	if d.Op.IsLoad() && info.WasPredicted && !info.Correct {
+		e.conf = 0
+	}
+}
+
+// OnForward implements Predictor: the LSQ observed storePC forwarding to
+// loadPC. Both PCs converge on one Value File slot and gain confidence.
+func (m *MR) OnForward(loadPC, storePC uint64) {
+	ls, ss := m.at(loadPC), m.at(storePC)
+	m.tick++
+
+	lOK := ls.valid && ls.tag == tag11(loadPC)
+	sOK := ss.valid && ss.tag == tag11(storePC)
+	switch {
+	case lOK && sOK && ls.vfIdx == ss.vfIdx:
+		// Confirmed pair: build confidence on both sides.
+		if ls.conf < 7 {
+			ls.conf++
+		}
+		if ss.conf < 7 {
+			ss.conf++
+		}
+	case sOK:
+		// Store known: point the load at the store's slot.
+		*ls = slEntry{tag: tag11(loadPC), valid: true, vfIdx: ss.vfIdx}
+	default:
+		// New pair: allocate a Value File slot round-robin.
+		idx := int32(m.nextVF)
+		m.nextVF = (m.nextVF + 1) % len(m.vf)
+		m.vf[idx] = vfEntry{}
+		*ss = slEntry{tag: tag11(storePC), valid: true, vfIdx: idx}
+		*ls = slEntry{tag: tag11(loadPC), valid: true, vfIdx: idx}
+		m.Associations++
+	}
+}
+
+// OnRetire implements Predictor.
+func (m *MR) OnRetire(*isa.DynInst) {}
+
+// OnFlush implements Predictor (Value-File links are validated by sequence
+// number; no speculative cursor to repair).
+func (m *MR) OnFlush() {}
+
+// StorageBits implements Predictor, using the paper's Table-I accounting:
+// Store/Load entries are tag(11)+conf(3)+LRU(2); Value File entries are
+// data(64)+store ID(6).
+func (m *MR) StorageBits() int {
+	return len(m.sl)*(11+3+2) + len(m.vf)*(64+6)
+}

@@ -1,0 +1,129 @@
+package vp
+
+import (
+	"testing"
+
+	"fvp/internal/isa"
+)
+
+func store(pc, seq, addr, value uint64) *isa.DynInst {
+	return &isa.DynInst{PC: pc, Seq: seq, Op: isa.OpStore, Src1: 1, Src2: 2, Addr: addr, Value: value, MemSize: 8}
+}
+
+func loadSeq(pc, seq, addr, value uint64) *isa.DynInst {
+	d := load(pc, addr, value)
+	d.Seq = seq
+	return d
+}
+
+// Distinct SL-cache slots: (pc>>2) & 127 gives 0x40 and 0x41.
+const (
+	stPC = 0x500
+	ldPC = 0x704
+)
+
+// trainPair builds SL-cache confidence with n forwarding observations.
+func trainPair(m *MR, n int) {
+	for i := 0; i < n; i++ {
+		m.OnForward(ldPC, stPC)
+	}
+}
+
+func TestMRColdNoPrediction(t *testing.T) {
+	m := NewMR(PaperMRConfig())
+	if p := m.Lookup(loadSeq(ldPC, 10, 0x1000, 5), &Ctx{}); p.Valid {
+		t.Error("untrained MR must not predict")
+	}
+}
+
+func TestMRRenamesAfterConfidence(t *testing.T) {
+	m := NewMR(PaperMRConfig())
+	trainPair(m, 8)
+	// Store at seq 100 deposits its identity at allocation (Lookup).
+	st := store(stPC, 100, 0x1000, 99)
+	m.Lookup(st, &Ctx{})
+	// Load at seq 105 gets the store-linked prediction.
+	p := m.Lookup(loadSeq(ldPC, 105, 0x1000, 99), &Ctx{})
+	if !p.Valid || !p.StoreLinked || p.StoreSeq != 100 {
+		t.Fatalf("MR prediction: %+v", p)
+	}
+	if p.DataReady {
+		t.Error("store has not executed: data must not be ready")
+	}
+	// Once the store executes (Train), the Value File holds its data.
+	m.Train(st, &Ctx{}, TrainInfo{})
+	p = m.Lookup(loadSeq(ldPC, 106, 0x1000, 99), &Ctx{})
+	if !p.Valid || !p.DataReady || p.Value != 99 {
+		t.Fatalf("post-execution MR prediction: %+v", p)
+	}
+}
+
+func TestMRInsufficientConfidence(t *testing.T) {
+	m := NewMR(PaperMRConfig())
+	trainPair(m, 3) // below the 7 threshold
+	m.Lookup(store(stPC, 100, 0x1000, 99), &Ctx{})
+	if p := m.Lookup(loadSeq(ldPC, 105, 0x1000, 99), &Ctx{}); p.Valid {
+		t.Error("MR must not rename below the confidence threshold")
+	}
+}
+
+func TestMRNeverLinksYoungerStore(t *testing.T) {
+	m := NewMR(PaperMRConfig())
+	trainPair(m, 8)
+	m.Lookup(store(stPC, 200, 0x1000, 99), &Ctx{})
+	// A load OLDER than the store must not link to it.
+	if p := m.Lookup(loadSeq(ldPC, 150, 0x1000, 0), &Ctx{}); p.Valid {
+		t.Error("MR linked a load to a younger store")
+	}
+}
+
+func TestMRMispredictResetsConfidence(t *testing.T) {
+	m := NewMR(PaperMRConfig())
+	trainPair(m, 8)
+	m.Lookup(store(stPC, 100, 0x1000, 99), &Ctx{})
+	d := loadSeq(ldPC, 105, 0x2000, 1) // different address: wrong association
+	if p := m.Lookup(d, &Ctx{}); !p.Valid {
+		t.Fatal("expected a (wrong) rename")
+	}
+	m.Train(d, &Ctx{}, TrainInfo{WasPredicted: true, Correct: false})
+	m.Lookup(store(stPC, 110, 0x1000, 99), &Ctx{})
+	if p := m.Lookup(loadSeq(ldPC, 115, 0x1000, 99), &Ctx{}); p.Valid {
+		t.Error("confidence must reset after a wrong rename")
+	}
+}
+
+func TestMRCriticalGate(t *testing.T) {
+	m := NewMR(PaperMRConfig())
+	m.Critical = func(pc uint64) bool { return false }
+	trainPair(m, 8)
+	m.Lookup(store(stPC, 100, 0x1000, 99), &Ctx{})
+	if p := m.Lookup(loadSeq(ldPC, 105, 0x1000, 99), &Ctx{}); p.Valid {
+		t.Error("the criticality gate must suppress renaming")
+	}
+	m.Critical = func(pc uint64) bool { return true }
+	if p := m.Lookup(loadSeq(ldPC, 106, 0x1000, 99), &Ctx{}); !p.Valid {
+		t.Error("gate open: rename expected")
+	}
+}
+
+func TestMRPaperBudget(t *testing.T) {
+	// Table I: SL 272 bytes + VF 350 bytes (at 128 rounded entries the SL
+	// side is slightly smaller).
+	bytes := NewMR(PaperMRConfig()).StorageBits() / 8
+	if bytes < 500 || bytes > 700 {
+		t.Errorf("paper MR budget = %d bytes, expect ≈606", bytes)
+	}
+}
+
+func TestMRAssociationSurvivesOtherPairs(t *testing.T) {
+	m := NewMR(MR8KBConfig())
+	trainPair(m, 8)
+	// Other, non-conflicting pairs train in between.
+	for i := 0; i < 20; i++ {
+		m.OnForward(uint64(0x4000+i*64), uint64(0x8000+i*64))
+	}
+	m.Lookup(store(stPC, 100, 0x1000, 99), &Ctx{})
+	if p := m.Lookup(loadSeq(ldPC, 105, 0x1000, 99), &Ctx{}); !p.Valid {
+		t.Error("association lost to unrelated pairs in a large table")
+	}
+}

@@ -1,0 +1,95 @@
+package vp
+
+import (
+	"fmt"
+
+	"fvp/internal/isa"
+)
+
+// Stride is the classic stride value predictor (Gabbay): per PC it learns
+// the delta between successive results and predicts last + stride. The
+// paper notes (§VI-B) that stride prediction adds little on top of the other
+// predictors; it is provided as a baseline and for ablations.
+type Stride struct {
+	entries []strideVPEntry
+	mask    uint64
+	tick    uint64
+	// LoadsOnly restricts allocation to loads.
+	LoadsOnly bool
+}
+
+type strideVPEntry struct {
+	tag    uint16
+	valid  bool
+	last   uint64
+	stride int64
+	conf   uint8 // predict at strideConfMax
+}
+
+const (
+	strideConfMax = 3
+	// strideEntryBits: tag 11 + last 64 + stride 16 + conf 2.
+	strideEntryBits = 11 + 64 + 16 + 2
+)
+
+// NewStride builds a direct-mapped stride predictor with 2^bits entries.
+func NewStride(bits uint) *Stride {
+	return &Stride{
+		entries:   make([]strideVPEntry, 1<<bits),
+		mask:      1<<bits - 1,
+		LoadsOnly: true,
+	}
+}
+
+func (s *Stride) at(pc uint64) *strideVPEntry { return &s.entries[(pc>>2)&s.mask] }
+
+func tag11(pc uint64) uint16 { return uint16(pc>>2) & (1<<11 - 1) }
+
+// Name implements Predictor.
+func (s *Stride) Name() string { return fmt.Sprintf("Stride-%d", len(s.entries)) }
+
+// Lookup implements Predictor.
+func (s *Stride) Lookup(d *isa.DynInst, _ *Ctx) Prediction {
+	if s.LoadsOnly && !d.Op.IsLoad() {
+		return Prediction{}
+	}
+	e := s.at(d.PC)
+	if e.valid && e.tag == tag11(d.PC) && e.conf >= strideConfMax {
+		return Prediction{Valid: true, Value: uint64(int64(e.last) + e.stride)}
+	}
+	return Prediction{}
+}
+
+// Train implements Predictor.
+func (s *Stride) Train(d *isa.DynInst, _ *Ctx, _ TrainInfo) {
+	if !d.HasDest() || (s.LoadsOnly && !d.Op.IsLoad()) {
+		return
+	}
+	e := s.at(d.PC)
+	if !e.valid || e.tag != tag11(d.PC) {
+		*e = strideVPEntry{tag: tag11(d.PC), valid: true, last: d.Value}
+		return
+	}
+	delta := int64(d.Value) - int64(e.last)
+	if delta == e.stride {
+		if e.conf < strideConfMax {
+			e.conf++
+		}
+	} else {
+		e.stride = delta
+		e.conf = 0
+	}
+	e.last = d.Value
+}
+
+// OnForward implements Predictor.
+func (s *Stride) OnForward(uint64, uint64) {}
+
+// OnRetire implements Predictor.
+func (s *Stride) OnRetire(*isa.DynInst) {}
+
+// OnFlush implements Predictor.
+func (s *Stride) OnFlush() {}
+
+// StorageBits implements Predictor.
+func (s *Stride) StorageBits() int { return len(s.entries) * strideEntryBits }

@@ -1,0 +1,227 @@
+package vp
+
+import (
+	"testing"
+
+	"fvp/internal/isa"
+)
+
+func load(pc, addr, value uint64) *isa.DynInst {
+	return &isa.DynInst{PC: pc, Op: isa.OpLoad, Dst: 2, Src1: 1, Addr: addr, Value: value, MemSize: 8}
+}
+
+func alu(pc, value uint64) *isa.DynInst {
+	return &isa.DynInst{PC: pc, Op: isa.OpALU, Dst: 3, Src1: 1, Value: value}
+}
+
+// trainN trains p with n identical executions of d.
+func trainN(p Predictor, d *isa.DynInst, n int) {
+	ctx := &Ctx{}
+	for i := 0; i < n; i++ {
+		p.Train(d, ctx, TrainInfo{})
+	}
+}
+
+func TestNonePredictsNothing(t *testing.T) {
+	var n None
+	if p := n.Lookup(load(0x400, 0x1000, 5), &Ctx{}); p.Valid {
+		t.Error("None must not predict")
+	}
+	if n.StorageBits() != 0 {
+		t.Error("None has no storage")
+	}
+}
+
+func TestMeterMetrics(t *testing.T) {
+	m := Meter{Loads: 100, PredictedLoads: 25, Correct: 99, Wrong: 1}
+	if m.Coverage() != 0.25 {
+		t.Errorf("coverage = %v", m.Coverage())
+	}
+	if m.Accuracy() != 0.99 {
+		t.Errorf("accuracy = %v", m.Accuracy())
+	}
+	var z Meter
+	if z.Coverage() != 0 || z.Accuracy() != 0 {
+		t.Error("zero meter must not divide by zero")
+	}
+}
+
+func TestLVPLearnsConstant(t *testing.T) {
+	l := NewLVP(32, 2, 1)
+	d := load(0x400, 0x1000, 42)
+	// Probabilistic confidence (1/16): needs many repeats.
+	trainN(l, d, 600)
+	p := l.Lookup(d, &Ctx{})
+	if !p.Valid || p.Value != 42 {
+		t.Fatalf("LVP after 600 repeats: %+v", p)
+	}
+}
+
+func TestLVPRejectsChangingValue(t *testing.T) {
+	l := NewLVP(32, 2, 1)
+	ctx := &Ctx{}
+	for i := 0; i < 600; i++ {
+		d := load(0x400, 0x1000, uint64(i))
+		l.Train(d, ctx, TrainInfo{})
+	}
+	if p := l.Lookup(load(0x400, 0x1000, 0), ctx); p.Valid {
+		t.Error("LVP must not predict a changing value")
+	}
+}
+
+func TestLVPLoadsOnly(t *testing.T) {
+	l := NewLVP(32, 2, 1)
+	d := alu(0x500, 7)
+	trainN(l, d, 600)
+	if p := l.Lookup(d, &Ctx{}); p.Valid {
+		t.Error("LoadsOnly LVP predicted an ALU op")
+	}
+	l.LoadsOnly = false
+	trainN(l, d, 600)
+	if p := l.Lookup(d, &Ctx{}); !p.Valid || p.Value != 7 {
+		t.Errorf("all-types LVP: %+v", p)
+	}
+}
+
+func TestLVPConfidenceResetOnChange(t *testing.T) {
+	l := NewLVP(32, 2, 1)
+	d := load(0x400, 0x1000, 42)
+	trainN(l, d, 600)
+	l.Train(load(0x400, 0x1000, 43), &Ctx{}, TrainInfo{})
+	if p := l.Lookup(d, &Ctx{}); p.Valid {
+		t.Error("one value change must reset confidence")
+	}
+}
+
+func TestStrideLearnsSequence(t *testing.T) {
+	s := NewStride(6)
+	ctx := &Ctx{}
+	for i := 0; i < 10; i++ {
+		s.Train(load(0x400, 0x1000, uint64(100+i*8)), ctx, TrainInfo{})
+	}
+	p := s.Lookup(load(0x400, 0x1000, 0), ctx)
+	if !p.Valid || p.Value != 100+10*8 {
+		t.Errorf("stride prediction: %+v, want value %d", p, 100+10*8)
+	}
+}
+
+func TestStrideRejectsIrregular(t *testing.T) {
+	s := NewStride(6)
+	ctx := &Ctx{}
+	vals := []uint64{5, 90, 13, 77, 41, 8}
+	for _, v := range vals {
+		s.Train(load(0x400, 0x1000, v), ctx, TrainInfo{})
+	}
+	if p := s.Lookup(load(0x400, 0x1000, 0), ctx); p.Valid {
+		t.Error("stride must not predict an irregular sequence")
+	}
+}
+
+func TestCVPContextSeparation(t *testing.T) {
+	c := NewCVP(64, nil, 1)
+	d := load(0x400, 0x1000, 0)
+	ctxA := &Ctx{Hist: 0b1010}
+	ctxB := &Ctx{Hist: 0b0101}
+	for i := 0; i < 900; i++ {
+		d.Value = 111
+		c.Train(d, ctxA, TrainInfo{})
+		d.Value = 222
+		c.Train(d, ctxB, TrainInfo{})
+	}
+	pa := c.Lookup(d, ctxA)
+	pb := c.Lookup(d, ctxB)
+	if !pa.Valid || pa.Value != 111 {
+		t.Errorf("context A: %+v", pa)
+	}
+	if !pb.Valid || pb.Value != 222 {
+		t.Errorf("context B: %+v", pb)
+	}
+}
+
+func TestSAPPredictsViaAddress(t *testing.T) {
+	s := NewSAP(6)
+	mem := map[uint64]uint64{0x1020: 777}
+	ctx := &Ctx{
+		MemPeek:    func(a uint64) uint64 { return mem[a] },
+		CacheLevel: func(a uint64) int { return 0 },
+	}
+	for i := 0; i < 8; i++ {
+		s.Train(load(0x400, uint64(0x1000+i*4), 0), ctx, TrainInfo{})
+	}
+	// Next address is 0x1020; the value there is 777.
+	p := s.Lookup(load(0x400, 0, 0), ctx)
+	if !p.Valid || p.Value != 777 {
+		t.Errorf("SAP: %+v", p)
+	}
+}
+
+func TestSAPRespectsCacheLevel(t *testing.T) {
+	s := NewSAP(6)
+	ctx := &Ctx{
+		MemPeek:    func(a uint64) uint64 { return 1 },
+		CacheLevel: func(a uint64) int { return 3 }, // uncached
+	}
+	for i := 0; i < 8; i++ {
+		s.Train(load(0x400, uint64(0x1000+i*4), 0), ctx, TrainInfo{})
+	}
+	if p := s.Lookup(load(0x400, 0, 0), ctx); p.Valid {
+		t.Error("SAP must not predict when the line is uncached (DLVP probes the cache)")
+	}
+}
+
+func TestCAPLearnsContextAddress(t *testing.T) {
+	c := NewCAP(6, 16)
+	mem := map[uint64]uint64{0x2000: 5, 0x3000: 9}
+	mk := func(hist uint64) *Ctx {
+		return &Ctx{
+			Hist:       hist,
+			MemPeek:    func(a uint64) uint64 { return mem[a] },
+			CacheLevel: func(a uint64) int { return 1 },
+		}
+	}
+	for i := 0; i < 8; i++ {
+		c.Train(load(0x400, 0x2000, 0), mk(0xF), TrainInfo{})
+		c.Train(load(0x400, 0x3000, 0), mk(0x0), TrainInfo{})
+	}
+	if p := c.Lookup(load(0x400, 0, 0), mk(0xF)); !p.Valid || p.Value != 5 {
+		t.Errorf("CAP hist=F: %+v", p)
+	}
+	if p := c.Lookup(load(0x400, 0, 0), mk(0x0)); !p.Valid || p.Value != 9 {
+		t.Errorf("CAP hist=0: %+v", p)
+	}
+}
+
+func TestCompositePriority(t *testing.T) {
+	c := NewComposite8KB(1)
+	d := load(0x400, 0x1000, 42)
+	trainN(c, d, 900)
+	p := c.Lookup(d, &Ctx{})
+	if !p.Valid || p.Value != 42 {
+		t.Errorf("composite: %+v", p)
+	}
+}
+
+func TestCompositeStorageBudgets(t *testing.T) {
+	b8 := NewComposite8KB(1).StorageBits() / 8
+	b1 := NewComposite1KB(1).StorageBits() / 8
+	if b8 < 6<<10 || b8 > 10<<10 {
+		t.Errorf("Composite-8KB budget = %d bytes", b8)
+	}
+	if b1 < 512 || b1 > 1536 {
+		t.Errorf("Composite-1KB budget = %d bytes", b1)
+	}
+	if b8 < 6*b1 {
+		t.Errorf("8KB (%d) should be ≈8× the 1KB config (%d)", b8, b1)
+	}
+}
+
+func TestMRStorageBudgets(t *testing.T) {
+	b8 := NewMR(MR8KBConfig()).StorageBits() / 8
+	b1 := NewMR(MR1KBConfig()).StorageBits() / 8
+	if b8 < 6<<10 || b8 > 12<<10 {
+		t.Errorf("MR-8KB budget = %d bytes", b8)
+	}
+	if b1 < 512 || b1 > 1536 {
+		t.Errorf("MR-1KB budget = %d bytes", b1)
+	}
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"testing"
+
+	"fvp/internal/isa"
+	"fvp/internal/prog"
+)
+
+func TestAllSixtyWorkloadsBuild(t *testing.T) {
+	ws := All()
+	if len(ws) != 60 {
+		t.Fatalf("study list has %d workloads, want 60", len(ws))
+	}
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategoryCounts(t *testing.T) {
+	want := map[Category]int{ISPEC06: 12, FSPEC06: 16, SPEC17: 16, Server: 16}
+	for cat, n := range want {
+		if got := len(ByCategory(cat)); got != n {
+			t.Errorf("%s has %d workloads, want %d", cat, got, n)
+		}
+	}
+}
+
+func TestNamesUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range All() {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+		if _, ok := ByName(w.Name); !ok {
+			t.Errorf("ByName(%q) failed", w.Name)
+		}
+	}
+	if _, ok := ByName("no-such-workload"); ok {
+		t.Error("ByName must fail for unknown names")
+	}
+	if len(Names()) != 60 {
+		t.Errorf("Names() returned %d entries", len(Names()))
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	w, _ := ByName("omnetpp")
+	a, b := prog.NewExec(w.Build()), prog.NewExec(w.Build())
+	var da, db isa.DynInst
+	for i := 0; i < 5000; i++ {
+		if !a.Next(&da) || !b.Next(&db) {
+			t.Fatal("unexpected halt")
+		}
+		if da != db {
+			t.Fatalf("divergence at %d: %v vs %v", i, da.String(), db.String())
+		}
+	}
+}
+
+// mixOf executes n instructions and returns per-op counts.
+func mixOf(t *testing.T, name string, n int) map[isa.Op]int {
+	t.Helper()
+	w, ok := ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %s", name)
+	}
+	ex := prog.NewExec(w.Build())
+	mix := map[isa.Op]int{}
+	var d isa.DynInst
+	for i := 0; i < n; i++ {
+		if !ex.Next(&d) {
+			t.Fatalf("%s halted after %d instructions", name, i)
+		}
+		mix[d.Op]++
+	}
+	return mix
+}
+
+func TestEveryWorkloadHasLoadsAndBranches(t *testing.T) {
+	for _, w := range All() {
+		mix := mixOf(t, w.Name, 3000)
+		if mix[isa.OpLoad] == 0 {
+			t.Errorf("%s executes no loads", w.Name)
+		}
+		branches := 0
+		for op, n := range mix {
+			if op.IsBranch() {
+				branches += n
+			}
+		}
+		if branches == 0 {
+			t.Errorf("%s executes no branches", w.Name)
+		}
+	}
+}
+
+func TestServerWorkloadsUseCallsAndStores(t *testing.T) {
+	for _, w := range ByCategory(Server) {
+		if w.Name == "hplinpack" {
+			continue // the one streaming kernel in the category
+		}
+		mix := mixOf(t, w.Name, 6000)
+		if mix[isa.OpCall] == 0 || mix[isa.OpRet] == 0 {
+			t.Errorf("%s: server kernels dispatch through calls (call=%d ret=%d)",
+				w.Name, mix[isa.OpCall], mix[isa.OpRet])
+		}
+		if mix[isa.OpStore] == 0 {
+			t.Errorf("%s: server kernels spill to the stack", w.Name)
+		}
+	}
+}
+
+func TestBranchyWorkloadsBranchALot(t *testing.T) {
+	leela := mixOf(t, "leela", 5000)
+	stream := mixOf(t, "libquantum", 5000)
+	frac := func(m map[isa.Op]int) float64 {
+		total, br := 0, 0
+		for op, n := range m {
+			total += n
+			if op.IsCondBranch() {
+				br += n
+			}
+		}
+		return float64(br) / float64(total)
+	}
+	if frac(leela) < 2*frac(stream) {
+		t.Errorf("leela branch fraction %.3f not ≫ libquantum %.3f",
+			frac(leela), frac(stream))
+	}
+}
+
+func TestFSPECUsesFP(t *testing.T) {
+	for _, name := range []string{"wrf", "cactusADM", "milc"} {
+		mix := mixOf(t, name, 4000)
+		if mix[isa.OpFP] == 0 {
+			t.Errorf("%s executes no FP ops", name)
+		}
+	}
+}
+
+func TestColdFootprintsAreCold(t *testing.T) {
+	// mcf's chase must touch a wide address range.
+	w, _ := ByName("mcf")
+	ex := prog.NewExec(w.Build())
+	var d isa.DynInst
+	lo, hi := ^uint64(0), uint64(0)
+	for i := 0; i < 60000; i++ {
+		ex.Next(&d)
+		if d.Op.IsLoad() && d.Addr >= coldBase {
+			if d.Addr < lo {
+				lo = d.Addr
+			}
+			if d.Addr > hi {
+				hi = d.Addr
+			}
+		}
+	}
+	if hi-lo < 16<<20 {
+		t.Errorf("mcf chase spans only %d MB", (hi-lo)>>20)
+	}
+}
+
+func TestWarmPtrTablesUniform(t *testing.T) {
+	w, _ := ByName("omnetpp") // WarmPtr2 kernel
+	p := w.Build()
+	m := p.BuildMemory()
+	// Level-2 half of the warm table must hold the cold mask everywhere.
+	warm := uint64(2 << 20)
+	coldMask := uint64(32<<20 - 1)
+	for _, off := range []uint64{warm / 2, warm/2 + 8192, warm - 8} {
+		if got := m.Read(warmBase + off); got != coldMask {
+			t.Errorf("warm[%#x] = %#x, want cold mask %#x", off, got, coldMask)
+		}
+	}
+}
+
+func TestWarmRangesPresent(t *testing.T) {
+	for _, name := range []string{"omnetpp", "cassandra", "wrf"} {
+		w, _ := ByName(name)
+		if len(w.Build().WarmRanges) == 0 {
+			t.Errorf("%s has no warm ranges", name)
+		}
+	}
+}
