@@ -1,4 +1,4 @@
-package fvp
+package fvp_test
 
 // Benchmark harness: one benchmark per table and figure of the paper's
 // evaluation section (§VI). Each figure benchmark regenerates the artifact
@@ -13,9 +13,11 @@ package fvp
 // Micro-benchmarks for the substrate data structures follow at the end.
 
 import (
+	"context"
 	"io"
 	"testing"
 
+	"fvp"
 	"fvp/internal/branch"
 	"fvp/internal/cache"
 	"fvp/internal/core"
@@ -25,6 +27,7 @@ import (
 	"fvp/internal/memdep"
 	"fvp/internal/ooo"
 	"fvp/internal/prog"
+	"fvp/internal/simd"
 	"fvp/internal/vp"
 	"fvp/internal/workload"
 )
@@ -58,7 +61,7 @@ func BenchmarkTable1Storage(b *testing.B) {
 // BenchmarkTable2CoreParams renders the Table-II configuration dump.
 func BenchmarkTable2CoreParams(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := RunExperiment("table2", io.Discard, 1, 1); err != nil {
+		if err := fvp.RunExperiment("table2", io.Discard, 1, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -377,6 +380,44 @@ func BenchmarkDRAMAccess(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		now = d.Access(now, uint64(i)*64)
 	}
+}
+
+// BenchmarkServiceCacheHit measures the fvpd service's cache-hit fast
+// path: after one priming simulation, every further submit of the same
+// RunSpec must be answered from the content-addressed cache at submit
+// time (hash + LRU lookup + job bookkeeping, no simulation). This
+// anchors the service's perf trajectory: hit latency is what a sweep
+// pays for every redundant point.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	svc := simd.New(simd.Config{Workers: 2, MaxFinishedJobs: 512})
+	defer svc.Close()
+	spec := fvp.RunSpec{Workload: "omnetpp", Predictor: fvp.PredFVP,
+		WarmupInsts: 20_000, MeasureInsts: 50_000}
+
+	prime, err := svc.Submit(simd.RunRequest{RunSpec: spec})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st, err := svc.Wait(context.Background(), prime.ID); err != nil || st.State != simd.StateDone {
+		b.Fatalf("priming run: state=%s err=%v", st.State, err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := svc.Submit(simd.RunRequest{RunSpec: spec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.State != simd.StateDone || !st.Cached || st.Metrics == nil {
+			b.Fatalf("submit %d not served from cache: %+v", i, st)
+		}
+	}
+	b.StopTimer()
+	snap := svc.Snapshot()
+	if snap.CacheMisses != 1 || snap.CacheHits != uint64(b.N) {
+		b.Fatalf("hits=%d misses=%d, want %d/1", snap.CacheHits, snap.CacheMisses, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "hits/s")
 }
 
 // BenchmarkStoreSets measures the dependence-predictor dispatch path.

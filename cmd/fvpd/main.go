@@ -1,0 +1,71 @@
+// Command fvpd serves the FVP simulator as a batch-simulation service:
+// an HTTP/JSON API over a bounded job queue, a worker pool, and a
+// content-addressed result cache with single-flight deduplication, so
+// design-space sweeps from many clients share one simulation per unique
+// (workload, machine, predictor, run-length) point.
+//
+// Usage:
+//
+//	fvpd -addr :8080 -workers 8 -queue 64 -cache 4096
+//
+// Endpoints: POST /v1/runs (single or batch, ?wait=1 to block),
+// GET /v1/runs/{id}, DELETE /v1/runs/{id}, GET /v1/workloads,
+// GET /v1/predictors, GET /healthz, GET /metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fvp/internal/simd"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "simulation workers (0 = NumCPU)")
+		queue   = flag.Int("queue", 0, "run-queue capacity (0 = 4×workers)")
+		cache   = flag.Int("cache", 0, "result-cache entries (0 = 1024)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	svc := simd.New(simd.Config{Workers: *workers, QueueSize: *queue, CacheSize: *cache})
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "fvpd: listening on %s (%d workers)\n", *addr, svc.Workers())
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "fvpd:", err)
+		svc.Close()
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, then drain queued
+	// and in-flight simulations; past the budget they are canceled via
+	// their contexts and finish in the canceled state.
+	fmt.Fprintln(os.Stderr, "fvpd: shutting down, draining jobs...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "fvpd: http shutdown:", err)
+	}
+	if err := svc.Drain(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "fvpd: drain:", err)
+	}
+	fmt.Fprintln(os.Stderr, "fvpd: bye")
+}

@@ -5,15 +5,26 @@
 // Usage:
 //
 //	fvpsim -workload omnetpp -machine skylake -predictor fvp -compare
+//	fvpsim -workload omnetpp -predictor fvp -json
+//	fvpsim -server http://localhost:8080 -workload omnetpp -predictor fvp
 //	fvpsim -list
+//
+// With -server the simulation is submitted to a running fvpd daemon
+// (sharing its result cache) instead of executing locally. With -json the
+// result is emitted as one machine-readable report row (the same schema
+// the experiment drivers write); without -compare the baseline fields are
+// zero.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"fvp"
+	"fvp/internal/simd/client"
 )
 
 func main() {
@@ -24,6 +35,8 @@ func main() {
 		warmup  = flag.Uint64("warmup", 100_000, "warmup instructions")
 		insts   = flag.Uint64("insts", 300_000, "measured instructions")
 		compare = flag.Bool("compare", false, "also run the baseline and report speedup")
+		jsonOut = flag.Bool("json", false, "emit the result as one JSON report row")
+		server  = flag.String("server", "", "fvpd base URL; submit there instead of simulating locally")
 		list    = flag.Bool("list", false, "list workloads and predictors, then exit")
 	)
 	flag.Parse()
@@ -48,13 +61,41 @@ func main() {
 		WarmupInsts:  *warmup,
 		MeasureInsts: *insts,
 	}
+
+	run := fvp.RunContext
+	if *server != "" {
+		run = client.New(*server).Run
+	}
+	ctx := context.Background()
+
+	var base *fvp.Metrics
 	if *compare {
-		c, err := fvp.Compare(spec)
+		baseSpec := spec
+		baseSpec.Predictor = fvp.PredNone
+		b, err := run(ctx, baseSpec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fvpsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		fmt.Printf("%s on %s (%s):\n", c.Workload, *machine, *pred)
+		base = &b
+	}
+	m, err := run(ctx, spec)
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		rec := fvp.ToRecord(spec, base, m)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *compare {
+		c := fvp.Comparison{Workload: *wl, Base: *base, Pred: m}
+		fmt.Printf("%s on %s (%s):\n", *wl, *machine, *pred)
 		fmt.Printf("  baseline IPC  %.3f\n", c.Base.IPC)
 		fmt.Printf("  predictor IPC %.3f  (%+.2f%%)\n", c.Pred.IPC, (c.Speedup()-1)*100)
 		fmt.Printf("  coverage      %.1f%% of loads, accuracy %.2f%%, flushes %d\n",
@@ -62,11 +103,6 @@ func main() {
 		fmt.Printf("  loads by level (base) L1=%d L2=%d LLC=%d MEM=%d\n",
 			c.Base.LoadsByLevel[0], c.Base.LoadsByLevel[1], c.Base.LoadsByLevel[2], c.Base.LoadsByLevel[3])
 		return
-	}
-	m, err := fvp.Run(spec)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fvpsim:", err)
-		os.Exit(1)
 	}
 	fmt.Printf("%s on %s (%s): IPC=%.3f cycles=%d insts=%d loads=%d\n",
 		*wl, *machine, *pred, m.IPC, m.Cycles, m.Insts, m.Loads)
@@ -83,4 +119,9 @@ func main() {
 		fmt.Printf(" %s=%.0f%%", names[i], 100*float64(n)/float64(m.Cycles))
 	}
 	fmt.Println()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fvpsim:", err)
+	os.Exit(1)
 }

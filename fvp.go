@@ -19,6 +19,7 @@
 package fvp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -26,9 +27,54 @@ import (
 	"fvp/internal/harness"
 	"fvp/internal/ooo"
 	"fvp/internal/prog"
+	"fvp/internal/suggest"
 	"fvp/internal/vp"
 	"fvp/internal/workload"
 )
+
+// UnknownNameError reports a RunSpec field that names no known workload,
+// machine, or predictor, with the closest valid name when one is
+// plausible. Callers that translate errors into protocol responses (the
+// fvpd service maps it to HTTP 400) can detect it with errors.As.
+type UnknownNameError struct {
+	// Kind is "workload", "machine", or "predictor".
+	Kind string
+	// Name is the value that failed to resolve.
+	Name string
+	// Suggestion is the closest valid name, or "" if nothing is close.
+	Suggestion string
+}
+
+func (e *UnknownNameError) Error() string {
+	if e.Suggestion != "" {
+		return fmt.Sprintf("fvp: no such %s %q (did you mean %q?)", e.Kind, e.Name, e.Suggestion)
+	}
+	return fmt.Sprintf("fvp: no such %s %q", e.Kind, e.Name)
+}
+
+// unknownName builds the error, filling in the closest-candidate hint.
+func unknownName(kind, name string, candidates []string) error {
+	s, _ := suggest.Closest(name, candidates)
+	return &UnknownNameError{Kind: kind, Name: name, Suggestion: s}
+}
+
+func workloadNames() []string {
+	ws := workload.All()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}
+
+func predictorNames() []string {
+	ps := Predictors()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = string(p)
+	}
+	return out
+}
 
 // Machine selects a simulated core configuration.
 type Machine string
@@ -49,7 +95,7 @@ func coreConfig(m Machine) (ooo.Config, error) {
 	case Skylake2X:
 		return ooo.Skylake2X(), nil
 	}
-	return ooo.Config{}, fmt.Errorf("fvp: unknown machine %q", m)
+	return ooo.Config{}, unknownName("machine", string(m), []string{string(Skylake), string(Skylake2X)})
 }
 
 // Predictor names a value-predictor configuration.
@@ -132,7 +178,7 @@ func predFactory(p Predictor) (harness.PredFactory, error) {
 	case PredEVES:
 		return harness.Factory(harness.SpecEVES), nil
 	}
-	return nil, fmt.Errorf("fvp: unknown predictor %q", p)
+	return nil, unknownName("predictor", string(p), predictorNames())
 }
 
 // StorageBytes returns the state budget of a predictor configuration in
@@ -169,40 +215,76 @@ func Workloads() []WorkloadInfo {
 // RunSpec describes one simulation.
 type RunSpec struct {
 	// Workload is a study-list name (see Workloads).
-	Workload string
+	Workload string `json:"workload"`
 	// Machine defaults to Skylake.
-	Machine Machine
+	Machine Machine `json:"machine,omitempty"`
 	// Predictor defaults to PredNone (the baseline).
-	Predictor Predictor
+	Predictor Predictor `json:"predictor,omitempty"`
 	// WarmupInsts and MeasureInsts default to 100k/300k.
-	WarmupInsts  uint64
-	MeasureInsts uint64
+	WarmupInsts  uint64 `json:"warmup_insts,omitempty"`
+	MeasureInsts uint64 `json:"measure_insts,omitempty"`
 }
 
-// Metrics is the measured outcome of a run.
+// Normalized returns the spec with every default made explicit, so two
+// specs that describe the same simulation compare (and hash) equal. This
+// is what the fvpd result cache keys on.
+func (s RunSpec) Normalized() RunSpec {
+	if s.Machine == "" {
+		s.Machine = Skylake
+	}
+	if s.Predictor == "" {
+		s.Predictor = PredNone
+	}
+	def := harness.DefaultOptions()
+	if s.WarmupInsts == 0 {
+		s.WarmupInsts = def.WarmupInsts
+	}
+	if s.MeasureInsts == 0 {
+		s.MeasureInsts = def.MeasureInsts
+	}
+	return s
+}
+
+// Validate resolves every name in the spec without simulating, returning
+// an *UnknownNameError (with a did-you-mean hint) for the first field
+// that doesn't resolve. Services use it to reject bad requests before
+// queueing work.
+func Validate(spec RunSpec) error {
+	if _, ok := workload.ByName(spec.Workload); !ok {
+		return unknownName("workload", spec.Workload, workloadNames())
+	}
+	if _, err := coreConfig(spec.Machine); err != nil {
+		return err
+	}
+	_, err := predFactory(spec.Predictor)
+	return err
+}
+
+// Metrics is the measured outcome of a run. The JSON field names are the
+// wire schema of the fvpd service and fvpsim -json.
 type Metrics struct {
 	// IPC is retired instructions per cycle over the measured region.
-	IPC float64
+	IPC float64 `json:"ipc"`
 	// Coverage is predicted loads / all loads (the paper's metric).
-	Coverage float64
+	Coverage float64 `json:"coverage"`
 	// Accuracy is correct / validated predictions.
-	Accuracy float64
+	Accuracy float64 `json:"accuracy"`
 	// Cycles and Insts cover the measured region.
-	Cycles uint64
-	Insts  uint64
+	Cycles uint64 `json:"cycles"`
+	Insts  uint64 `json:"insts"`
 	// Loads is the retired load count.
-	Loads uint64
+	Loads uint64 `json:"loads"`
 	// VPFlushes counts pipeline flushes from value mispredictions.
-	VPFlushes uint64
+	VPFlushes uint64 `json:"vp_flushes"`
 	// BranchMispredicts counts resolved front-end mispredictions.
-	BranchMispredicts uint64
+	BranchMispredicts uint64 `json:"branch_mispredicts"`
 	// Forwards counts store→load forwarding events in the LSQ.
-	Forwards uint64
+	Forwards uint64 `json:"forwards"`
 	// LoadsByLevel counts demand loads served by L1/L2/LLC/memory.
-	LoadsByLevel [4]uint64
+	LoadsByLevel [4]uint64 `json:"loads_by_level"`
 	// CycleBreakdown attributes every cycle to a top-down bucket; see
 	// CycleBucketNames for labels. Buckets sum to Cycles.
-	CycleBreakdown [9]uint64
+	CycleBreakdown [9]uint64 `json:"cycle_breakdown"`
 }
 
 // CycleBucketNames labels Metrics.CycleBreakdown.
@@ -237,9 +319,16 @@ func toMetrics(r harness.Result) Metrics {
 
 // Run simulates one workload per spec and returns its metrics.
 func Run(spec RunSpec) (Metrics, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with cooperative cancellation: the simulator's cycle
+// loop polls ctx, so deadline expiry or cancellation stops the run within
+// a few thousand simulated cycles and returns ctx's error.
+func RunContext(ctx context.Context, spec RunSpec) (Metrics, error) {
 	w, ok := workload.ByName(spec.Workload)
 	if !ok {
-		return Metrics{}, fmt.Errorf("fvp: unknown workload %q (see fvp.Workloads)", spec.Workload)
+		return Metrics{}, unknownName("workload", spec.Workload, workloadNames())
 	}
 	cfg, err := coreConfig(spec.Machine)
 	if err != nil {
@@ -249,7 +338,11 @@ func Run(spec RunSpec) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
-	return toMetrics(harness.RunOne(w, cfg, pf, spec.options())), nil
+	r, err := harness.RunOneCtx(ctx, w, cfg, pf, spec.options())
+	if err != nil {
+		return Metrics{}, err
+	}
+	return toMetrics(r), nil
 }
 
 // Comparison pairs a predictor run with its baseline.
@@ -270,18 +363,69 @@ func (c Comparison) Speedup() float64 {
 
 // Compare runs baseline and predictor for one workload.
 func Compare(spec RunSpec) (Comparison, error) {
+	return CompareContext(context.Background(), spec)
+}
+
+// CompareContext is Compare with cooperative cancellation (see
+// RunContext); both the baseline and the predictor run honor ctx.
+func CompareContext(ctx context.Context, spec RunSpec) (Comparison, error) {
 	base := spec
 	base.Predictor = PredNone
-	b, err := Run(base)
+	b, err := RunContext(ctx, base)
 	if err != nil {
 		return Comparison{}, err
 	}
-	p, err := Run(spec)
+	p, err := RunContext(ctx, spec)
 	if err != nil {
 		return Comparison{}, err
 	}
 	w, _ := workload.ByName(spec.Workload)
 	return Comparison{Workload: spec.Workload, Category: string(w.Category), Base: b, Pred: p}, nil
+}
+
+// ToRecord flattens a run into the harness report row — the one
+// machine-readable schema shared by the experiment drivers, fvpsim -json,
+// and scripts plotting either. base may be nil for a standalone run, in
+// which case BaseIPC and Speedup are 0 ("no baseline measured").
+func ToRecord(spec RunSpec, base *Metrics, pred Metrics) harness.ReportRecord {
+	spec = spec.Normalized()
+	category := ""
+	if w, ok := workload.ByName(spec.Workload); ok {
+		category = string(w.Category)
+	}
+	coreName := string(spec.Machine)
+	if cfg, err := coreConfig(spec.Machine); err == nil {
+		coreName = cfg.Name
+	}
+	cycles := float64(pred.Cycles)
+	if cycles == 0 {
+		cycles = 1
+	}
+	mem := float64(pred.CycleBreakdown[ooo.CycMemL1] +
+		pred.CycleBreakdown[ooo.CycMemL2] +
+		pred.CycleBreakdown[ooo.CycMemLLC] +
+		pred.CycleBreakdown[ooo.CycMemDRAM] +
+		pred.CycleBreakdown[ooo.CycStoreFwd])
+	rec := harness.ReportRecord{
+		Workload:  spec.Workload,
+		Category:  category,
+		Core:      coreName,
+		Predictor: string(spec.Predictor),
+		PredIPC:   pred.IPC,
+		Coverage:  pred.Coverage,
+		Accuracy:  pred.Accuracy,
+		VPFlushes: pred.VPFlushes,
+		Retiring:  float64(pred.CycleBreakdown[ooo.CycRetiring]) / cycles,
+		MemStall:  mem / cycles,
+		Frontend:  float64(pred.CycleBreakdown[ooo.CycFrontend]) / cycles,
+	}
+	if base != nil {
+		rec.BaseIPC = base.IPC
+		if base.IPC > 0 {
+			rec.Speedup = pred.IPC / base.IPC
+		}
+	}
+	return rec
 }
 
 // CompareSuite runs baseline and predictor over every workload (in
@@ -374,7 +518,7 @@ func FVPStorage() []StorageItem {
 func BuildWorkloadSource(name string) (*prog.Exec, *prog.Memory, error) {
 	w, ok := workload.ByName(name)
 	if !ok {
-		return nil, nil, fmt.Errorf("fvp: unknown workload %q", name)
+		return nil, nil, unknownName("workload", name, workloadNames())
 	}
 	p := w.Build()
 	return prog.NewExec(p), p.BuildMemory(), nil

@@ -4,6 +4,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -182,6 +183,15 @@ func meterDelta(a, b vp.Meter) vp.Meter {
 
 // RunOne simulates one workload on one core with one predictor.
 func RunOne(w workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Options) Result {
+	r, _ := RunOneCtx(context.Background(), w, coreCfg, pf, opt)
+	return r
+}
+
+// RunOneCtx is RunOne with cooperative cancellation: the simulation's
+// cycle loop polls ctx and the partial run is abandoned (zero Result,
+// ctx.Err()) when it fires. Both the warmup and the measured region honor
+// the context, so a canceled service job stops consuming cycles promptly.
+func RunOneCtx(ctx context.Context, w workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Options) (Result, error) {
 	p := w.Build()
 	ex := prog.NewExec(p)
 	var pred vp.Predictor
@@ -191,10 +201,14 @@ func RunOne(w workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Options
 	c := ooo.New(coreCfg, pred, ex, p.BuildMemory())
 	c.WarmCaches(p.WarmRanges)
 
-	c.Run(opt.WarmupInsts)
+	if _, err := c.RunCtx(ctx, opt.WarmupInsts); err != nil {
+		return Result{}, err
+	}
 	warmStats := c.Stats
 	warmMeter := c.Meter
-	c.Run(opt.WarmupInsts + opt.MeasureInsts)
+	if _, err := c.RunCtx(ctx, opt.WarmupInsts+opt.MeasureInsts); err != nil {
+		return Result{}, err
+	}
 	st := statsDelta(warmStats, c.Stats)
 	mt := meterDelta(warmMeter, c.Meter)
 
@@ -212,7 +226,7 @@ func RunOne(w workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Options
 		Accuracy:  mt.Accuracy(),
 		Stats:     st,
 		Meter:     mt,
-	}
+	}, nil
 }
 
 // RunSuite runs every workload in ws with the given core and predictor,

@@ -1,17 +1,42 @@
 package ooo
 
 import (
+	"context"
+
 	"fvp/internal/isa"
 	"fvp/internal/memsys"
 	"fvp/internal/vp"
 )
+
+// cancelCheckMask gates how often RunCtx polls the context: every
+// (cancelCheckMask+1) cycles. 4096 cycles is ~µs of wall time, far below
+// any caller-visible deadline, while keeping the poll off the hot path.
+const cancelCheckMask = 4095
 
 // Run simulates until the total retired-instruction count reaches
 // maxRetired (or the source is exhausted) and returns the cumulative run
 // statistics. Run may be called repeatedly with growing targets — the
 // warmup/measure protocol snapshots Stats between calls.
 func (c *Core) Run(maxRetired uint64) RunStats {
+	st, _ := c.RunCtx(context.Background(), maxRetired)
+	return st
+}
+
+// RunCtx is Run with cooperative cancellation: the cycle loop polls ctx
+// every few thousand simulated cycles and returns early with ctx.Err()
+// when it fires, leaving Stats at the point of interruption. This is what
+// lets a service-side job honor per-request deadlines and graceful
+// shutdown without killing the worker goroutine.
+func (c *Core) RunCtx(ctx context.Context, maxRetired uint64) (RunStats, error) {
+	done := ctx.Done()
 	for c.Stats.Retired < maxRetired {
+		if done != nil && c.Stats.Cycles&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return c.Stats, ctx.Err()
+			default:
+			}
+		}
 		c.now++
 		c.Stats.Cycles++
 		c.stageRetire()
@@ -24,7 +49,7 @@ func (c *Core) Run(maxRetired uint64) RunStats {
 			break
 		}
 	}
-	return c.Stats
+	return c.Stats, nil
 }
 
 // classOf maps an op to its issue-port class.

@@ -1,0 +1,76 @@
+// Package simd is the batch-simulation service behind cmd/fvpd: a
+// bounded job queue with backpressure, a worker pool sized to the host,
+// a content-addressed result cache with single-flight deduplication, and
+// an HTTP/JSON API for submitting runs and polling results.
+//
+// The execution model is deliberately simple: every submitted RunSpec is
+// normalized and hashed; identical specs share one simulation (whether
+// they arrive concurrently or after a result is cached), and distinct
+// specs queue behind a fixed-capacity run queue whose overflow surfaces
+// to clients as 503 + Retry-After rather than unbounded memory growth.
+package simd
+
+import "fvp"
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job states, in lifecycle order. Queued and Running are transient;
+// Done, Failed, and Canceled are terminal.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether a job in this state will never change again.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// RunRequest is one unit of work submitted to the service: a façade
+// RunSpec plus service-level knobs.
+type RunRequest struct {
+	fvp.RunSpec
+	// TimeoutMS bounds the simulation's wall time; 0 means no deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// JobStatus is the externally visible snapshot of a job.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Cached is true when the result was served from the content-addressed
+	// cache or deduplicated onto an in-flight identical run.
+	Cached bool        `json:"cached"`
+	Spec   fvp.RunSpec `json:"spec"`
+	// Metrics is present once State is done.
+	Metrics *fvp.Metrics `json:"metrics,omitempty"`
+	// Error is present when State is failed or canceled.
+	Error string `json:"error,omitempty"`
+}
+
+// SubmitResponse is the body of POST /v1/runs.
+type SubmitResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// PredictorInfo is one row of GET /v1/predictors.
+type PredictorInfo struct {
+	Name         string `json:"name"`
+	StorageBytes int    `json:"storage_bytes"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status    string `json:"status"`
+	Workers   int    `json:"workers"`
+	QueueFree int    `json:"queue_free"`
+}
+
+// apiError is the JSON error envelope of every non-2xx response.
+type apiError struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,189 @@
+// Package client is the Go client for the fvpd batch-simulation service
+// (internal/simd). cmd/fvpsim's -server mode uses it to submit runs to a
+// shared daemon instead of simulating locally.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"fvp"
+	"fvp/internal/simd"
+)
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the service's error text.
+	Message string
+	// RetryAfter is the parsed Retry-After hint on 503s (0 if absent).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("fvpd: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// Temporary reports whether the request may succeed if retried (the
+// service signaled backpressure, not rejection).
+func (e *APIError) Temporary() bool { return e.StatusCode == http.StatusServiceUnavailable }
+
+// Client talks to one fvpd server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the server at base.
+func New(base string) *Client {
+	return &Client{BaseURL: base}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues a request and decodes the JSON response into out (unless
+// out is nil), converting non-2xx responses into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&envelope) == nil && envelope.Error != "" {
+			apiErr.Message = envelope.Error
+		} else {
+			apiErr.Message = resp.Status
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			var secs int
+			if _, err := fmt.Sscanf(ra, "%d", &secs); err == nil {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit sends a batch of runs. With wait=true the call blocks until
+// every job finishes and the returned statuses carry results; canceling
+// ctx mid-wait disconnects, which cancels the server-side jobs.
+func (c *Client) Submit(ctx context.Context, reqs []simd.RunRequest, wait bool) ([]simd.JobStatus, error) {
+	path := "/v1/runs"
+	if wait {
+		path += "?wait=1"
+	}
+	var resp simd.SubmitResponse
+	if err := c.do(ctx, http.MethodPost, path, struct {
+		Runs []simd.RunRequest `json:"runs"`
+	}{reqs}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// Run submits one spec in wait mode and returns its metrics — the remote
+// equivalent of fvp.RunContext.
+func (c *Client) Run(ctx context.Context, spec fvp.RunSpec) (fvp.Metrics, error) {
+	jobs, err := c.Submit(ctx, []simd.RunRequest{{RunSpec: spec}}, true)
+	if err != nil {
+		return fvp.Metrics{}, err
+	}
+	st := jobs[0]
+	if st.State != simd.StateDone || st.Metrics == nil {
+		return fvp.Metrics{}, fmt.Errorf("fvpd: job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	return *st.Metrics, nil
+}
+
+// Get fetches one job's status.
+func (c *Client) Get(ctx context.Context, id string) (simd.JobStatus, error) {
+	var st simd.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/runs/"+id, nil, &st)
+	return st, err
+}
+
+// Poll polls a job until it reaches a terminal state or ctx fires.
+func (c *Client) Poll(ctx context.Context, id string, interval time.Duration) (simd.JobStatus, error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State != simd.StateQueued && st.State != simd.StateRunning {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Cancel cancels one job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/runs/"+id, nil, nil)
+}
+
+// Workloads lists the server's study list.
+func (c *Client) Workloads(ctx context.Context) ([]fvp.WorkloadInfo, error) {
+	var out []fvp.WorkloadInfo
+	err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, &out)
+	return out, err
+}
+
+// Predictors lists the server's predictor configurations.
+func (c *Client) Predictors(ctx context.Context) ([]simd.PredictorInfo, error) {
+	var out []simd.PredictorInfo
+	err := c.do(ctx, http.MethodGet, "/v1/predictors", nil, &out)
+	return out, err
+}
+
+// Healthz checks server liveness.
+func (c *Client) Healthz(ctx context.Context) (simd.Health, error) {
+	var h simd.Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}

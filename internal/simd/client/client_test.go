@@ -1,0 +1,74 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fvp"
+	"fvp/internal/simd"
+)
+
+func newClient(t *testing.T, cfg simd.Config) *Client {
+	t.Helper()
+	svc := simd.New(cfg)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return New(srv.URL)
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	c := newClient(t, simd.Config{Workers: 2})
+	ctx := context.Background()
+
+	if _, err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	ws, err := c.Workloads(ctx)
+	if err != nil || len(ws) == 0 {
+		t.Fatalf("workloads: %d, %v", len(ws), err)
+	}
+	ps, err := c.Predictors(ctx)
+	if err != nil || len(ps) == 0 {
+		t.Fatalf("predictors: %d, %v", len(ps), err)
+	}
+
+	spec := fvp.RunSpec{Workload: "omnetpp", Predictor: fvp.PredFVP, WarmupInsts: 1_000, MeasureInsts: 2_000}
+	m, err := c.Run(ctx, spec)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if m.IPC <= 0 || m.Insts == 0 {
+		t.Errorf("remote run returned empty metrics: %+v", m)
+	}
+
+	// Async submit + poll; the identical spec must come back cached.
+	jobs, err := c.Submit(ctx, []simd.RunRequest{{RunSpec: spec}}, false)
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("submit: %v", err)
+	}
+	st, err := c.Poll(ctx, jobs[0].ID, 10*time.Millisecond)
+	if err != nil || st.State != simd.StateDone || !st.Cached {
+		t.Fatalf("poll: state=%s cached=%v err=%v", st.State, st.Cached, err)
+	}
+	if st.Metrics.IPC != m.IPC {
+		t.Error("cached remote metrics must match the first run")
+	}
+}
+
+func TestClientSurfacesAPIErrors(t *testing.T) {
+	c := newClient(t, simd.Config{Workers: 1})
+	_, err := c.Run(context.Background(), fvp.RunSpec{Workload: "no-such-kernel"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %v", err)
+	}
+	if apiErr.StatusCode != 400 || apiErr.Temporary() {
+		t.Errorf("unknown workload: %+v", apiErr)
+	}
+}

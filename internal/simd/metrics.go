@@ -1,0 +1,107 @@
+package simd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// counters are the service-level counters, guarded by the Service mutex.
+type counters struct {
+	cacheHits   uint64
+	cacheMisses uint64
+	done        uint64
+	failed      uint64
+	canceled    uint64
+	running     int
+	simCycles   uint64
+	simInsts    uint64
+	simSeconds  float64
+}
+
+// Stats is a point-in-time snapshot of the service counters; the JSON
+// form mirrors the /metrics exposition names.
+type Stats struct {
+	JobsQueued   int     `json:"jobs_queued"`
+	JobsRunning  int     `json:"jobs_running"`
+	JobsDone     uint64  `json:"jobs_done"`
+	JobsFailed   uint64  `json:"jobs_failed"`
+	JobsCanceled uint64  `json:"jobs_canceled"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheEntries int     `json:"cache_entries"`
+	SimCycles    uint64  `json:"sim_cycles"`
+	SimInsts     uint64  `json:"sim_insts"`
+	SimSeconds   float64 `json:"sim_seconds"`
+}
+
+// CyclesPerSecond is the service's aggregate simulation throughput.
+func (s Stats) CyclesPerSecond() float64 {
+	if s.SimSeconds <= 0 {
+		return 0
+	}
+	return float64(s.SimCycles) / s.SimSeconds
+}
+
+// httpStats tracks per-endpoint request counts and cumulative latency.
+// It has its own lock so request accounting never contends with the job
+// queue.
+type httpStats struct {
+	mu  sync.Mutex
+	byE map[string]*endpointStat
+}
+
+type endpointStat struct {
+	count   uint64
+	seconds float64
+}
+
+func newHTTPStats() *httpStats {
+	return &httpStats{byE: make(map[string]*endpointStat)}
+}
+
+func (h *httpStats) observe(endpoint string, d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.byE[endpoint]
+	if st == nil {
+		st = &endpointStat{}
+		h.byE[endpoint] = st
+	}
+	st.count++
+	st.seconds += d.Seconds()
+}
+
+// WriteMetrics renders the Prometheus-style text exposition served at
+// GET /metrics.
+func (s *Service) WriteMetrics(w io.Writer) {
+	st := s.Snapshot()
+	fmt.Fprintf(w, "# fvpd batch-simulation service\n")
+	fmt.Fprintf(w, "fvpd_jobs_queued %d\n", st.JobsQueued)
+	fmt.Fprintf(w, "fvpd_jobs_running %d\n", st.JobsRunning)
+	fmt.Fprintf(w, "fvpd_jobs_done_total %d\n", st.JobsDone)
+	fmt.Fprintf(w, "fvpd_jobs_failed_total %d\n", st.JobsFailed)
+	fmt.Fprintf(w, "fvpd_jobs_canceled_total %d\n", st.JobsCanceled)
+	fmt.Fprintf(w, "fvpd_cache_hits_total %d\n", st.CacheHits)
+	fmt.Fprintf(w, "fvpd_cache_misses_total %d\n", st.CacheMisses)
+	fmt.Fprintf(w, "fvpd_cache_entries %d\n", st.CacheEntries)
+	fmt.Fprintf(w, "fvpd_sim_cycles_total %d\n", st.SimCycles)
+	fmt.Fprintf(w, "fvpd_sim_insts_total %d\n", st.SimInsts)
+	fmt.Fprintf(w, "fvpd_sim_seconds_total %g\n", st.SimSeconds)
+	fmt.Fprintf(w, "fvpd_sim_cycles_per_second %g\n", st.CyclesPerSecond())
+
+	s.http.mu.Lock()
+	endpoints := make([]string, 0, len(s.http.byE))
+	for e := range s.http.byE {
+		endpoints = append(endpoints, e)
+	}
+	sort.Strings(endpoints)
+	for _, e := range endpoints {
+		es := s.http.byE[e]
+		fmt.Fprintf(w, "fvpd_http_requests_total{endpoint=%q} %d\n", e, es.count)
+		fmt.Fprintf(w, "fvpd_http_request_seconds_total{endpoint=%q} %g\n", e, es.seconds)
+	}
+	s.http.mu.Unlock()
+}

@@ -1,0 +1,164 @@
+package simd
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"fvp"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/runs        submit one spec or {"runs":[...]}; ?wait=1 blocks
+//	GET    /v1/runs/{id}   job status + result
+//	DELETE /v1/runs/{id}   cancel a job
+//	GET    /v1/workloads   the study list
+//	GET    /v1/predictors  predictor configurations + storage budgets
+//	GET    /healthz        liveness + capacity
+//	GET    /metrics        text counters exposition
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, h))
+	}
+	route("POST /v1/runs", s.handleSubmit)
+	route("GET /v1/runs/{id}", s.handleGet)
+	route("DELETE /v1/runs/{id}", s.handleCancel)
+	route("GET /v1/workloads", s.handleWorkloads)
+	route("GET /v1/predictors", s.handlePredictors)
+	route("GET /healthz", s.handleHealthz)
+	route("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// instrument records per-endpoint request counts and latency.
+func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.http.observe(endpoint, time.Since(start))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// decodeRuns accepts either a single RunRequest object or a batch
+// envelope {"runs":[...]}.
+func decodeRuns(body io.Reader) ([]RunRequest, error) {
+	raw, err := io.ReadAll(io.LimitReader(body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	var batch struct {
+		Runs []RunRequest `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &batch); err == nil && batch.Runs != nil {
+		return batch.Runs, nil
+	}
+	var one RunRequest
+	if err := json.Unmarshal(raw, &one); err != nil {
+		return nil, errors.New("simd: body must be a run spec or {\"runs\":[...]}")
+	}
+	return []RunRequest{one}, nil
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	reqs, err := decodeRuns(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	statuses, err := s.SubmitBatch(reqs)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		// Validation errors (unknown names, empty batch) are client errors.
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if r.URL.Query().Get("wait") == "" {
+		writeJSON(w, http.StatusAccepted, SubmitResponse{Jobs: statuses})
+		return
+	}
+	// Wait mode: block until every job finishes. A client disconnect
+	// cancels the request context, which cancels the waited-on jobs —
+	// and with them any simulation nobody else is interested in.
+	for i, st := range statuses {
+		final, err := s.Wait(r.Context(), st.ID)
+		statuses[i] = final
+		if err != nil {
+			for _, rest := range statuses[i+1:] {
+				s.Cancel(rest.ID)
+			}
+			return // client is gone; nothing to write
+		}
+	}
+	writeJSON(w, http.StatusOK, SubmitResponse{Jobs: statuses})
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("simd: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.Cancel(id) {
+		st, _ := s.Get(id)
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	if st, ok := s.Get(id); ok {
+		// Already terminal: canceling is a no-op, report current state.
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	writeError(w, http.StatusNotFound, errors.New("simd: no such job"))
+}
+
+func (s *Service) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, fvp.Workloads())
+}
+
+func (s *Service) handlePredictors(w http.ResponseWriter, r *http.Request) {
+	ps := fvp.Predictors()
+	out := make([]PredictorInfo, len(ps))
+	for i, p := range ps {
+		bytes, _ := fvp.StorageBytes(p)
+		out[i] = PredictorInfo{Name: string(p), StorageBytes: bytes}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Status:    "ok",
+		Workers:   s.Workers(),
+		QueueFree: s.QueueFree(),
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.WriteMetrics(w)
+}

@@ -1,0 +1,489 @@
+package simd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fvp"
+)
+
+// Errors surfaced to submitters. The HTTP layer maps ErrQueueFull to
+// 503 + Retry-After and ErrClosed to 503 without one.
+var (
+	ErrQueueFull = errors.New("simd: run queue is full, retry later")
+	ErrClosed    = errors.New("simd: service is shutting down")
+)
+
+// RunFunc executes one simulation; the default is fvp.RunContext. Tests
+// substitute a counting stub to assert single-flight behavior.
+type RunFunc func(ctx context.Context, spec fvp.RunSpec) (fvp.Metrics, error)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the simulation worker-pool size; default runtime.NumCPU().
+	Workers int
+	// QueueSize bounds queued-but-not-running unique runs; submits beyond
+	// it fail with ErrQueueFull. Default 4×Workers.
+	QueueSize int
+	// CacheSize bounds the content-addressed result cache. Default 1024.
+	CacheSize int
+	// MaxFinishedJobs bounds how many terminal job records are retained
+	// for GET /v1/runs/{id}; the oldest are evicted first. Default 4096.
+	MaxFinishedJobs int
+	// Run overrides the simulation function (tests only).
+	Run RunFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 4 * c.Workers
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.MaxFinishedJobs <= 0 {
+		c.MaxFinishedJobs = 4096
+	}
+	if c.Run == nil {
+		c.Run = fvp.RunContext
+	}
+	return c
+}
+
+// job is the internal record of one submitted RunRequest. Identical
+// concurrent specs share one execution: the first becomes the leader
+// (the only job a worker runs); later ones attach as followers and are
+// completed from the leader's result.
+type job struct {
+	id       string
+	key      string
+	spec     fvp.RunSpec // normalized
+	state    State
+	cached   bool
+	result   *fvp.Metrics
+	err      error
+	done     chan struct{}
+	retained bool
+
+	// Leader-only fields. ctx governs the simulation; live counts the
+	// not-yet-canceled jobs (leader + followers) interested in it — when
+	// it reaches zero the execution is canceled.
+	ctx       context.Context
+	cancel    context.CancelFunc
+	followers []*job
+	live      int
+
+	// leader points a follower at its leader; nil on leaders.
+	leader *job
+}
+
+// Service is the batch-simulation engine: submit side (dedup, cache,
+// bounded queue), a worker pool, and job-table bookkeeping. All mutable
+// state is guarded by mu; simulations run outside the lock.
+type Service struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	runq     []*job          // queued leaders, FIFO
+	jobs     map[string]*job // every known job by ID
+	finished []string        // terminal job IDs, oldest first (retention)
+	inflight map[string]*job // spec key → leader not yet finalized
+	cache    *resultCache
+	met      counters
+	nextID   uint64
+	closed   bool
+	http     *httpStats
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New starts a service with cfg.Workers simulation workers. Callers own
+// its lifetime: Close (or Drain) must be called to release them.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:      cfg,
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+		cache:    newResultCache(cfg.CacheSize),
+		baseCtx:  ctx,
+		stop:     cancel,
+		http:     newHTTPStats(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates, deduplicates, and enqueues one run, returning the
+// job's initial status. A cached or deduplicated submit never consumes a
+// queue slot. Returns *fvp.UnknownNameError for bad names, ErrQueueFull
+// when the queue is at capacity, ErrClosed during shutdown.
+func (s *Service) Submit(req RunRequest) (JobStatus, error) {
+	sts, err := s.SubmitBatch([]RunRequest{req})
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return sts[0], nil
+}
+
+// SubmitBatch submits a batch atomically with respect to queue capacity:
+// either every new unique run fits in the queue or the whole batch is
+// rejected with ErrQueueFull (cached and deduplicated entries need no
+// slot). Validation errors also reject the whole batch.
+func (s *Service) SubmitBatch(reqs []RunRequest) ([]JobStatus, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("simd: empty batch")
+	}
+	for _, r := range reqs {
+		if err := fvp.Validate(r.RunSpec); err != nil {
+			return nil, err
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+
+	// Capacity pre-check: count the batch's new unique leaders so the
+	// admit decision is all-or-nothing.
+	need := 0
+	seen := make(map[string]bool)
+	for _, r := range reqs {
+		key := specKey(r.RunSpec)
+		if s.cache.has(key) || s.inflight[key] != nil || seen[key] {
+			continue
+		}
+		seen[key] = true
+		need++
+	}
+	if len(s.runq)+need > s.cfg.QueueSize {
+		return nil, ErrQueueFull
+	}
+
+	out := make([]JobStatus, len(reqs))
+	for i, r := range reqs {
+		out[i] = s.admitLocked(r)
+	}
+	s.cond.Broadcast()
+	return out, nil
+}
+
+// admitLocked creates the job record for one request: a cache-served
+// terminal job, a follower on an in-flight leader, or a fresh leader.
+func (s *Service) admitLocked(r RunRequest) JobStatus {
+	spec := r.RunSpec.Normalized()
+	key := specKey(spec)
+	s.nextID++
+	j := &job{
+		id:   fmt.Sprintf("j-%08d", s.nextID),
+		key:  key,
+		spec: spec,
+		done: make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+
+	if m, ok := s.cache.get(key); ok {
+		j.state = StateDone
+		j.cached = true
+		j.result = &m
+		s.met.cacheHits++
+		s.met.done++
+		close(j.done)
+		s.retainLocked(j)
+		return j.status()
+	}
+	if leader := s.inflight[key]; leader != nil {
+		j.state = leader.state // queued or running
+		j.cached = true
+		j.leader = leader
+		leader.followers = append(leader.followers, j)
+		leader.live++
+		s.met.cacheHits++
+		return j.status()
+	}
+
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if r.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(r.TimeoutMS)*time.Millisecond)
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	j.state = StateQueued
+	j.ctx, j.cancel = ctx, cancel
+	j.live = 1
+	s.met.cacheMisses++
+	s.inflight[key] = j
+	s.runq = append(s.runq, j)
+	return j.status()
+}
+
+// worker pulls leaders off the run queue and simulates them until the
+// service closes and the queue drains.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.runq) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.runq) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := s.runq[0]
+		s.runq = s.runq[1:]
+		j.setStateLocked(StateRunning)
+		s.met.running++
+		s.mu.Unlock()
+
+		var m fvp.Metrics
+		err := j.ctx.Err()
+		start := time.Now()
+		if err == nil {
+			m, err = s.cfg.Run(j.ctx, j.spec)
+		}
+		elapsed := time.Since(start)
+
+		s.mu.Lock()
+		s.met.running--
+		if err == nil {
+			s.cache.put(j.key, m)
+			s.met.simCycles += m.Cycles
+			s.met.simInsts += m.Insts
+			s.met.simSeconds += elapsed.Seconds()
+		}
+		s.finalizeLocked(j, m, err)
+		s.mu.Unlock()
+	}
+}
+
+// setStateLocked moves a leader and its non-terminal followers to st.
+func (j *job) setStateLocked(st State) {
+	if !j.state.terminal() {
+		j.state = st
+	}
+	for _, f := range j.followers {
+		if !f.state.terminal() {
+			f.state = st
+		}
+	}
+}
+
+// finalizeLocked completes a leader and all its followers from one
+// execution outcome, releasing the in-flight slot and the ctx timer.
+func (s *Service) finalizeLocked(j *job, m fvp.Metrics, err error) {
+	delete(s.inflight, j.key)
+	j.cancel()
+	for _, target := range append([]*job{j}, j.followers...) {
+		if target.state.terminal() {
+			continue
+		}
+		switch {
+		case err == nil:
+			target.state = StateDone
+			target.result = &m
+			s.met.done++
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			target.state = StateCanceled
+			target.err = err
+			s.met.canceled++
+		default:
+			target.state = StateFailed
+			target.err = err
+			s.met.failed++
+		}
+		close(target.done)
+		s.retainLocked(target)
+	}
+	s.retainLocked(j) // leader may have been canceled individually earlier
+}
+
+// retainLocked records a terminal job for retention-bounded lookup,
+// evicting the oldest terminal records beyond the cap.
+func (s *Service) retainLocked(j *job) {
+	if j.retained {
+		return
+	}
+	j.retained = true
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.cfg.MaxFinishedJobs {
+		evict := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.jobs, evict)
+	}
+}
+
+// Cancel cancels one job. Canceling a deduplicated follower only detaches
+// that follower; the underlying simulation stops when its last interested
+// job is canceled, observed by the cycle loop within a few thousand
+// simulated cycles.
+func (s *Service) Cancel(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || j.state.terminal() {
+		return false
+	}
+	j.state = StateCanceled
+	j.err = context.Canceled
+	s.met.canceled++
+	close(j.done)
+	s.retainLocked(j)
+
+	leader := j
+	if j.leader != nil {
+		leader = j.leader
+	}
+	leader.live--
+	if leader.live > 0 {
+		return true
+	}
+	// Last interested party gone: stop the simulation. A queued leader is
+	// removed from the run queue eagerly so its slot frees immediately; a
+	// running one exits at the cycle loop's next context poll.
+	leader.cancel()
+	for i, q := range s.runq {
+		if q == leader {
+			s.runq = append(s.runq[:i], s.runq[i+1:]...)
+			s.finalizeLocked(leader, fvp.Metrics{}, context.Canceled)
+			break
+		}
+	}
+	return true
+}
+
+// Get returns a job's current status.
+func (s *Service) Get(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+// Wait blocks until the job reaches a terminal state or ctx fires. A ctx
+// cancellation counts as the waiter abandoning the job — it is canceled
+// (detached if deduplicated), which is how a client disconnect on a
+// wait-mode request stops the underlying simulation.
+func (s *Service) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, fmt.Errorf("simd: no such job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		s.Cancel(id)
+		st, _ := s.Get(id)
+		return st, ctx.Err()
+	}
+	st, _ := s.Get(id)
+	return st, nil
+}
+
+// Snapshot returns the current service counters.
+func (s *Service) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		JobsQueued:   len(s.runq),
+		JobsRunning:  s.met.running,
+		JobsDone:     s.met.done,
+		JobsFailed:   s.met.failed,
+		JobsCanceled: s.met.canceled,
+		CacheHits:    s.met.cacheHits,
+		CacheMisses:  s.met.cacheMisses,
+		CacheEntries: s.cache.len(),
+		SimCycles:    s.met.simCycles,
+		SimInsts:     s.met.simInsts,
+		SimSeconds:   s.met.simSeconds,
+	}
+}
+
+// QueueFree returns the remaining queue capacity (for health reporting).
+func (s *Service) QueueFree() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.cfg.QueueSize - len(s.runq)
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Workers returns the worker-pool size.
+func (s *Service) Workers() int { return s.cfg.Workers }
+
+// Drain gracefully shuts down: new submits are rejected, queued and
+// running jobs finish, and workers exit. If ctx fires first the
+// remaining work is canceled (and finishes as canceled).
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.stop()
+		<-drained
+	}
+	s.stop()
+	return err
+}
+
+// Close shuts down immediately: in-flight simulations are canceled at
+// their next context poll and finish in the canceled state.
+func (s *Service) Close() {
+	s.stop()
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// status renders the externally visible snapshot; callers hold s.mu.
+func (j *job) status() JobStatus {
+	st := JobStatus{
+		ID:      j.id,
+		State:   j.state,
+		Cached:  j.cached,
+		Spec:    j.spec,
+		Metrics: j.result,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}

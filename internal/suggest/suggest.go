@@ -1,0 +1,63 @@
+// Package suggest offers "did you mean" candidates for mistyped names.
+// It backs the unknown-workload/-predictor errors of the fvp façade, so
+// the CLI tools and the fvpd service's 400 responses share one notion of
+// "closest valid name".
+package suggest
+
+import "strings"
+
+// maxDistance bounds how far a candidate may be from the input before it
+// stops being a plausible typo. A third of the input length (at least 2)
+// admits dropped suffixes like "omnet" → "omnetpp" without proposing
+// unrelated names for short inputs.
+func maxDistance(name string) int {
+	d := len(name) / 3
+	if d < 2 {
+		d = 2
+	}
+	return d
+}
+
+// Closest returns the candidate with the smallest edit distance to name,
+// if any candidate is close enough to be a plausible typo. Matching is
+// case-insensitive; ties keep the earliest candidate, so callers listing
+// candidates in preference order get stable suggestions.
+func Closest(name string, candidates []string) (string, bool) {
+	lower := strings.ToLower(name)
+	best, bestDist := "", maxDistance(name)+1
+	for _, c := range candidates {
+		d := distance(lower, strings.ToLower(c))
+		if d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best, best != ""
+}
+
+// distance is the Levenshtein edit distance between a and b, computed with
+// a single rolling row (candidate lists here are tiny, so O(len(a)·len(b))
+// per pair is fine).
+func distance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	row := make([]int, len(b)+1)
+	for j := range row {
+		row[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		prev := row[0]
+		row[0] = i
+		for j := 1; j <= len(b); j++ {
+			ins := row[j-1] + 1
+			del := row[j] + 1
+			sub := prev
+			if a[i-1] != b[j-1] {
+				sub++
+			}
+			prev = row[j]
+			row[j] = min(ins, del, sub)
+		}
+	}
+	return row[len(b)]
+}

@@ -1,0 +1,51 @@
+package suggest
+
+import "testing"
+
+func TestClosest(t *testing.T) {
+	workloads := []string{"omnetpp", "cassandra", "sphinx3", "leela", "mcf"}
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"omnetp", "omnetpp", true},     // dropped letter
+		{"omnet", "omnetpp", true},      // dropped suffix
+		{"Cassanda", "cassandra", true}, // case-insensitive typo
+		{"sphinx", "sphinx3", true},     // missing version digit
+		{"zzzzzzzz", "", false},         // nothing plausible
+		{"completely-wrong", "", false}, // nothing plausible
+		{"mfc", "mcf", true},            // transposition (2 subs)
+	}
+	for _, c := range cases {
+		got, ok := Closest(c.in, workloads)
+		if ok != c.ok || got != c.want {
+			t.Errorf("Closest(%q) = %q, %v; want %q, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestClosestPrefersEarlierOnTie(t *testing.T) {
+	got, ok := Closest("fvp-x", []string{"fvp-a", "fvp-b"})
+	if !ok || got != "fvp-a" {
+		t.Errorf("tie should keep earliest candidate, got %q ok=%v", got, ok)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"kitten", "sitting", 3},
+		{"stride", "strides", 1},
+	}
+	for _, c := range cases {
+		if got := distance(c.a, c.b); got != c.want {
+			t.Errorf("distance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
