@@ -38,6 +38,7 @@ var benchOpt = harness.Options{WarmupInsts: 30_000, MeasureInsts: 80_000}
 // headline runs predictor spec over the suite and reports gain/coverage.
 func headline(b *testing.B, cfg ooo.Config, spec harness.Spec) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchOpt)
 		pairs := r.Compare(cfg, harness.Factory(spec))
@@ -84,6 +85,7 @@ func BenchmarkFig7FVPSkylake2X(b *testing.B) { headline(b, ooo.Skylake2X(), harn
 
 // BenchmarkFig8PerWorkload regenerates the per-workload IPC/coverage series.
 func BenchmarkFig8PerWorkload(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchOpt)
 		pairs := r.Compare(ooo.Skylake(), harness.Factory(harness.SpecFVP))
@@ -100,6 +102,7 @@ func BenchmarkFig8PerWorkload(b *testing.B) {
 // BenchmarkFig9Scaling regenerates the Skylake vs Skylake-2X series and
 // reports the scaled core's extra benefit.
 func BenchmarkFig9Scaling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchOpt)
 		sky := harness.Geomean(r.Compare(ooo.Skylake(), harness.Factory(harness.SpecFVP)))
@@ -118,6 +121,7 @@ var fig10Specs = []harness.Spec{
 // BenchmarkFig10PriorArtSkylake — the area-vs-performance comparison
 // (paper: FVP at 1.2 KB ≈ the 8 KB predictors, ≈2× the 1 KB ones).
 func BenchmarkFig10PriorArtSkylake(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchOpt)
 		for _, s := range fig10Specs {
@@ -129,6 +133,7 @@ func BenchmarkFig10PriorArtSkylake(b *testing.B) {
 
 // BenchmarkFig11PriorArtSkylake2X repeats Fig 10 on the scaled core.
 func BenchmarkFig11PriorArtSkylake2X(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchOpt)
 		for _, s := range fig10Specs {
@@ -145,6 +150,7 @@ func BenchmarkFig12Criticality(b *testing.B) {
 		harness.SpecFVPL1MissOnl, harness.SpecFVPL1Miss,
 		harness.SpecFVP, harness.SpecFVPOracle,
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchOpt)
 		for _, s := range specs {
@@ -157,6 +163,7 @@ func BenchmarkFig12Criticality(b *testing.B) {
 // BenchmarkFig13Components — register- vs memory-dependence contribution
 // (paper: server gains come from memory dependences).
 func BenchmarkFig13Components(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchOpt)
 		reg := harness.Geomean(r.Compare(ooo.Skylake(), harness.Factory(harness.SpecFVPRegOnly)))
@@ -288,11 +295,34 @@ func subsetWorkloads(names ...string) []workload.Workload {
 // ----------------------------------------------------------------------
 // Substrate micro-benchmarks.
 
+// BenchmarkCoreCycleLoop isolates the OOO core's steady-state cycle loop:
+// one core is constructed outside the timed region and each iteration
+// advances the same simulation by another 50k retired instructions, so
+// ns/op and allocs/op reflect only in-loop scheduler work — no setup, no
+// cache warm-up, no predictor construction. This is the number the
+// event-driven-wakeup speedup claim is measured against (see BENCH_core.json).
+func BenchmarkCoreCycleLoop(b *testing.B) {
+	const instsPerOp = 50_000
+	w, _ := workload.ByName("omnetpp")
+	p := w.Build()
+	ex := prog.NewExec(p)
+	c := ooo.New(ooo.Skylake(), core.New(core.DefaultConfig()), ex, p.BuildMemory())
+	c.WarmCaches(p.WarmRanges)
+	c.Run(instsPerOp) // reach steady state before timing
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run(uint64(i+2) * instsPerOp)
+	}
+	b.ReportMetric(float64(instsPerOp*b.N)/b.Elapsed().Seconds(), "inst/s")
+}
+
 // BenchmarkSimulatorThroughput measures core-model speed in simulated
 // instructions per second on a representative workload.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	w, _ := workload.ByName("omnetpp")
 	p := w.Build()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ex := prog.NewExec(p)

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"fvp"
@@ -44,8 +45,23 @@ func main() {
 		warmup = flag.Uint64("warmup", 0, "warmup instructions per run (0 = default 100k)")
 		insts  = flag.Uint64("insts", 0, "measured instructions per run (0 = default 300k)")
 		csv    = flag.String("csv", "", "write the per-workload FVP comparison (Fig 8 data) to this CSV file")
+		prof   = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	)
 	flag.Parse()
+
+	if *prof != "" {
+		f, err := os.Create(*prof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *csv != "" {
 		if err := writeSuiteCSV(*csv, fvp.Skylake, *warmup, *insts); err != nil {

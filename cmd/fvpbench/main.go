@@ -1,0 +1,225 @@
+// Command fvpbench runs a fixed core-performance benchmark matrix and
+// writes BENCH_core.json, the repo's simulator-performance trajectory
+// artifact. It measures two things:
+//
+//  1. The steady-state OOO cycle loop (the same measurement as
+//     BenchmarkCoreCycleLoop in bench_test.go): simulated instructions per
+//     wall-clock second and heap allocations per 50k-instruction chunk,
+//     compared against the recorded pre-event-driven-scheduler reference.
+//  2. A full-suite FVP-vs-baseline sweep: aggregate simulation throughput
+//     (sim MIPS across all parallel runs) and the geomean IPC speedup —
+//     the paper's headline metric — so a perf regression that also changes
+//     results is visible in the same artifact.
+//
+// Usage:
+//
+//	fvpbench                       # full matrix -> BENCH_core.json
+//	fvpbench -quick                # 8-workload suite, fewer cycle-loop ops
+//	fvpbench -out /tmp/bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"fvp/internal/core"
+	"fvp/internal/harness"
+	"fvp/internal/ooo"
+	"fvp/internal/prog"
+	"fvp/internal/workload"
+)
+
+// cycleLoopInstsPerOp matches BenchmarkCoreCycleLoop so the numbers are
+// directly comparable with `go test -bench=CoreCycleLoop`.
+const cycleLoopInstsPerOp = 50_000
+
+// reference is the cycle-loop measurement recorded on the development host
+// immediately before the event-driven scheduler landed (per-cycle full-window
+// scans, no core reuse). Absolute inst/s is host-dependent; allocs/op is not,
+// which is why both are recorded.
+var reference = CycleLoop{
+	Workload:    "omnetpp",
+	InstsPerOp:  cycleLoopInstsPerOp,
+	InstPerSec:  1_636_350,
+	AllocsPerOp: 51_813,
+	BytesPerOp:  14_460_000,
+	Note:        "pre-event-driven scheduler (full-window scans), Xeon @ 2.10GHz",
+}
+
+// CycleLoop is the steady-state cycle-loop measurement.
+type CycleLoop struct {
+	Workload    string  `json:"workload"`
+	InstsPerOp  uint64  `json:"insts_per_op"`
+	Ops         int     `json:"ops,omitempty"`
+	InstPerSec  float64 `json:"inst_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// Suite is the full-sweep measurement.
+type Suite struct {
+	Core         string            `json:"core"`
+	Workloads    int               `json:"workloads"`
+	WarmupInsts  uint64            `json:"warmup_insts"`
+	MeasureInsts uint64            `json:"measure_insts"`
+	WallSeconds  float64           `json:"wall_seconds"`
+	SimMIPS      float64           `json:"sim_mips"`
+	GeomeanFVP   float64           `json:"geomean_fvp_speedup"`
+	PerWorkload  []WorkloadSpeedup `json:"per_workload"`
+}
+
+// WorkloadSpeedup is one row of the sweep.
+type WorkloadSpeedup struct {
+	Name    string  `json:"name"`
+	BaseIPC float64 `json:"base_ipc"`
+	FVPIPC  float64 `json:"fvp_ipc"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the BENCH_core.json schema.
+type Report struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+
+	CycleLoop          CycleLoop `json:"core_cycle_loop"`
+	Reference          CycleLoop `json:"reference"`
+	SpeedupVsReference float64   `json:"speedup_vs_reference"`
+	AllocsReduction    float64   `json:"allocs_reduction_factor"`
+
+	Suite Suite `json:"suite"`
+}
+
+// measureCycleLoop reproduces BenchmarkCoreCycleLoop outside the testing
+// package: one core built and warmed outside the timed region, each op
+// advancing the same simulation by another chunk of retired instructions.
+func measureCycleLoop(ops int) CycleLoop {
+	w, ok := workload.ByName(reference.Workload)
+	if !ok {
+		fatalf("workload %q not found", reference.Workload)
+	}
+	p := w.Build()
+	ex := prog.NewExec(p)
+	c := ooo.New(ooo.Skylake(), core.New(core.DefaultConfig()), ex, p.BuildMemory())
+	c.WarmCaches(p.WarmRanges)
+	c.Run(cycleLoopInstsPerOp) // reach steady state before timing
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		c.Run(uint64(i+2) * cycleLoopInstsPerOp)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	n := float64(ops)
+	return CycleLoop{
+		Workload:    reference.Workload,
+		InstsPerOp:  cycleLoopInstsPerOp,
+		Ops:         ops,
+		InstPerSec:  float64(cycleLoopInstsPerOp) * n / elapsed.Seconds(),
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / n,
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+	}
+}
+
+// measureSuite sweeps FVP vs baseline over ws and reports aggregate
+// simulation throughput plus the paper's geomean speedup.
+func measureSuite(ws []workload.Workload, opt harness.Options) Suite {
+	start := time.Now()
+	pairs := harness.RunComparison(ws, ooo.Skylake(), harness.Factory(harness.SpecFVP), opt)
+	wall := time.Since(start).Seconds()
+
+	// Two runs (baseline + FVP) per workload, each warmup+measure long.
+	simInsts := float64(2*len(ws)) * float64(opt.WarmupInsts+opt.MeasureInsts)
+	s := Suite{
+		Core:         "Skylake",
+		Workloads:    len(ws),
+		WarmupInsts:  opt.WarmupInsts,
+		MeasureInsts: opt.MeasureInsts,
+		WallSeconds:  wall,
+		SimMIPS:      simInsts / wall / 1e6,
+		GeomeanFVP:   harness.Geomean(pairs),
+	}
+	for _, p := range pairs {
+		s.PerWorkload = append(s.PerWorkload, WorkloadSpeedup{
+			Name:    p.Base.Workload,
+			BaseIPC: p.Base.IPC,
+			FVPIPC:  p.Pred.IPC,
+			Speedup: p.Speedup(),
+		})
+	}
+	return s
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fvpbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_core.json", "output path")
+		ops   = flag.Int("ops", 20, "cycle-loop measurement chunks")
+		quick = flag.Bool("quick", false, "8-workload suite and fewer chunks")
+	)
+	flag.Parse()
+
+	ws := workload.All()
+	opt := harness.Options{WarmupInsts: 20_000, MeasureInsts: 60_000, ReuseCores: true}
+	if *quick {
+		ws = ws[:8]
+		*ops = 8
+	}
+
+	fmt.Printf("fvpbench: cycle loop (%d ops x %d insts on %s)...\n",
+		*ops, cycleLoopInstsPerOp, reference.Workload)
+	cl := measureCycleLoop(*ops)
+	fmt.Printf("  %.0f inst/s, %.1f allocs/op, %.0f B/op\n",
+		cl.InstPerSec, cl.AllocsPerOp, cl.BytesPerOp)
+
+	fmt.Printf("fvpbench: suite sweep (%d workloads x {baseline, FVP})...\n", len(ws))
+	suite := measureSuite(ws, opt)
+	fmt.Printf("  %.2f sim MIPS aggregate, geomean FVP speedup %.4f, %.1fs wall\n",
+		suite.SimMIPS, suite.GeomeanFVP, suite.WallSeconds)
+
+	rep := Report{
+		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:          runtime.Version(),
+		GOOS:               runtime.GOOS,
+		GOARCH:             runtime.GOARCH,
+		NumCPU:             runtime.NumCPU(),
+		CycleLoop:          cl,
+		Reference:          reference,
+		SpeedupVsReference: cl.InstPerSec / reference.InstPerSec,
+		AllocsReduction:    reference.AllocsPerOp / maxf(cl.AllocsPerOp, 1),
+		Suite:              suite,
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Printf("fvpbench: wrote %s (%.2fx vs pre-scheduler reference, allocs %.0fx lower)\n",
+		*out, rep.SpeedupVsReference, rep.AllocsReduction)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

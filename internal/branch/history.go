@@ -79,6 +79,15 @@ func NewRAS(entries int) *RAS {
 	return &RAS{entries: make([]uint64, entries)}
 }
 
+// Reset empties the stack without reallocating it.
+func (r *RAS) Reset() {
+	for i := range r.entries {
+		r.entries[i] = 0
+	}
+	r.top = 0
+	r.depth = 0
+}
+
 // Push records a return address on a call.
 func (r *RAS) Push(addr uint64) {
 	r.entries[r.top] = addr

@@ -41,6 +41,20 @@ func NewITTAGE(cfg TAGEConfig) *ITTAGE {
 	return t
 }
 
+// Reset restores the just-constructed state without reallocating the tables.
+func (t *ITTAGE) Reset() {
+	for i := range t.base {
+		t.base[i] = ittEntry{}
+	}
+	for _, tbl := range t.tbl {
+		for i := range tbl {
+			tbl[i] = ittEntry{}
+		}
+	}
+	t.Lookups = 0
+	t.Mispredicts = 0
+}
+
 func (t *ITTAGE) baseIdx(pc uint64) uint64 {
 	return (pc >> 2) & (1<<t.cfg.BaseBits - 1)
 }

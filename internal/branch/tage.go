@@ -61,6 +61,21 @@ func NewTAGE(cfg TAGEConfig) *TAGE {
 	return t
 }
 
+// Reset restores the just-constructed state without reallocating the tables.
+func (t *TAGE) Reset() {
+	for i := range t.base {
+		t.base[i] = 0
+	}
+	for _, tbl := range t.tbl {
+		for i := range tbl {
+			tbl[i] = tageEntry{}
+		}
+	}
+	t.useAltOnNA = 0
+	t.Lookups = 0
+	t.Mispredicts = 0
+}
+
 func (t *TAGE) baseIdx(pc uint64) uint64 {
 	return (pc >> 2) & (1<<t.cfg.BaseBits - 1)
 }

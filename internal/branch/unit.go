@@ -31,6 +31,15 @@ func NewDefaultUnit() *Unit {
 	return NewUnit(DefaultTAGEConfig(), DefaultITTAGEConfig(), 32)
 }
 
+// Reset restores every predictor to its just-constructed state so the unit
+// can be reused across simulation runs without reallocating its tables.
+func (u *Unit) Reset() {
+	u.Dir.Reset()
+	u.Indirect.Reset()
+	u.Ras.Reset()
+	u.Hist = GlobalHistory{}
+}
+
 // Outcome describes one prediction and carries the trainer state.
 type Outcome struct {
 	// PredTaken is the predicted direction (always true for

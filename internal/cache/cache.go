@@ -103,6 +103,24 @@ func New(cfg Config) *Cache {
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// Reset restores the cache to its just-constructed state (all lines invalid,
+// MSHRs free, stats zeroed) without reallocating the line arrays, so a cache
+// can be reused across simulation runs.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		set := c.sets[i]
+		for j := range set {
+			set[j] = line{}
+		}
+	}
+	c.tick = 0
+	for i := range c.mshrFree {
+		c.mshrFree[i] = 0
+	}
+	c.pendingMSHR = -1
+	c.Stats = Stats{}
+}
+
 // LineAddr maps a byte address to its line-aligned address.
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineBits << c.lineBits }
 

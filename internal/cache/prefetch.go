@@ -33,6 +33,14 @@ func NewStridePrefetcher(bits uint, degree int) *StridePrefetcher {
 	}
 }
 
+// Reset restores the just-constructed state without reallocating the table.
+func (p *StridePrefetcher) Reset() {
+	for i := range p.entries {
+		p.entries[i] = strideEntry{}
+	}
+	p.Issued = 0
+}
+
 // Observe records a demand load at pc/addr and returns the prefetch
 // addresses to issue (possibly none). The returned slice is valid until the
 // next call.
@@ -105,6 +113,15 @@ func NewStreamPrefetcher(streams, depth, lineBytes int) *StreamPrefetcher {
 		Depth:     depth,
 		lineBytes: uint64(lineBytes),
 	}
+}
+
+// Reset restores the just-constructed state without reallocating the slots.
+func (p *StreamPrefetcher) Reset() {
+	for i := range p.streams {
+		p.streams[i] = stream{}
+	}
+	p.tick = 0
+	p.Issued = 0
 }
 
 // Observe records a demand miss at addr and returns prefetch addresses.

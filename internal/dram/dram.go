@@ -74,6 +74,18 @@ func New(cfg Config) *Controller {
 // Config returns the controller's configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
+// Reset restores the just-constructed state (all rows closed, banks idle,
+// stats zeroed) without reallocating the bank array.
+func (c *Controller) Reset() {
+	for i := range c.banks {
+		c.banks[i] = bank{}
+	}
+	c.Reads = 0
+	c.RowHits = 0
+	c.RowMisses = 0
+	c.TotalLatency = 0
+}
+
 // mapAddr splits a physical line address into (bank index, row).
 // Address bits: [line offset][channel][bank][rank][column within row][row].
 func (c *Controller) mapAddr(addr uint64) (bankIdx int, row uint64) {

@@ -1,0 +1,85 @@
+package harness
+
+// RunSuite must be a pure function of (workloads, config, predictor,
+// options): the same suite run at any parallelism level produces identical
+// Result slices in input order. This is the guard against shared-state leaks
+// from the core-pooling/allocation-reuse work — a core returned dirty to the
+// pool, or predictor state bleeding between concurrent runs, shows up here
+// as a cross-parallelism diff. CI runs this under -race.
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"fvp/internal/ooo"
+	"fvp/internal/workload"
+)
+
+func determinismWorkloads(t *testing.T) []workload.Workload {
+	t.Helper()
+	names := []string{"omnetpp", "mcf", "gcc", "hmmer", "milc", "lbm", "sjeng", "sphinx3"}
+	ws := make([]workload.Workload, 0, len(names))
+	for _, n := range names {
+		w, ok := workload.ByName(n)
+		if !ok {
+			t.Fatalf("unknown workload %q", n)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+func TestRunSuiteDeterministicAcrossParallelism(t *testing.T) {
+	ws := determinismWorkloads(t)
+	opt := Options{
+		WarmupInsts:  5_000,
+		MeasureInsts: 20_000,
+		ReuseCores:   true, // exercise the core pool under contention
+	}
+	levels := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	for _, spec := range []Spec{SpecNone, SpecFVP} {
+		var pf PredFactory
+		if spec != SpecNone {
+			pf = Factory(spec)
+		}
+		var ref []Result
+		for _, par := range levels {
+			opt.Parallelism = par
+			got := RunSuite(ws, ooo.Skylake(), pf, opt)
+			if ref == nil {
+				ref = got
+				continue
+			}
+			if !reflect.DeepEqual(got, ref) {
+				for i := range got {
+					if !reflect.DeepEqual(got[i], ref[i]) {
+						t.Errorf("%s: parallelism %d diverged from parallelism %d on %s:\n got: %+v\nwant: %+v",
+							spec, par, levels[0], got[i].Workload, got[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReuseCoresMatchesFresh pins the pooled path to the non-pooled one:
+// core reuse is an allocation optimization and must never change results.
+func TestReuseCoresMatchesFresh(t *testing.T) {
+	ws := determinismWorkloads(t)[:4]
+	base := Options{WarmupInsts: 5_000, MeasureInsts: 20_000, Parallelism: 2}
+
+	fresh, pooled := base, base
+	fresh.ReuseCores = false
+	pooled.ReuseCores = true
+
+	pf := Factory(SpecFVP)
+	a := RunSuite(ws, ooo.Skylake(), pf, fresh)
+	// Two pooled passes: the second is guaranteed to draw Reset cores.
+	RunSuite(ws, ooo.Skylake(), pf, pooled)
+	b := RunSuite(ws, ooo.Skylake(), pf, pooled)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("pooled RunSuite diverged from fresh-core RunSuite:\n got: %+v\nwant: %+v", b, a)
+	}
+}

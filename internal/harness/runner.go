@@ -136,12 +136,41 @@ type Options struct {
 	MeasureInsts uint64
 	// Parallelism bounds concurrent runs (0 = GOMAXPROCS).
 	Parallelism int
+	// ReuseCores draws cores from a per-config pool and Resets them
+	// between runs instead of constructing a fresh ~6 MB core per run.
+	// Reset is observationally identical to construction (enforced by
+	// the ooo reset-equivalence and harness determinism tests), so this
+	// only changes allocation behavior, never results.
+	ReuseCores bool
 }
 
 // DefaultOptions is sized so predictors reach steady state while a full
 // 60-workload sweep stays tractable.
 func DefaultOptions() Options {
-	return Options{WarmupInsts: 100_000, MeasureInsts: 300_000}
+	return Options{WarmupInsts: 100_000, MeasureInsts: 300_000, ReuseCores: true}
+}
+
+// corePools holds one free-list of reusable cores per core configuration
+// (ooo.Config is comparable, so it keys the map directly).
+var corePools sync.Map // ooo.Config -> *sync.Pool
+
+func acquireCore(cfg ooo.Config, pred vp.Predictor, src ooo.InstSource, mem *prog.Memory) *ooo.Core {
+	pi, ok := corePools.Load(cfg)
+	if !ok {
+		pi, _ = corePools.LoadOrStore(cfg, &sync.Pool{})
+	}
+	if v := pi.(*sync.Pool).Get(); v != nil {
+		c := v.(*ooo.Core)
+		c.Reset(pred, src, mem)
+		return c
+	}
+	return ooo.New(cfg, pred, src, mem)
+}
+
+func releaseCore(cfg ooo.Config, c *ooo.Core) {
+	if pi, ok := corePools.Load(cfg); ok {
+		pi.(*sync.Pool).Put(c)
+	}
 }
 
 // statsDelta subtracts snapshots field-wise.
@@ -198,7 +227,13 @@ func RunOneCtx(ctx context.Context, w workload.Workload, coreCfg ooo.Config, pf 
 	if pf != nil {
 		pred = pf()
 	}
-	c := ooo.New(coreCfg, pred, ex, p.BuildMemory())
+	var c *ooo.Core
+	if opt.ReuseCores {
+		c = acquireCore(coreCfg, pred, ex, p.BuildMemory())
+		defer releaseCore(coreCfg, c)
+	} else {
+		c = ooo.New(coreCfg, pred, ex, p.BuildMemory())
+	}
 	c.WarmCaches(p.WarmRanges)
 
 	if _, err := c.RunCtx(ctx, opt.WarmupInsts); err != nil {

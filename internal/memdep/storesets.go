@@ -110,6 +110,20 @@ func (s *StoreSets) Violation(loadPC, storePC uint64) {
 	}
 }
 
+// Reset restores the just-constructed state (empty SSIT and LFST, zeroed
+// counters) without reallocating the tables.
+func (s *StoreSets) Reset() {
+	for i := range s.ssit {
+		s.ssit[i] = 0
+	}
+	for i := range s.lfst {
+		s.lfst[i] = lfstEntry{}
+	}
+	s.nextSSID = 0
+	s.Violations = 0
+	s.Assignments = 0
+}
+
 // Flush invalidates all LFST entries (on pipeline squash the recorded store
 // sequence numbers may refer to squashed stores).
 func (s *StoreSets) Flush() {

@@ -85,6 +85,24 @@ func New(cfg Config) *Hierarchy {
 	return h
 }
 
+// Reset restores every component to its just-constructed state so the
+// hierarchy can be reused across simulation runs without reallocating the
+// (multi-megabyte) line metadata.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.LLC.Reset()
+	h.Dram.Reset()
+	if h.stride != nil {
+		h.stride.Reset()
+	}
+	if h.stream != nil {
+		h.stream.Reset()
+	}
+	h.DemandLoads = [4]uint64{}
+}
+
 // ProbeLevel reports where addr's line currently resides without disturbing
 // any state (LvlMem when uncached). Used by criticality heuristics and the
 // DLVP-style address predictors that "peek" at the data cache.

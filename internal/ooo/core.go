@@ -62,6 +62,9 @@ type rent struct {
 	// Branches.
 	brMispredict bool
 
+	// Scheduler bookkeeping: entry is in the ready queue (see sched.go).
+	inReadyQ bool
+
 	// Criticality.
 	critProd    int // rob idx of the last-arriving producer (-1 = none)
 	critProdSeq uint64
@@ -96,9 +99,18 @@ type Core struct {
 
 	src     InstSource
 	srcDone bool
+	// replay/fetchQ are consumed from rpHead/fqHead instead of re-slicing,
+	// so the backing arrays are reused instead of reallocated as the
+	// queues drain and refill.
 	replay  []fetchEnt // flush replay queue (oldest first)
+	rpHead  int
 	fetchQ  []fetchEnt
+	fqHead  int
 	pending *fetchEnt // fetched from source but stalled on the I-cache
+	// fetchScratch backs nextInst's non-pending returns so fetching does
+	// not heap-allocate per micro-op. pending may point here; it is always
+	// consumed before nextInst overwrites the scratch.
+	fetchScratch fetchEnt
 
 	rob   []rent
 	head  int
@@ -133,6 +145,18 @@ type Core struct {
 	// mispredicting-branch chain PCs (§VI-A3 signal).
 	brChain     []uint16
 	brChainMask uint64
+
+	// Event-driven scheduler state (see sched.go).
+	readyQ     []schedRef   // waiting entries that may issue
+	issueCand  []schedRef   // per-cycle scratch: readyQ in window order
+	deps       [][]schedRef // per-slot subscribers woken at completion
+	done       doneHeap     // scheduled completions
+	pendStores []schedRef   // issued stores awaiting their data operand
+	waiters    []schedRef   // loads deferred behind an older store
+	wbCand     []schedRef   // per-cycle scratch for stageWriteback
+	ldWin      seqRing      // in-window loads, program order
+	stWin      seqRing      // in-window stores, program order
+	squashBuf  []fetchEnt   // applyFlush scratch, swapped with replay
 
 	Meter vp.Meter
 	Stats RunStats
@@ -231,9 +255,84 @@ func New(cfg Config, pred vp.Predictor, src InstSource, initMem *prog.Memory) *C
 	c.brChain = make([]uint16, brChainEntries)
 	c.brChainMask = brChainEntries - 1
 
+	c.deps = make([][]schedRef, cfg.ROBSize)
+	c.ldWin.init(cfg.LQSize)
+	c.stWin.init(cfg.SQSize)
+
 	c.ctx.MemPeek = c.shadow.Read
 	c.ctx.CacheLevel = func(addr uint64) int { return int(c.hier.ProbeLevel(addr)) }
 	return c
+}
+
+// Reset restores the core to the state New produces for the same config with
+// the given predictor, instruction source and initial memory image, reusing
+// every allocation (window, caches, predictor tables, scheduler queues). A
+// reset core must be observationally identical to a fresh one — the harness
+// pools cores across runs on the strength of that equivalence, and
+// TestResetEquivalence enforces it.
+func (c *Core) Reset(pred vp.Predictor, src InstSource, initMem *prog.Memory) {
+	if pred == nil {
+		pred = vp.None{}
+	}
+	c.hier.Reset()
+	c.bu.Reset()
+	c.ss.Reset()
+	c.pred = pred
+	c.src = src
+	c.srcDone = false
+
+	c.replay = c.replay[:0]
+	c.rpHead = 0
+	c.fetchQ = c.fetchQ[:0]
+	c.fqHead = 0
+	c.pending = nil
+	c.fetchScratch = fetchEnt{}
+
+	for i := range c.rob {
+		c.rob[i] = rent{}
+	}
+	c.head = 0
+	c.count = 0
+	c.regProd = [isa.NumArchRegs]srcDep{}
+	c.regPC = [isa.NumArchRegs]uint64{}
+	c.retRegPC = [isa.NumArchRegs]uint64{}
+	c.lqCount, c.sqCount, c.iqCount = 0, 0, 0
+
+	c.now = 0
+	c.fetchStallUntil = 0
+	c.lastFetchLine = 0
+	c.redirectSeq = 0
+	c.redirectActive = false
+
+	if initMem != nil {
+		c.shadow = initMem.Clone()
+	} else {
+		c.shadow = prog.NewMemory()
+	}
+	clear16(c.oracleSet)
+	c.lastStallSeq = 0
+	c.retiredCount = 0
+	clear16(c.brChain)
+
+	c.readyQ = c.readyQ[:0]
+	c.issueCand = c.issueCand[:0]
+	for i := range c.deps {
+		c.deps[i] = c.deps[i][:0]
+	}
+	c.done = c.done[:0]
+	c.pendStores = c.pendStores[:0]
+	c.waiters = c.waiters[:0]
+	c.wbCand = c.wbCand[:0]
+	c.ldWin.init(c.cfg.LQSize)
+	c.stWin.init(c.cfg.SQSize)
+	c.squashBuf = c.squashBuf[:0]
+
+	c.Meter = vp.Meter{}
+	c.Stats = RunStats{}
+
+	c.ctx = vp.Ctx{}
+	c.ctx.MemPeek = c.shadow.Read
+	c.ctx.CacheLevel = func(addr uint64) int { return int(c.hier.ProbeLevel(addr)) }
 }
 
 // WarmCaches pre-installs the program's steady-state ranges into the

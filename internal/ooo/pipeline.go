@@ -44,8 +44,8 @@ func (c *Core) RunCtx(ctx context.Context, maxRetired uint64) (RunStats, error) 
 		c.stageIssue()
 		c.stageRename()
 		c.stageFetch()
-		if c.srcDone && c.count == 0 && len(c.fetchQ) == 0 &&
-			len(c.replay) == 0 && c.pending == nil {
+		if c.srcDone && c.count == 0 && len(c.fetchQ)-c.fqHead == 0 &&
+			len(c.replay)-c.rpHead == 0 && c.pending == nil {
 			break
 		}
 	}
@@ -157,12 +157,14 @@ func (c *Core) commit(e *rent) {
 			c.Stats.LoadsByLevel[memsys.LvlL1]++
 		}
 		c.lqCount--
+		c.ldWin.popFront()
 	case d.Op.IsStore():
 		c.Stats.RetiredStores++
 		c.shadow.Write(d.Addr, d.Value)
 		c.hier.Store(c.now, d.Addr)
 		c.ss.CompleteStore(d.PC, d.Seq)
 		c.sqCount--
+		c.stWin.popFront()
 	default:
 		if e.predicted {
 			c.Meter.PredictedOther++
@@ -262,11 +264,42 @@ func (f *flushReq) request(dist int, inclusive bool, penalty uint64) {
 	}
 }
 
+// stageWriteback used to scan the whole window; it now examines only the
+// entries that can change state this cycle: completions whose scheduled
+// doneAt is due (popped from the done heap), issued stores still awaiting
+// their data operand, and loads deferred behind an older store. Candidates
+// are processed oldest-first so same-cycle completions happen in the exact
+// order the full scan produced (predictor training is order-sensitive), and
+// cascades inside one cycle (producer completes -> pending store resolves ->
+// deferred load forwards) resolve because producers always sort earlier than
+// their in-window consumers.
 func (c *Core) stageWriteback() {
 	var flush flushReq
-	for i := 0; i < c.count; i++ {
-		ri := c.idx(i)
+	cand := c.wbCand[:0]
+	for len(c.done) > 0 && c.done[0].at <= c.now {
+		ev := c.done.pop()
+		e := &c.rob[ev.idx]
+		// Drop events whose entry was squashed or re-issued with a
+		// different completion time since the event was scheduled.
+		if e.d.Seq == ev.seq && e.state == sIssued && e.doneAt == ev.at {
+			cand = append(cand, schedRef{idx: ev.idx, seq: ev.seq})
+		}
+	}
+	cand = append(cand, c.pendStores...)
+	c.pendStores = c.pendStores[:0]
+	cand = append(cand, c.waiters...)
+	c.waiters = c.waiters[:0]
+	if len(cand) == 0 {
+		c.wbCand = cand
+		return
+	}
+	sortWindowOrder(cand)
+	for _, ref := range cand {
+		ri := ref.idx
 		e := &c.rob[ri]
+		if e.d.Seq != ref.seq {
+			continue // squashed since the ref was taken
+		}
 		switch e.state {
 		case sIssued:
 			if e.d.Op.IsStore() && e.doneAt == 0 {
@@ -282,16 +315,31 @@ func (c *Core) stageWriteback() {
 					e.doneAt = dr
 				}
 			}
-			if e.doneAt != 0 && e.doneAt <= c.now {
+			switch {
+			case e.doneAt != 0 && e.doneAt <= c.now:
 				c.complete(ri, e, &flush)
+			case e.doneAt == 0:
+				c.pendStores = append(c.pendStores, ref)
+			default:
+				c.scheduleDone(ri, e)
 			}
 		case sWaitStore:
 			c.retryWaitStore(ri, e)
-			if e.state == sIssued && e.doneAt != 0 && e.doneAt <= c.now {
+			switch {
+			case e.state == sIssued && e.doneAt != 0 && e.doneAt <= c.now:
 				c.complete(ri, e, &flush)
+			case e.state == sIssued:
+				c.scheduleDone(ri, e)
+			case e.state == sWaiting:
+				// Released by address disambiguation: eligible for
+				// this cycle's issue stage, like the full scan.
+				c.armIssue(ri, e)
+			default:
+				c.waiters = append(c.waiters, ref)
 			}
 		}
 	}
+	c.wbCand = cand[:0]
 	if flush.active {
 		c.applyFlush(flush)
 	}
@@ -380,4 +428,5 @@ func (c *Core) complete(ri int, e *rent, flush *flushReq) {
 			c.fetchStallUntil = resume
 		}
 	}
+	c.wakeDependents(ri)
 }

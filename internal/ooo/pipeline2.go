@@ -42,50 +42,84 @@ func (b *portBudget) take(class int) bool {
 	return true
 }
 
+// stageIssue used to scan the whole window; it now walks only the ready
+// queue. Entries whose sources turn out unavailable park on their producers'
+// dependence lists (parkIssue) and re-enter the queue when a producer
+// completes. Entries that are source-ready but blocked on a port or the
+// store-sets gate stay armed and are re-examined every cycle: the full scan
+// re-evaluated ready() for them each cycle, and ready() records the
+// last-arriving producer (criticality state the oracle walk reads), so their
+// per-cycle re-check is part of the modeled machine, not an optimization
+// choice. Candidates are processed oldest-first with the shared port budget,
+// exactly like the program-order scan.
 func (c *Core) stageIssue() {
+	if len(c.readyQ) == 0 {
+		return
+	}
 	b := c.budget()
-	for i := 0; i < c.count; i++ {
-		ri := c.idx(i)
+	cand := c.issueCand[:0]
+	for _, ref := range c.readyQ {
+		e := &c.rob[ref.idx]
+		if e.d.Seq == ref.seq && e.state == sWaiting && e.inReadyQ {
+			cand = append(cand, ref)
+		}
+	}
+	c.readyQ = c.readyQ[:0]
+	sortWindowOrder(cand)
+	for _, ref := range cand {
+		ri := ref.idx
 		e := &c.rob[ri]
-		if e.state != sWaiting {
-			continue
+		if e.d.Seq != ref.seq || e.state != sWaiting {
+			continue // squashed by a flush earlier in this pass
 		}
 		class := classOf(e.d.Op)
 		switch class {
 		case classStore:
 			// Store-address issue needs only the address source.
 			if _, ok := c.srcReady(e, 0, c.now); !ok {
+				c.parkIssue(ri, e, true)
 				continue
 			}
 			if !b.take(class) {
+				c.readyQ = append(c.readyQ, ref) // stay armed
 				continue
 			}
+			e.inReadyQ = false
 			c.issueStore(ri, e)
 		case classLoad:
 			if !c.ready(e, c.now) {
+				c.parkIssue(ri, e, false)
 				continue
 			}
 			if !c.loadMayIssue(e) {
+				c.readyQ = append(c.readyQ, ref) // stay armed
 				continue
 			}
 			if !b.take(class) {
+				c.readyQ = append(c.readyQ, ref) // stay armed
 				continue
 			}
+			e.inReadyQ = false
 			c.issueLoad(ri, e)
 		default:
 			if !c.ready(e, c.now) {
+				c.parkIssue(ri, e, false)
 				continue
 			}
 			if !b.take(class) {
+				c.readyQ = append(c.readyQ, ref) // stay armed
 				continue
 			}
+			e.inReadyQ = false
 			e.issueAt = c.now
 			e.state = sIssued
 			e.doneAt = c.now + c.cfg.latencyFor(class)
 			e.inIQ = false
 			c.iqCount--
+			c.scheduleDone(ri, e)
 		}
 	}
+	c.issueCand = cand[:0]
 }
 
 // loadMayIssue applies the store-sets gate: a load predicted dependent on a
@@ -121,6 +155,11 @@ func (c *Core) issueStore(ri int, e *rent) {
 		}
 		e.doneAt = dr
 	}
+	if e.doneAt != 0 {
+		c.scheduleDone(ri, e)
+	} else {
+		c.pendStores = append(c.pendStores, schedRef{idx: ri, seq: e.d.Seq})
+	}
 	c.scanViolations(ri, e)
 }
 
@@ -129,12 +168,13 @@ func (c *Core) issueStore(ri int, e *rent) {
 // violation (machine clear + store-sets training). Younger deferred loads
 // re-link to this store if it is a better (younger) match.
 func (c *Core) scanViolations(ri int, st *rent) {
-	dist := c.distFromHead(ri)
 	var flush flushReq
-	for j := dist + 1; j < c.count; j++ {
-		li := c.idx(j)
+	// Walk only the in-window loads younger than the store, oldest first —
+	// the same visit order the full window scan produced.
+	for j := c.ldWin.searchSeq(st.d.Seq + 1); j < c.ldWin.len(); j++ {
+		li := c.ldWin.at(j).idx
 		le := &c.rob[li]
-		if !le.d.Op.IsLoad() || le.d.Addr != st.d.Addr {
+		if le.d.Addr != st.d.Addr {
 			continue
 		}
 		switch le.state {
@@ -142,7 +182,7 @@ func (c *Core) scanViolations(ri int, st *rent) {
 			if le.fwdFromSeq < st.d.Seq {
 				c.ss.Violation(le.d.PC, st.d.PC)
 				c.Stats.MemOrderFlushes++
-				flush.request(j, true, c.cfg.MemFlushPenalty)
+				flush.request(c.distFromHead(li), true, c.cfg.MemFlushPenalty)
 			}
 		case sWaitStore:
 			if le.waitStoreSeq < st.d.Seq {
@@ -163,14 +203,12 @@ func (c *Core) issueLoad(ri int, e *rent) {
 
 	// Search older stores youngest-first for a same-address match with a
 	// resolved address; speculate past unresolved addresses (aggressive
-	// disambiguation — the store-sets gate already ran).
-	dist := c.distFromHead(ri)
-	for j := dist - 1; j >= 0; j-- {
-		si := c.idx(j)
+	// disambiguation — the store-sets gate already ran). The store ring
+	// holds exactly the in-window stores in program order, so the walk
+	// touches only stores instead of every older window entry.
+	for j := c.stWin.searchSeq(e.d.Seq) - 1; j >= 0; j-- {
+		si := c.stWin.at(j).idx
 		st := &c.rob[si]
-		if !st.d.Op.IsStore() {
-			continue
-		}
 		if st.state == sWaiting || st.addrKnownAt == 0 || st.addrKnownAt > c.now {
 			if c.cfg.ConservativeMemDisambiguation {
 				// Conservative policy: an unresolved older store
@@ -178,6 +216,7 @@ func (c *Core) issueLoad(ri int, e *rent) {
 				e.state = sWaitStore
 				e.waitStore = si
 				e.waitStoreSeq = st.d.Seq
+				c.waiters = append(c.waiters, schedRef{idx: ri, seq: e.d.Seq})
 				return
 			}
 			continue // address unknown: speculate past
@@ -192,10 +231,12 @@ func (c *Core) issueLoad(ri int, e *rent) {
 			e.fwdFromSeq = st.d.Seq
 			c.Stats.Forwards++
 			c.pred.OnForward(e.d.PC, st.d.PC)
+			c.scheduleDone(ri, e)
 		} else {
 			e.state = sWaitStore
 			e.waitStore = si
 			e.waitStoreSeq = st.d.Seq
+			c.waiters = append(c.waiters, schedRef{idx: ri, seq: e.d.Seq})
 		}
 		return
 	}
@@ -204,6 +245,7 @@ func (c *Core) issueLoad(ri int, e *rent) {
 	e.doneAt = done
 	e.lvl = lvl
 	e.issuedToMem = true
+	c.scheduleDone(ri, e)
 }
 
 // ----------------------------------------------------------------- rename
@@ -213,13 +255,13 @@ func (c *Core) stageRename() {
 	// predicts up to LoadPorts loads per cycle (§IV-C).
 	vpBudget := c.cfg.LoadPorts
 	for n := 0; n < c.cfg.RenameWidth; n++ {
-		if len(c.fetchQ) == 0 || c.fetchQ[0].readyAt > c.now {
+		if c.fqHead >= len(c.fetchQ) || c.fetchQ[c.fqHead].readyAt > c.now {
 			return
 		}
 		if c.count >= c.cfg.ROBSize || c.iqCount >= c.cfg.IQSize {
 			return
 		}
-		fe := &c.fetchQ[0]
+		fe := &c.fetchQ[c.fqHead]
 		if fe.d.Op.IsLoad() && c.lqCount >= c.cfg.LQSize {
 			return
 		}
@@ -227,12 +269,19 @@ func (c *Core) stageRename() {
 			return
 		}
 		c.rename(fe, &vpBudget)
-		c.fetchQ = c.fetchQ[1:]
+		c.fqHead++
+		if c.fqHead == len(c.fetchQ) {
+			c.fetchQ = c.fetchQ[:0]
+			c.fqHead = 0
+		}
 	}
 }
 
 func (c *Core) rename(fe *fetchEnt, vpBudget *int) {
 	slot := (c.head + c.count) % len(c.rob)
+	// Drop dependence subscriptions left by the slot's previous occupant
+	// (only squashed entries leave any; completion already drains the list).
+	c.deps[slot] = c.deps[slot][:0]
 	e := &c.rob[slot]
 	*e = rent{
 		d:         fe.d,
@@ -281,9 +330,11 @@ func (c *Core) rename(fe *fetchEnt, vpBudget *int) {
 			}
 		}
 		c.lqCount++
+		c.ldWin.pushBack(schedRef{idx: slot, seq: d.Seq})
 	case d.Op.IsStore():
 		c.ss.DispatchStore(d.PC, d.Seq)
 		c.sqCount++
+		c.stWin.pushBack(schedRef{idx: slot, seq: d.Seq})
 	}
 
 	// Value prediction lookup. Every instruction accesses the predictor
@@ -333,22 +384,18 @@ func (c *Core) rename(fe *fetchEnt, vpBudget *int) {
 	}
 	c.count++
 	c.iqCount++
+	// Newly renamed entries enter the ready queue; the first issue attempt
+	// parks them on their producers if the sources are not yet available.
+	c.armIssue(slot, e)
 }
 
-// findStoreBySeq locates an in-window store by sequence number (nil when it
-// already retired or never existed).
+// findStoreBySeq locates an in-window store by sequence number (false when
+// it already retired, never existed, or names a non-store). The store ring
+// is seq-ordered, so a binary search replaces the window walk.
 func (c *Core) findStoreBySeq(seq uint64) (int, bool) {
-	for j := c.count - 1; j >= 0; j-- {
-		ri := c.idx(j)
-		e := &c.rob[ri]
-		if e.d.Seq == seq {
-			if e.d.Op.IsStore() {
-				return ri, true
-			}
-			return 0, false
-		}
-		if e.d.Seq < seq {
-			return 0, false
+	if pos := c.stWin.searchSeq(seq); pos < c.stWin.len() {
+		if ref := c.stWin.at(pos); ref.seq == seq {
+			return ref.idx, true
 		}
 	}
 	return 0, false
@@ -361,8 +408,15 @@ func (c *Core) stageFetch() {
 		return
 	}
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.fetchQ) >= c.cfg.FetchBufferSize {
+		if len(c.fetchQ)-c.fqHead >= c.cfg.FetchBufferSize {
 			return
+		}
+		if len(c.fetchQ) == cap(c.fetchQ) && c.fqHead > 0 {
+			// Compact the consumed prefix so the buffer's backing
+			// array is reused instead of regrown.
+			live := copy(c.fetchQ, c.fetchQ[c.fqHead:])
+			c.fetchQ = c.fetchQ[:live]
+			c.fqHead = 0
 		}
 		fe, ok := c.nextInst()
 		if !ok {
@@ -410,20 +464,24 @@ func (c *Core) nextInst() (*fetchEnt, bool) {
 		c.pending = nil
 		return fe, true
 	}
-	if len(c.replay) > 0 {
-		fe := c.replay[0]
-		c.replay = c.replay[1:]
-		return &fe, true
+	if c.rpHead < len(c.replay) {
+		c.fetchScratch = c.replay[c.rpHead]
+		c.rpHead++
+		if c.rpHead == len(c.replay) {
+			c.replay = c.replay[:0]
+			c.rpHead = 0
+		}
+		return &c.fetchScratch, true
 	}
 	if c.srcDone {
 		return nil, false
 	}
-	var fe fetchEnt
-	if !c.src.Next(&fe.d) {
+	c.fetchScratch = fetchEnt{}
+	if !c.src.Next(&c.fetchScratch.d) {
 		c.srcDone = true
 		return nil, false
 	}
-	return &fe, true
+	return &c.fetchScratch, true
 }
 
 // ------------------------------------------------------------------ flush
@@ -442,7 +500,19 @@ func (c *Core) applyFlush(f flushReq) {
 		start = c.count
 	}
 
-	squashed := make([]fetchEnt, 0, c.count-start+len(c.fetchQ)+1)
+	// Truncate the load/store rings to the surviving window. The boundary
+	// seq must be captured before the squash loop invalidates slot seqs.
+	if start < c.count {
+		bseq := c.rob[c.idx(start)].d.Seq
+		for c.ldWin.len() > 0 && c.ldWin.at(c.ldWin.len()-1).seq >= bseq {
+			c.ldWin.popBack()
+		}
+		for c.stWin.len() > 0 && c.stWin.at(c.stWin.len()-1).seq >= bseq {
+			c.stWin.popBack()
+		}
+	}
+
+	squashed := c.squashBuf[:0]
 	for j := start; j < c.count; j++ {
 		e := &c.rob[c.idx(j)]
 		squashed = append(squashed, fetchEnt{
@@ -466,19 +536,26 @@ func (c *Core) applyFlush(f flushReq) {
 	}
 	c.count = start
 
-	for i := range c.fetchQ {
+	for i := c.fqHead; i < len(c.fetchQ); i++ {
 		fe := c.fetchQ[i]
 		fe.replayed = true
 		squashed = append(squashed, fe)
 	}
 	c.fetchQ = c.fetchQ[:0]
+	c.fqHead = 0
 	if c.pending != nil {
 		// The I-cache holdover was never predicted or renamed; it goes
 		// back as a fresh fetch.
 		squashed = append(squashed, *c.pending)
 		c.pending = nil
 	}
-	c.replay = append(squashed, c.replay...)
+	// Prepend by swapping buffers: the unread replay tail moves behind the
+	// squashed micro-ops, and the old replay array becomes the next
+	// flush's scratch space.
+	squashed = append(squashed, c.replay[c.rpHead:]...)
+	c.squashBuf = c.replay[:0]
+	c.replay = squashed
+	c.rpHead = 0
 
 	// Rebuild speculative RAT/RAT-PC from the retired images plus the
 	// surviving window.

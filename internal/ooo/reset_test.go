@@ -1,0 +1,76 @@
+package ooo_test
+
+// Reset-equivalence: a Reset core must be indistinguishable from a freshly
+// constructed one. The harness pools cores across RunOne calls on the
+// strength of this property, so it is tested directly: run workload A on a
+// core, Reset it for workload B, and demand bit-identical stats versus a
+// fresh core running B. The cross-workload order maximizes the chance that
+// leaked state (cache lines, predictor counters, scheduler queues, shadow
+// memory) changes an observable count.
+
+import (
+	"reflect"
+	"testing"
+
+	"fvp/internal/ooo"
+	"fvp/internal/prog"
+	"fvp/internal/vp"
+	"fvp/internal/workload"
+)
+
+const resetInsts = 15_000
+
+func runFresh(t *testing.T, name string, cfg ooo.Config, pred string) (ooo.RunStats, vp.Meter) {
+	t.Helper()
+	wl, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	p := wl.Build()
+	c := ooo.New(cfg, goldenPredictor(pred), prog.NewExec(p), p.BuildMemory())
+	c.WarmCaches(p.WarmRanges)
+	st := c.Run(resetInsts)
+	return st, c.Meter
+}
+
+func TestResetEquivalence(t *testing.T) {
+	// One pooled core cycles through dissimilar workloads and predictor
+	// arms; every leg must match a fresh core bit-for-bit.
+	legs := []struct {
+		workload string
+		pred     string
+	}{
+		{"mcf", "FVP"},    // pointer-chasing, heavy DRAM traffic
+		{"hmmer", "none"}, // compute-bound, no value prediction
+		{"omnetpp", "MR"}, // branchy, MR store links
+		{"mcf", "FVP"},    // repeat leg 1: reuse after reuse
+	}
+	for _, cfg := range []ooo.Config{ooo.Skylake(), ooo.Skylake2X()} {
+		var pooled *ooo.Core
+		for i, leg := range legs {
+			wl, ok := workload.ByName(leg.workload)
+			if !ok {
+				t.Fatalf("unknown workload %q", leg.workload)
+			}
+			p := wl.Build()
+			if pooled == nil {
+				pooled = ooo.New(cfg, goldenPredictor(leg.pred), prog.NewExec(p), p.BuildMemory())
+			} else {
+				pooled.Reset(goldenPredictor(leg.pred), prog.NewExec(p), p.BuildMemory())
+			}
+			pooled.WarmCaches(p.WarmRanges)
+			gotStats := pooled.Run(resetInsts)
+			gotMeter := pooled.Meter
+
+			wantStats, wantMeter := runFresh(t, leg.workload, cfg, leg.pred)
+			if !reflect.DeepEqual(gotStats, wantStats) {
+				t.Errorf("%s leg %d (%s/%s): reset core RunStats diverged from fresh core:\n got: %+v\nwant: %+v",
+					cfg.Name, i, leg.workload, leg.pred, gotStats, wantStats)
+			}
+			if gotMeter != wantMeter {
+				t.Errorf("%s leg %d (%s/%s): reset core Meter diverged from fresh core:\n got: %+v\nwant: %+v",
+					cfg.Name, i, leg.workload, leg.pred, gotMeter, wantMeter)
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package ooo
+
+// Event-driven scheduler state. The cycle loop used to re-scan the whole
+// in-flight window every cycle in stageIssue and stageWriteback; the
+// structures here replace those scans with wakeup events so each cycle only
+// touches entries whose state can actually change:
+//
+//   - readyQ holds the waiting entries that might issue this cycle. An entry
+//     leaves it when it issues, or parks on its producers' dependent lists
+//     (deps) when a source is not available; completion of a producer wakes
+//     its dependents back into readyQ.
+//   - done is a min-heap of scheduled completions: every doneAt assignment
+//     pushes one event, and stageWriteback pops only the events due now.
+//   - pendStores / waiters are the (small) sets the model genuinely
+//     re-examines every cycle: stores whose address issued but whose data
+//     operand is still in flight, and loads deferred behind an older store.
+//   - ldWin / stWin mirror the in-window loads and stores in program order,
+//     so store-forwarding search, violation scans and findStoreBySeq touch
+//     only memory operations instead of the whole window.
+//
+// Everything here is bookkeeping on top of the same per-entry predicates the
+// full scans evaluated; the golden-stat tests pin the simulated machine to
+// bit-identical behavior.
+
+// schedRef names a window entry at a point in time. The seq disambiguates a
+// slot that was squashed and re-renamed since the reference was taken; stale
+// references are dropped wherever they surface.
+type schedRef struct {
+	idx int
+	seq uint64
+}
+
+// doneEv is one scheduled completion.
+type doneEv struct {
+	at  uint64
+	seq uint64
+	idx int
+}
+
+// doneHeap is a binary min-heap of completions ordered by (at, seq). It is
+// hand-rolled (no container/heap) to keep push/pop allocation-free.
+type doneHeap []doneEv
+
+func (h doneHeap) less(i, j int) bool {
+	return h[i].at < h[j].at || (h[i].at == h[j].at && h[i].seq < h[j].seq)
+}
+
+func (h *doneHeap) push(ev doneEv) {
+	*h = append(*h, ev)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !a.less(i, p) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+}
+
+func (h *doneHeap) pop() doneEv {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	*h = a[:n]
+	a = a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && a.less(l, s) {
+			s = l
+		}
+		if r < n && a.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		a[i], a[s] = a[s], a[i]
+		i = s
+	}
+	return top
+}
+
+// seqRing is a growable ring buffer of schedRefs kept in program (seq)
+// order: pushBack at rename, popFront at retire, popBack on squash.
+type seqRing struct {
+	buf  []schedRef
+	head int
+	n    int
+}
+
+func (r *seqRing) init(capacity int) {
+	if capacity < 4 {
+		capacity = 4
+	}
+	if cap(r.buf) < capacity {
+		r.buf = make([]schedRef, capacity)
+	}
+	r.buf = r.buf[:cap(r.buf)]
+	r.head, r.n = 0, 0
+}
+
+func (r *seqRing) len() int { return r.n }
+
+func (r *seqRing) at(i int) schedRef { return r.buf[(r.head+i)%len(r.buf)] }
+
+func (r *seqRing) pushBack(ref schedRef) {
+	if r.n == len(r.buf) {
+		grown := make([]schedRef, 2*len(r.buf))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.at(i)
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = ref
+	r.n++
+}
+
+func (r *seqRing) popFront() {
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+}
+
+func (r *seqRing) popBack() { r.n-- }
+
+// searchSeq returns the smallest position whose seq is >= seq (r.len() when
+// none), using the ring's program-order invariant.
+func (r *seqRing) searchSeq(seq uint64) int {
+	lo, hi := 0, r.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.at(mid).seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// scheduleDone records that entry ri finishes executing at e.doneAt.
+func (c *Core) scheduleDone(ri int, e *rent) {
+	c.done.push(doneEv{at: e.doneAt, seq: e.d.Seq, idx: ri})
+}
+
+// armIssue puts a waiting entry into the ready queue (idempotent).
+func (c *Core) armIssue(ri int, e *rent) {
+	if !e.inReadyQ {
+		e.inReadyQ = true
+		c.readyQ = append(c.readyQ, schedRef{idx: ri, seq: e.d.Seq})
+	}
+}
+
+// parkIssue removes a source-blocked entry from the ready queue and
+// subscribes it to every producer whose completion could make the missing
+// source available. addrOnly restricts the subscription to source 0 (stores
+// issue on the address operand alone). A predicted producer whose value
+// rides on an MR-linked store becomes available when that store completes —
+// possibly before the producer itself executes — so the entry subscribes to
+// both. If nothing is actually blocking (can only happen transiently), the
+// entry is re-armed instead so it is never stranded.
+func (c *Core) parkIssue(ri int, e *rent, addrOnly bool) {
+	e.inReadyQ = false
+	me := schedRef{idx: ri, seq: e.d.Seq}
+	nsrc := 2
+	if addrOnly {
+		nsrc = 1
+	}
+	parked := false
+	for s := 0; s < nsrc; s++ {
+		d := &e.src[s]
+		if !d.hasProd {
+			continue
+		}
+		p := &c.rob[d.prodIdx]
+		if p.d.Seq != d.prodSeq {
+			continue // producer retired: source available
+		}
+		if avail, ok := c.destAvail(p); ok && avail <= c.now {
+			continue
+		}
+		c.deps[d.prodIdx] = append(c.deps[d.prodIdx], me)
+		parked = true
+		if p.predicted && p.linkStore >= 0 {
+			st := &c.rob[p.linkStore]
+			if st.d.Seq == p.fwdPredSeq && st.state != sDone {
+				c.deps[p.linkStore] = append(c.deps[p.linkStore], me)
+			}
+		}
+	}
+	if !parked {
+		c.armIssue(ri, e)
+	}
+}
+
+// wakeDependents moves the completed entry's subscribers back into the
+// ready queue. Stale subscriptions (squashed or already-issued entries) are
+// dropped.
+func (c *Core) wakeDependents(ri int) {
+	dl := c.deps[ri]
+	if len(dl) == 0 {
+		return
+	}
+	for i := range dl {
+		ref := dl[i]
+		e := &c.rob[ref.idx]
+		if e.d.Seq == ref.seq && e.state == sWaiting {
+			c.armIssue(ref.idx, e)
+		}
+	}
+	c.deps[ri] = dl[:0]
+}
+
+// sortWindowOrder orders refs oldest-first. Sequence numbers increase
+// strictly in window order (replayed micro-ops keep their original seq and
+// their original order), so sorting by seq reproduces the program-order walk
+// the full-window scans performed. Insertion sort: the per-cycle inputs are
+// small, nearly sorted already, and it allocates nothing.
+func sortWindowOrder(refs []schedRef) {
+	for i := 1; i < len(refs); i++ {
+		r := refs[i]
+		j := i - 1
+		for j >= 0 && refs[j].seq > r.seq {
+			refs[j+1] = refs[j]
+			j--
+		}
+		refs[j+1] = r
+	}
+}

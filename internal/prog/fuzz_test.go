@@ -1,0 +1,148 @@
+package prog_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"fvp/internal/isa"
+	"fvp/internal/prog"
+)
+
+// fuzzProgInsts bounds how many dynamic instructions each fuzz execution
+// draws: enough to loop through any generated program several times, small
+// enough to keep the fuzzer fast.
+const fuzzProgInsts = 4096
+
+// buildFuzzProgram decodes the fuzz input into a builder program: five bytes
+// per instruction (kind, three operand bytes, one immediate/target byte).
+// Every instruction gets a label so branch targets — the only thing Validate
+// could reject — can always be mapped onto a real label; the decoded program
+// therefore exercises the builder and executor, not the error paths.
+func buildFuzzProgram(data []byte) (*prog.Program, error) {
+	const bytesPerInst = 5
+	n := len(data) / bytesPerInst
+	if n > 200 {
+		n = 200
+	}
+	b := prog.NewBuilder("fuzz")
+	// Seed a few registers and words so loads hit both written and
+	// background-zero memory.
+	b.InitReg(1, 0x1000)
+	b.InitReg(2, 3)
+	b.InitMem(0x1000, 0xDEAD)
+	b.InitMem(0x1008, 0xBEEF)
+	lbl := func(i int) string { return fmt.Sprintf("L%d", i) }
+	reg := func(x byte) isa.Reg { return isa.Reg(x % isa.NumArchRegs) }
+	for i := 0; i < n; i++ {
+		rec := data[i*bytesPerInst : (i+1)*bytesPerInst]
+		dst, s1, s2 := reg(rec[1]), reg(rec[2]), reg(rec[3])
+		imm := int64(int8(rec[4]))
+		target := lbl(int(rec[4]) % n)
+		b.Label(lbl(i))
+		switch rec[0] % 30 {
+		case 0:
+			b.Nop()
+		case 1:
+			b.MovI(dst, imm)
+		case 2:
+			b.Add(dst, s1, s2)
+		case 3:
+			b.AddI(dst, s1, imm)
+		case 4:
+			b.Sub(dst, s1, s2)
+		case 5:
+			b.SubI(dst, s1, imm)
+		case 6:
+			b.And(dst, s1, imm)
+		case 7:
+			b.AndR(dst, s1, s2)
+		case 8:
+			b.Or(dst, s1, s2)
+		case 9:
+			b.Xor(dst, s1, s2)
+		case 10:
+			b.XorI(dst, s1, imm)
+		case 11:
+			b.Shl(dst, s1, imm)
+		case 12:
+			b.Shr(dst, s1, imm)
+		case 13:
+			b.Mul(dst, s1, s2)
+		case 14:
+			b.MulI(dst, s1, imm)
+		case 15:
+			b.Div(dst, s1, s2)
+		case 16:
+			b.FAdd(dst, s1, s2)
+		case 17:
+			b.FMul(dst, s1, s2)
+		case 18:
+			b.FDiv(dst, s1, s2)
+		case 19:
+			b.Load(dst, s1, imm)
+		case 20:
+			b.Store(s1, imm, s2)
+		case 21:
+			b.BEZ(s1, target)
+		case 22:
+			b.BNZ(s1, target)
+		case 23:
+			b.BLT(s1, s2, target)
+		case 24:
+			b.BGE(s1, s2, target)
+		case 25:
+			b.Jump(target)
+		case 26:
+			b.Call(target)
+		case 27:
+			b.Ret()
+		case 28:
+			b.JumpReg(s1)
+		case 29:
+			b.Halt()
+		}
+	}
+	// A trailing halt makes every program well-formed even when n == 0 and
+	// guarantees fall-through off the end is impossible.
+	b.Halt()
+	return b.Build()
+}
+
+func runFuzzProgram(p *prog.Program) []isa.DynInst {
+	e := prog.NewExec(p)
+	out := make([]isa.DynInst, 0, fuzzProgInsts)
+	e.Run(fuzzProgInsts, func(d *isa.DynInst) { out = append(out, *d) })
+	return out
+}
+
+// FuzzProgExec feeds arbitrary builder programs through the functional
+// executor: Build must either fail cleanly or yield a program whose execution
+// never panics and is bit-identical across two independent runs. The OOO
+// core, the trace codec and the golden-stat harness all assume exactly this
+// determinism of the instruction stream.
+func FuzzProgExec(f *testing.F) {
+	// One seed per instruction-kind region plus mixed control flow.
+	f.Add([]byte{})
+	f.Add([]byte{1, 5, 0, 0, 42, 2, 6, 5, 5, 0, 29, 0, 0, 0, 0})
+	f.Add([]byte{19, 3, 1, 0, 8, 20, 1, 0, 3, 8, 22, 0, 2, 0, 0})
+	f.Add([]byte{26, 0, 0, 0, 3, 29, 0, 0, 0, 0, 0, 0, 0, 0, 0, 27, 0, 0, 0, 0})
+	f.Add([]byte{15, 4, 2, 3, 7, 18, 4, 4, 4, 0, 28, 0, 2, 0, 0, 23, 1, 2, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := buildFuzzProgram(data)
+		if err != nil {
+			t.Fatalf("fuzz program failed validation: %v", err)
+		}
+		first := runFuzzProgram(p)
+		second := runFuzzProgram(p)
+		if !reflect.DeepEqual(first, second) {
+			for i := 0; i < len(first) && i < len(second); i++ {
+				if first[i] != second[i] {
+					t.Fatalf("executor nondeterministic at dynamic inst %d:\n first: %+v\nsecond: %+v",
+						i, first[i], second[i])
+				}
+			}
+			t.Fatalf("executor nondeterministic: lengths %d vs %d", len(first), len(second))
+		}
+	})
+}
