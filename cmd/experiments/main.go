@@ -9,18 +9,26 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"fvp"
 )
 
 // writeSuiteCSV dumps the per-workload FVP comparison as CSV for plotting.
-func writeSuiteCSV(path string, machine fvp.Machine, warmup, insts uint64) error {
-	cs, err := fvp.CompareSuite(machine, fvp.PredFVP, warmup, insts)
+func writeSuiteCSV(ctx context.Context, path string, machine fvp.Machine, warmup, insts uint64) error {
+	cs, err := fvp.CompareSuiteContext(ctx, fvp.SuiteSpec{
+		Machine:      machine,
+		Predictor:    fvp.PredFVP,
+		WarmupInsts:  warmup,
+		MeasureInsts: insts,
+	})
 	if err != nil {
 		return err
 	}
@@ -63,8 +71,13 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	// Ctrl-C stops the in-flight simulations cooperatively instead of
+	// leaving a half-written artifact behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *csv != "" {
-		if err := writeSuiteCSV(*csv, fvp.Skylake, *warmup, *insts); err != nil {
+		if err := writeSuiteCSV(ctx, *csv, fvp.Skylake, *warmup, *insts); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -83,7 +96,7 @@ func main() {
 	run := func(eid, title string) {
 		fmt.Printf("==== %s — %s ====\n", eid, title)
 		start := time.Now()
-		if err := fvp.RunExperiment(eid, os.Stdout, *warmup, *insts); err != nil {
+		if err := fvp.RunExperimentContext(ctx, eid, os.Stdout, *warmup, *insts); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

@@ -9,8 +9,11 @@
 //	fvpd -addr :8080 -workers 8 -queue 64 -cache 4096
 //
 // Endpoints: POST /v1/runs (single or batch, ?wait=1 to block),
-// GET /v1/runs/{id}, DELETE /v1/runs/{id}, GET /v1/workloads,
-// GET /v1/predictors, GET /healthz, GET /metrics.
+// GET /v1/runs/{id} (status, result, and live progress),
+// DELETE /v1/runs/{id}, GET /v1/workloads, GET /v1/predictors,
+// GET /v1/metrics (Prometheus text), GET /healthz. The pre-versioning
+// unversioned paths still answer, with a Deprecation header. With -pprof
+// the Go profiling handlers are additionally served under /debug/pprof/.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,11 +38,25 @@ func main() {
 		queue   = flag.Int("queue", 0, "run-queue capacity (0 = 4×workers)")
 		cache   = flag.Int("cache", 0, "result-cache entries (0 = 1024)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		pprofOn = flag.Bool("pprof", false, "serve Go profiling handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
 	svc := simd.New(simd.Config{Workers: *workers, QueueSize: *queue, CacheSize: *cache})
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprofOn {
+		// Profiling is opt-in: the handlers expose goroutine dumps and CPU
+		// profiles, which don't belong on an unattended public port.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

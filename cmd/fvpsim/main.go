@@ -6,6 +6,9 @@
 //
 //	fvpsim -workload omnetpp -machine skylake -predictor fvp -compare
 //	fvpsim -workload omnetpp -predictor fvp -json
+//	fvpsim -workload omnetpp -predictor fvp -trace trace.json
+//	fvpsim -workload omnetpp -predictor fvp -intervals ipc.json
+//	fvpsim -suite -predictor fvp -workload omnetpp,mcf,gcc
 //	fvpsim -server http://localhost:8080 -workload omnetpp -predictor fvp
 //	fvpsim -list
 //
@@ -14,6 +17,15 @@
 // result is emitted as one machine-readable report row (the same schema
 // the experiment drivers write); without -compare the baseline fields are
 // zero.
+//
+// With -trace the run records per-instruction pipeline timelines for the
+// first -trace-insts instructions of the measured region and writes
+// Chrome trace-event JSON — open the file at https://ui.perfetto.dev to
+// see fetch→rename→issue→complete→retire slices per instruction, with
+// value-prediction and flush events marked. With -intervals the run's
+// interval telemetry (IPC, coverage, stall breakdown, occupancies over
+// time) is written as a JSON array. Both are local-only: they read the
+// simulated machine directly and cannot cross the fvpd wire.
 package main
 
 import (
@@ -22,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fvp"
 	"fvp/internal/simd/client"
@@ -29,15 +42,20 @@ import (
 
 func main() {
 	var (
-		wl      = flag.String("workload", "omnetpp", "workload name (see -list)")
-		machine = flag.String("machine", "skylake", "skylake | skylake2x")
-		pred    = flag.String("predictor", "fvp", "predictor configuration (see -list)")
-		warmup  = flag.Uint64("warmup", 100_000, "warmup instructions")
-		insts   = flag.Uint64("insts", 300_000, "measured instructions")
-		compare = flag.Bool("compare", false, "also run the baseline and report speedup")
-		jsonOut = flag.Bool("json", false, "emit the result as one JSON report row")
-		server  = flag.String("server", "", "fvpd base URL; submit there instead of simulating locally")
-		list    = flag.Bool("list", false, "list workloads and predictors, then exit")
+		wl         = flag.String("workload", "omnetpp", "workload name (see -list); with -suite, a comma-separated subset or \"all\"")
+		machine    = flag.String("machine", "skylake", "skylake | skylake2x")
+		pred       = flag.String("predictor", "fvp", "predictor configuration (see -list)")
+		warmup     = flag.Uint64("warmup", 100_000, "warmup instructions")
+		insts      = flag.Uint64("insts", 300_000, "measured instructions")
+		compare    = flag.Bool("compare", false, "also run the baseline and report speedup")
+		suite      = flag.Bool("suite", false, "run baseline-vs-predictor over the workloads and report per-workload speedups")
+		jsonOut    = flag.Bool("json", false, "emit the result as one JSON report row")
+		tracePath  = flag.String("trace", "", "write a Chrome/Perfetto pipeline trace of the measured region to this file")
+		traceInsts = flag.Int("trace-insts", 0, "instructions captured by -trace (0 = default window)")
+		ivPath     = flag.String("intervals", "", "write interval telemetry (JSON array of samples) to this file")
+		interval   = flag.Uint64("interval", 0, "sampling period in cycles for -intervals (0 = default)")
+		server     = flag.String("server", "", "fvpd base URL; submit there instead of simulating locally")
+		list       = flag.Bool("list", false, "list workloads and predictors, then exit")
 	)
 	flag.Parse()
 
@@ -53,6 +71,12 @@ func main() {
 		}
 		return
 	}
+	ctx := context.Background()
+
+	if *suite {
+		runSuite(ctx, *wl, *machine, *pred, *warmup, *insts)
+		return
+	}
 
 	spec := fvp.RunSpec{
 		Workload:     *wl,
@@ -64,14 +88,30 @@ func main() {
 
 	run := fvp.RunContext
 	if *server != "" {
+		if *tracePath != "" || *ivPath != "" {
+			fail(fmt.Errorf("-trace and -intervals are local-only (they read the simulated machine directly); drop -server"))
+		}
 		run = client.New(*server).Run
 	}
-	ctx := context.Background()
+
+	var trace *fvp.PipeTrace
+	if *tracePath != "" {
+		trace = fvp.NewPipeTrace(*traceInsts)
+		spec.Tracer = trace
+	}
+	var ivLog *intervalLog
+	if *ivPath != "" {
+		ivLog = &intervalLog{}
+		spec.Observer = ivLog
+		spec.ObserverInterval = *interval
+	}
 
 	var base *fvp.Metrics
 	if *compare {
 		baseSpec := spec
 		baseSpec.Predictor = fvp.PredNone
+		baseSpec.Tracer = nil // taps observe the predictor run only
+		baseSpec.Observer = nil
 		b, err := run(ctx, baseSpec)
 		if err != nil {
 			fail(err)
@@ -81,6 +121,20 @@ func main() {
 	m, err := run(ctx, spec)
 	if err != nil {
 		fail(err)
+	}
+
+	if trace != nil {
+		if err := writeTrace(*tracePath, trace); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "fvpsim: wrote %d-instruction pipeline trace to %s (open at ui.perfetto.dev)\n",
+			trace.Insts(), *tracePath)
+	}
+	if ivLog != nil {
+		if err := writeJSONFile(*ivPath, ivLog.samples); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "fvpsim: wrote %d interval samples to %s\n", len(ivLog.samples), *ivPath)
 	}
 
 	if *jsonOut {
@@ -119,6 +173,62 @@ func main() {
 		fmt.Printf(" %s=%.0f%%", names[i], 100*float64(n)/float64(m.Cycles))
 	}
 	fmt.Println()
+}
+
+// runSuite is the -suite mode: baseline-vs-predictor across workloads.
+func runSuite(ctx context.Context, wl, machine, pred string, warmup, insts uint64) {
+	spec := fvp.SuiteSpec{
+		Machine:      fvp.Machine(machine),
+		Predictor:    fvp.Predictor(pred),
+		WarmupInsts:  warmup,
+		MeasureInsts: insts,
+	}
+	if wl != "" && wl != "all" {
+		spec.Workloads = strings.Split(wl, ",")
+	}
+	cs, err := fvp.CompareSuiteContext(ctx, spec)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-18s %-10s %10s %10s %9s %9s\n", "workload", "category", "base IPC", "pred IPC", "speedup", "coverage")
+	for _, c := range cs {
+		fmt.Printf("%-18s %-10s %10.3f %10.3f %+8.2f%% %8.1f%%\n",
+			c.Workload, c.Category, c.Base.IPC, c.Pred.IPC, (c.Speedup()-1)*100, c.Pred.Coverage*100)
+	}
+	fmt.Printf("geomean speedup %+.2f%%\n", (fvp.Geomean(cs)-1)*100)
+}
+
+// intervalLog collects the run's interval telemetry for -intervals.
+type intervalLog struct {
+	samples []fvp.IntervalMetrics
+}
+
+func (l *intervalLog) OnInterval(m fvp.IntervalMetrics) { l.samples = append(l.samples, m) }
+
+func writeTrace(path string, tr *fvp.PipeTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

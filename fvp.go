@@ -28,9 +28,38 @@ import (
 	"fvp/internal/ooo"
 	"fvp/internal/prog"
 	"fvp/internal/suggest"
+	"fvp/internal/telemetry"
 	"fvp/internal/vp"
 	"fvp/internal/workload"
 )
+
+// IntervalMetrics is one completed telemetry sampling interval: counters are
+// deltas over the interval, occupancies point readings at its end. See
+// telemetry.Sample for field documentation; the JSON form is the fvpsim
+// -intervals schema.
+type IntervalMetrics = telemetry.Sample
+
+// Observer receives the interval time series of a run. Attach one via
+// RunSpec.Observer; it costs strictly nothing when nil (the cycle loop's
+// check is a single always-false compare). OnInterval runs on the
+// simulating goroutine and must not block.
+type Observer interface {
+	OnInterval(IntervalMetrics)
+}
+
+// DefaultObserverInterval is the sampling period used when
+// RunSpec.ObserverInterval is 0.
+const DefaultObserverInterval = ooo.DefaultObserverInterval
+
+// PipeTrace captures bounded per-instruction pipeline timelines and exports
+// Chrome trace-event JSON (load the file at ui.perfetto.dev). Attach via
+// RunSpec.Tracer, then call WriteChromeTrace after the run.
+type PipeTrace = telemetry.PipeTrace
+
+// NewPipeTrace returns a pipeline tracer capturing the first maxInsts
+// distinct instructions of the measured region (0 selects
+// telemetry.DefaultTraceInsts).
+func NewPipeTrace(maxInsts int) *PipeTrace { return telemetry.NewPipeTrace(maxInsts) }
 
 // UnknownNameError reports a RunSpec field that names no known workload,
 // machine, or predictor, with the closest valid name when one is
@@ -223,6 +252,18 @@ type RunSpec struct {
 	// WarmupInsts and MeasureInsts default to 100k/300k.
 	WarmupInsts  uint64 `json:"warmup_insts,omitempty"`
 	MeasureInsts uint64 `json:"measure_insts,omitempty"`
+
+	// Observer, if non-nil, streams interval metrics from the measured
+	// region (attached after warmup). It is a local hook, not part of the
+	// wire schema or the result-cache key, and never perturbs timing.
+	Observer Observer `json:"-"`
+	// ObserverInterval is the sampling period in cycles; 0 selects
+	// DefaultObserverInterval.
+	ObserverInterval uint64 `json:"-"`
+	// Tracer, if non-nil, records per-instruction pipeline timelines over
+	// the measured region for Chrome-trace export. Local hook, like
+	// Observer.
+	Tracer *PipeTrace `json:"-"`
 }
 
 // Normalized returns the spec with every default made explicit, so two
@@ -245,10 +286,44 @@ func (s RunSpec) Normalized() RunSpec {
 	return s
 }
 
+// Budget caps enforced by Validate. A single simulated instruction costs
+// real time on the order of 100 ns, so a request at the cap is minutes of
+// work — anything beyond it is almost certainly a unit mistake (cycles or
+// nanoseconds pasted into an instruction-count field), and services should
+// reject it before queueing.
+const (
+	// MaxWarmupInsts caps RunSpec.WarmupInsts.
+	MaxWarmupInsts = 1_000_000_000
+	// MaxMeasureInsts caps RunSpec.MeasureInsts.
+	MaxMeasureInsts = 1_000_000_000
+)
+
+// InvalidSpecError reports a RunSpec field whose value is out of range —
+// names resolve, but the requested work is malformed or beyond the
+// service budget caps. The fvpd service maps it to HTTP 400; detect it
+// with errors.As.
+type InvalidSpecError struct {
+	// Field is the spec field's JSON name ("warmup_insts", ...).
+	Field string
+	// Value is the rejected value and Limit the cap it exceeded (0 when
+	// the problem isn't a cap).
+	Value, Limit uint64
+	// Reason says what's wrong, for human eyes.
+	Reason string
+}
+
+func (e *InvalidSpecError) Error() string {
+	if e.Limit > 0 {
+		return fmt.Sprintf("fvp: invalid spec: %s=%d exceeds limit %d", e.Field, e.Value, e.Limit)
+	}
+	return fmt.Sprintf("fvp: invalid spec: %s: %s", e.Field, e.Reason)
+}
+
 // Validate resolves every name in the spec without simulating, returning
 // an *UnknownNameError (with a did-you-mean hint) for the first field
-// that doesn't resolve. Services use it to reject bad requests before
-// queueing work.
+// that doesn't resolve, or an *InvalidSpecError for a field whose value
+// is out of range. Services use it to reject bad requests before queueing
+// work.
 func Validate(spec RunSpec) error {
 	if _, ok := workload.ByName(spec.Workload); !ok {
 		return unknownName("workload", spec.Workload, workloadNames())
@@ -256,8 +331,16 @@ func Validate(spec RunSpec) error {
 	if _, err := coreConfig(spec.Machine); err != nil {
 		return err
 	}
-	_, err := predFactory(spec.Predictor)
-	return err
+	if _, err := predFactory(spec.Predictor); err != nil {
+		return err
+	}
+	if spec.WarmupInsts > MaxWarmupInsts {
+		return &InvalidSpecError{Field: "warmup_insts", Value: spec.WarmupInsts, Limit: MaxWarmupInsts}
+	}
+	if spec.MeasureInsts > MaxMeasureInsts {
+		return &InvalidSpecError{Field: "measure_insts", Value: spec.MeasureInsts, Limit: MaxMeasureInsts}
+	}
+	return nil
 }
 
 // Metrics is the measured outcome of a run. The JSON field names are the
@@ -298,6 +381,13 @@ func (s RunSpec) options() harness.Options {
 	if s.MeasureInsts > 0 {
 		opt.MeasureInsts = s.MeasureInsts
 	}
+	if s.Observer != nil {
+		opt.OnSample = s.Observer.OnInterval
+		opt.SampleInterval = s.ObserverInterval
+	}
+	if s.Tracer != nil {
+		opt.Tracer = s.Tracer
+	}
 	return opt
 }
 
@@ -326,10 +416,10 @@ func Run(spec RunSpec) (Metrics, error) {
 // loop polls ctx, so deadline expiry or cancellation stops the run within
 // a few thousand simulated cycles and returns ctx's error.
 func RunContext(ctx context.Context, spec RunSpec) (Metrics, error) {
-	w, ok := workload.ByName(spec.Workload)
-	if !ok {
-		return Metrics{}, unknownName("workload", spec.Workload, workloadNames())
+	if err := Validate(spec); err != nil {
+		return Metrics{}, err
 	}
+	w, _ := workload.ByName(spec.Workload)
 	cfg, err := coreConfig(spec.Machine)
 	if err != nil {
 		return Metrics{}, err
@@ -428,19 +518,60 @@ func ToRecord(spec RunSpec, base *Metrics, pred Metrics) harness.ReportRecord {
 	return rec
 }
 
-// CompareSuite runs baseline and predictor over every workload (in
-// parallel) and returns per-workload comparisons in study-list order.
-func CompareSuite(machine Machine, pred Predictor, warmup, measure uint64) ([]Comparison, error) {
-	cfg, err := coreConfig(machine)
+// SuiteSpec describes a suite-wide baseline-vs-predictor sweep. The zero
+// value (plus a Predictor) means: full study list, Skylake, default run
+// lengths, GOMAXPROCS-wide parallelism.
+type SuiteSpec struct {
+	// Machine defaults to Skylake.
+	Machine Machine `json:"machine,omitempty"`
+	// Predictor is the arm compared against the PredNone baseline.
+	Predictor Predictor `json:"predictor,omitempty"`
+	// WarmupInsts and MeasureInsts default to 100k/300k.
+	WarmupInsts  uint64 `json:"warmup_insts,omitempty"`
+	MeasureInsts uint64 `json:"measure_insts,omitempty"`
+	// Workloads restricts the sweep to a subset of the study list; nil or
+	// empty selects all 60 entries.
+	Workloads []string `json:"workloads,omitempty"`
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// CompareSuiteContext runs baseline and predictor over the suite's
+// workloads (in parallel) and returns per-workload comparisons in input
+// order. ctx cancellation stops every in-flight simulation within a few
+// thousand simulated cycles.
+func CompareSuiteContext(ctx context.Context, spec SuiteSpec) ([]Comparison, error) {
+	cfg, err := coreConfig(spec.Machine)
 	if err != nil {
 		return nil, err
 	}
-	pf, err := predFactory(pred)
+	pf, err := predFactory(spec.Predictor)
 	if err != nil {
 		return nil, err
 	}
-	opt := RunSpec{WarmupInsts: warmup, MeasureInsts: measure}.options()
-	pairs := harness.RunComparison(workload.All(), cfg, pf, opt)
+	if spec.WarmupInsts > MaxWarmupInsts {
+		return nil, &InvalidSpecError{Field: "warmup_insts", Value: spec.WarmupInsts, Limit: MaxWarmupInsts}
+	}
+	if spec.MeasureInsts > MaxMeasureInsts {
+		return nil, &InvalidSpecError{Field: "measure_insts", Value: spec.MeasureInsts, Limit: MaxMeasureInsts}
+	}
+	ws := workload.All()
+	if len(spec.Workloads) > 0 {
+		ws = make([]workload.Workload, len(spec.Workloads))
+		for i, name := range spec.Workloads {
+			w, ok := workload.ByName(name)
+			if !ok {
+				return nil, unknownName("workload", name, workloadNames())
+			}
+			ws[i] = w
+		}
+	}
+	opt := RunSpec{WarmupInsts: spec.WarmupInsts, MeasureInsts: spec.MeasureInsts}.options()
+	opt.Parallelism = spec.Parallelism
+	pairs, err := harness.RunComparisonCtx(ctx, ws, cfg, pf, opt)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Comparison, len(pairs))
 	for i, p := range pairs {
 		out[i] = Comparison{
@@ -451,6 +582,22 @@ func CompareSuite(machine Machine, pred Predictor, warmup, measure uint64) ([]Co
 		}
 	}
 	return out, nil
+}
+
+// CompareSuite runs baseline and predictor over every workload (in
+// parallel) and returns per-workload comparisons in study-list order.
+//
+// Deprecated: Use CompareSuiteContext, which takes a SuiteSpec (self-
+// describing fields instead of four positional numbers) and supports
+// cancellation and workload subsets. This wrapper remains for source
+// compatibility.
+func CompareSuite(machine Machine, pred Predictor, warmup, measure uint64) ([]Comparison, error) {
+	return CompareSuiteContext(context.Background(), SuiteSpec{
+		Machine:      machine,
+		Predictor:    pred,
+		WarmupInsts:  warmup,
+		MeasureInsts: measure,
+	})
 }
 
 // Geomean returns the geometric-mean speedup of comparisons.
@@ -484,12 +631,24 @@ func Experiments() []ExperimentInfo {
 // RunExperiment regenerates one table/figure, writing its report to out.
 // warmup/measure of 0 select the defaults (100k/300k instructions).
 func RunExperiment(id string, out io.Writer, warmup, measure uint64) error {
+	return RunExperimentContext(context.Background(), id, out, warmup, measure)
+}
+
+// RunExperimentContext is RunExperiment with cooperative cancellation:
+// every simulation behind the experiment polls ctx, and the first
+// cancellation error is returned (the partial report already written to
+// out should be discarded).
+func RunExperimentContext(ctx context.Context, id string, out io.Writer, warmup, measure uint64) error {
 	e, ok := harness.ExperimentByID(id)
 	if !ok {
 		return fmt.Errorf("fvp: unknown experiment %q (see fvp.Experiments)", id)
 	}
 	opt := RunSpec{WarmupInsts: warmup, MeasureInsts: measure}.options()
-	return e.Run(harness.NewRunner(opt), out)
+	r := harness.NewRunnerCtx(ctx, opt)
+	if err := e.Run(r, out); err != nil {
+		return err
+	}
+	return r.Err()
 }
 
 // StorageItem is a row of the Table-I budget breakdown.

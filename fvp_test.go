@@ -2,6 +2,8 @@ package fvp
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -129,6 +131,108 @@ func TestBuildWorkloadSource(t *testing.T) {
 		t.Error("unknown workload must error")
 	}
 }
+
+func TestValidateBudgetCaps(t *testing.T) {
+	_, err := Run(RunSpec{Workload: "mcf", MeasureInsts: MaxMeasureInsts + 1})
+	var ise *InvalidSpecError
+	if !errors.As(err, &ise) {
+		t.Fatalf("over-budget measure: err = %v, want *InvalidSpecError", err)
+	}
+	if ise.Field != "measure_insts" || ise.Limit != MaxMeasureInsts {
+		t.Errorf("typed error fields: %+v", ise)
+	}
+	if ise.Error() == "" {
+		t.Error("empty error text")
+	}
+	if _, err := Run(RunSpec{Workload: "mcf", WarmupInsts: MaxWarmupInsts + 1,
+		MeasureInsts: 1000}); !errors.As(err, &ise) {
+		t.Errorf("over-budget warmup: err = %v, want *InvalidSpecError", err)
+	}
+	// The caps are inclusive: a spec at the cap is valid.
+	if err := Validate(RunSpec{Workload: "mcf", Machine: Skylake,
+		Predictor: PredNone, MeasureInsts: MaxMeasureInsts}); err != nil {
+		t.Errorf("spec at the cap must validate: %v", err)
+	}
+}
+
+func TestCompareSuiteContextSubset(t *testing.T) {
+	cs, err := CompareSuiteContext(context.Background(), SuiteSpec{
+		Predictor:    PredFVP,
+		WarmupInsts:  2_000,
+		MeasureInsts: 10_000,
+		Workloads:    []string{"hmmer", "mcf"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("comparisons = %d, want 2", len(cs))
+	}
+	got := map[string]bool{}
+	for _, c := range cs {
+		got[c.Workload] = true
+		if c.Base.IPC <= 0 || c.Pred.IPC <= 0 {
+			t.Errorf("%s: %+v", c.Workload, c)
+		}
+	}
+	if !got["hmmer"] || !got["mcf"] {
+		t.Errorf("workloads covered: %v", got)
+	}
+
+	if _, err := CompareSuiteContext(context.Background(), SuiteSpec{
+		Predictor: PredFVP, Workloads: []string{"nope"},
+	}); err == nil {
+		t.Error("unknown workload in subset must error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompareSuiteContext(ctx, SuiteSpec{Predictor: PredFVP,
+		Workloads: []string{"hmmer"}, MeasureInsts: 10_000}); err == nil {
+		t.Error("canceled context must error")
+	}
+}
+
+// TestRunSpecTaps drives the telemetry taps through the public façade:
+// interval samples must cover the measured region exactly, and the trace
+// must capture instructions — without perturbing the run's metrics.
+func TestRunSpecTaps(t *testing.T) {
+	spec := RunSpec{Workload: "hmmer", Predictor: PredFVP,
+		WarmupInsts: 2_000, MeasureInsts: 20_000}
+	plain, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var samples []IntervalMetrics
+	tapped := spec
+	tapped.Observer = observerFunc(func(m IntervalMetrics) { samples = append(samples, m) })
+	tapped.ObserverInterval = 2_000
+	tapped.Tracer = NewPipeTrace(128)
+	m, err := Run(tapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != plain {
+		t.Errorf("taps perturbed the run:\n  plain  %+v\n  tapped %+v", plain, m)
+	}
+	if len(samples) < 2 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	var insts uint64
+	for _, s := range samples {
+		insts += s.Insts
+	}
+	if insts != m.Insts {
+		t.Errorf("interval insts sum to %d, run measured %d", insts, m.Insts)
+	}
+	if n := tapped.Tracer.Insts(); n != 128 {
+		t.Errorf("trace captured %d instructions, want full 128 window", n)
+	}
+}
+
+type observerFunc func(IntervalMetrics)
+
+func (f observerFunc) OnInterval(m IntervalMetrics) { f(m) }
 
 func TestGeomeanHelper(t *testing.T) {
 	cs := []Comparison{

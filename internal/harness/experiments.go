@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -29,24 +30,37 @@ type Runner struct {
 	// Workloads defaults to the full 60-entry list; tests shrink it.
 	Workloads []workload.Workload
 
+	ctx       context.Context
+	err       error
 	baseCache map[string][]Result
 }
 
 // NewRunner builds a runner over the full study list.
 func NewRunner(opt Options) *Runner {
+	return NewRunnerCtx(context.Background(), opt)
+}
+
+// NewRunnerCtx builds a runner whose suite runs honor ctx. Because the
+// Experiment.Run signature has no error channel for cancellation, the
+// first ctx error is latched on the runner — check Err after running.
+func NewRunnerCtx(ctx context.Context, opt Options) *Runner {
 	return &Runner{
 		Opt:       opt,
 		Workloads: workload.All(),
+		ctx:       ctx,
 		baseCache: make(map[string][]Result),
 	}
 }
+
+// Err reports the first cancellation error hit by a suite run, if any.
+func (r *Runner) Err() error { return r.err }
 
 // Baseline returns (cached) baseline results for a core config.
 func (r *Runner) Baseline(cfg ooo.Config) []Result {
 	if res, ok := r.baseCache[cfg.Name]; ok {
 		return res
 	}
-	res := RunSuite(r.Workloads, cfg, nil, r.Opt)
+	res := r.suite(cfg, nil)
 	r.baseCache[cfg.Name] = res
 	return res
 }
@@ -54,12 +68,24 @@ func (r *Runner) Baseline(cfg ooo.Config) []Result {
 // Compare runs the predictor suite and pairs it with the cached baseline.
 func (r *Runner) Compare(cfg ooo.Config, pf PredFactory) []Pair {
 	base := r.Baseline(cfg)
-	pred := RunSuite(r.Workloads, cfg, pf, r.Opt)
+	pred := r.suite(cfg, pf)
 	pairs := make([]Pair, len(base))
 	for i := range base {
 		pairs[i] = Pair{Base: base[i], Pred: pred[i]}
 	}
 	return pairs
+}
+
+func (r *Runner) suite(cfg ooo.Config, pf PredFactory) []Result {
+	ctx := r.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := RunSuiteCtx(ctx, r.Workloads, cfg, pf, r.Opt)
+	if err != nil && r.err == nil {
+		r.err = err
+	}
+	return res
 }
 
 func pct(x float64) string { return fmt.Sprintf("%+.2f%%", (x-1)*100) }

@@ -12,6 +12,7 @@ import (
 	"fvp/internal/core"
 	"fvp/internal/ooo"
 	"fvp/internal/prog"
+	"fvp/internal/telemetry"
 	"fvp/internal/vp"
 	"fvp/internal/workload"
 )
@@ -142,6 +143,21 @@ type Options struct {
 	// the ooo reset-equivalence and harness determinism tests), so this
 	// only changes allocation behavior, never results.
 	ReuseCores bool
+
+	// OnSample, if non-nil, streams per-interval telemetry samples from
+	// the measured region (the tap attaches after warmup, so the series
+	// covers exactly what the Result's deltas cover). The callback runs on
+	// the simulating goroutine and must not block. Observation never
+	// perturbs timing — the golden-stat tests hold results byte-identical
+	// with it on or off.
+	OnSample func(telemetry.Sample)
+	// SampleInterval is the sampling period in cycles; 0 selects
+	// ooo.DefaultObserverInterval.
+	SampleInterval uint64
+	// Tracer, if non-nil, receives per-instruction pipeline events from
+	// the measured region (e.g. a telemetry.PipeTrace for Chrome trace
+	// export). Like OnSample, it reads the machine without perturbing it.
+	Tracer ooo.PipeTracer
 }
 
 // DefaultOptions is sized so predictors reach steady state while a full
@@ -241,9 +257,21 @@ func RunOneCtx(ctx context.Context, w workload.Workload, coreCfg ooo.Config, pf 
 	}
 	warmStats := c.Stats
 	warmMeter := c.Meter
+	if opt.OnSample != nil || opt.Tracer != nil {
+		if opt.OnSample != nil {
+			c.SetObserver(&telemetry.Sampler{OnSample: opt.OnSample, Discard: true}, opt.SampleInterval)
+		}
+		c.SetTracer(opt.Tracer)
+		// Detach before the core returns to the pool, even on cancellation.
+		defer func() {
+			c.SetObserver(nil, 0)
+			c.SetTracer(nil)
+		}()
+	}
 	if _, err := c.RunCtx(ctx, opt.WarmupInsts+opt.MeasureInsts); err != nil {
 		return Result{}, err
 	}
+	c.FinishObservation()
 	st := statsDelta(warmStats, c.Stats)
 	mt := meterDelta(warmMeter, c.Meter)
 
@@ -267,11 +295,20 @@ func RunOneCtx(ctx context.Context, w workload.Workload, coreCfg ooo.Config, pf 
 // RunSuite runs every workload in ws with the given core and predictor,
 // in parallel, preserving input order.
 func RunSuite(ws []workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Options) []Result {
+	out, _ := RunSuiteCtx(context.Background(), ws, coreCfg, pf, opt)
+	return out
+}
+
+// RunSuiteCtx is RunSuite with cooperative cancellation: every in-flight
+// run polls ctx, and the first cancellation error is returned along with
+// whatever results completed (canceled slots are zero Results).
+func RunSuiteCtx(ctx context.Context, ws []workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Options) ([]Result, error) {
 	par := opt.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
 	out := make([]Result, len(ws))
+	errs := make([]error, len(ws))
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
 	for i, w := range ws {
@@ -280,11 +317,16 @@ func RunSuite(ws []workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Op
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out[i] = RunOne(w, coreCfg, pf, opt)
+			out[i], errs[i] = RunOneCtx(ctx, w, coreCfg, pf, opt)
 		}(i, w)
 	}
 	wg.Wait()
-	return out
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
 }
 
 // Pair holds a baseline and predictor result for one workload.
@@ -302,13 +344,26 @@ func (p Pair) Speedup() float64 {
 
 // RunComparison runs baseline and predictor suites and pairs them up.
 func RunComparison(ws []workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Options) []Pair {
-	base := RunSuite(ws, coreCfg, nil, opt)
-	pred := RunSuite(ws, coreCfg, pf, opt)
+	pairs, _ := RunComparisonCtx(context.Background(), ws, coreCfg, pf, opt)
+	return pairs
+}
+
+// RunComparisonCtx is RunComparison with cooperative cancellation; both
+// suites honor ctx and the first cancellation error is returned.
+func RunComparisonCtx(ctx context.Context, ws []workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Options) ([]Pair, error) {
+	base, err := RunSuiteCtx(ctx, ws, coreCfg, nil, opt)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := RunSuiteCtx(ctx, ws, coreCfg, pf, opt)
+	if err != nil {
+		return nil, err
+	}
 	pairs := make([]Pair, len(ws))
 	for i := range ws {
 		pairs[i] = Pair{Base: base[i], Pred: pred[i]}
 	}
-	return pairs
+	return pairs, nil
 }
 
 // Geomean returns the geometric mean of the pairs' speedups.

@@ -158,6 +158,14 @@ type Core struct {
 	stWin      seqRing      // in-window stores, program order
 	squashBuf  []fetchEnt   // applyFlush scratch, swapped with replay
 
+	// Observability taps (see observer.go). nextSample is the cycle the
+	// next interval sample is due; ^0 when no observer is attached, so the
+	// per-cycle check is one compare that never fires.
+	obs         Observer
+	obsInterval uint64
+	nextSample  uint64
+	trc         PipeTracer
+
 	Meter vp.Meter
 	Stats RunStats
 }
@@ -258,6 +266,7 @@ func New(cfg Config, pred vp.Predictor, src InstSource, initMem *prog.Memory) *C
 	c.deps = make([][]schedRef, cfg.ROBSize)
 	c.ldWin.init(cfg.LQSize)
 	c.stWin.init(cfg.SQSize)
+	c.nextSample = ^uint64(0)
 
 	c.ctx.MemPeek = c.shadow.Read
 	c.ctx.CacheLevel = func(addr uint64) int { return int(c.hier.ProbeLevel(addr)) }
@@ -326,6 +335,11 @@ func (c *Core) Reset(pred vp.Predictor, src InstSource, initMem *prog.Memory) {
 	c.ldWin.init(c.cfg.LQSize)
 	c.stWin.init(c.cfg.SQSize)
 	c.squashBuf = c.squashBuf[:0]
+
+	c.obs = nil
+	c.obsInterval = 0
+	c.nextSample = ^uint64(0)
+	c.trc = nil
 
 	c.Meter = vp.Meter{}
 	c.Stats = RunStats{}

@@ -1,0 +1,120 @@
+package ooo_test
+
+// Observability must be free of Heisenberg effects: attaching an observer or
+// tracer may read the machine but must never shift its timing. These tests
+// re-run golden matrix cells with taps attached and demand byte-identical
+// RunStats/Meter against testdata/golden_stats.json — the same bar the
+// scheduler rewrite had to clear.
+
+import (
+	"testing"
+
+	"fvp/internal/isa"
+	"fvp/internal/ooo"
+	"fvp/internal/prog"
+	"fvp/internal/workload"
+)
+
+// countingObserver exercises the callback path without retaining anything.
+type countingObserver struct {
+	calls int
+	last  uint64
+}
+
+func (o *countingObserver) OnInterval(s ooo.IntervalSnapshot) {
+	o.calls++
+	o.last = s.Cycle
+}
+
+// countingTracer exercises every tracer call site.
+type countingTracer struct {
+	events [ooo.EvFlush + 1]int
+}
+
+func (t *countingTracer) PipeEvent(ev ooo.TraceEvent, cycle uint64, d *isa.DynInst, arg uint64) {
+	t.events[ev]++
+}
+
+// observedGoldenCase is runGoldenCase with taps attached.
+func observedGoldenCase(wl workload.Workload, cfg ooo.Config, pred string) (goldenRecord, *countingObserver, *countingTracer) {
+	p := wl.Build()
+	c := ooo.New(cfg, goldenPredictor(pred), prog.NewExec(p), p.BuildMemory())
+	c.WarmCaches(p.WarmRanges)
+	obs := &countingObserver{}
+	trc := &countingTracer{}
+	c.SetObserver(obs, 1_000)
+	c.SetTracer(trc)
+	st := c.Run(goldenInsts)
+	c.FinishObservation()
+	return goldenRecord{
+		Key:      goldenKey(wl.Name, cfg.Name, pred),
+		Stats:    st,
+		Meter:    c.Meter,
+		Coverage: c.Meter.Coverage(),
+	}, obs, trc
+}
+
+// TestObserverNonPerturbing runs a golden slice with an observer and tracer
+// attached and checks the stats still match the checked-in snapshot exactly.
+func TestObserverNonPerturbing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden comparison skipped in -short mode")
+	}
+	want := loadGolden(t)
+	for _, name := range []string{"mcf", "omnetpp", "libquantum", "hadoop"} {
+		wl, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		for _, pred := range goldenPredictors {
+			wl, pred := wl, pred
+			key := goldenKey(wl.Name, "Skylake", pred)
+			t.Run(key, func(t *testing.T) {
+				t.Parallel()
+				exp, ok := want[key]
+				if !ok {
+					t.Fatalf("golden snapshot missing %s", key)
+				}
+				got, obs, trc := observedGoldenCase(wl, ooo.Skylake(), pred)
+				if got.Stats != exp.Stats {
+					t.Errorf("observed run perturbed stats:\n got %+v\nwant %+v", got.Stats, exp.Stats)
+				}
+				if got.Meter != exp.Meter {
+					t.Errorf("observed run perturbed meter:\n got %+v\nwant %+v", got.Meter, exp.Meter)
+				}
+				if obs.calls < 2 {
+					t.Errorf("observer fired %d times, want baseline + samples", obs.calls)
+				}
+				if obs.last != got.Stats.Cycles {
+					t.Errorf("final observation at cycle %d, run ended at %d", obs.last, got.Stats.Cycles)
+				}
+				if trc.events[ooo.EvFetch] == 0 || trc.events[ooo.EvRetire] == 0 {
+					t.Errorf("tracer saw no fetch/retire events: %v", trc.events)
+				}
+				if trc.events[ooo.EvRetire] != int(got.Stats.Retired) {
+					t.Errorf("tracer saw %d retires, stats say %d", trc.events[ooo.EvRetire], got.Stats.Retired)
+				}
+			})
+		}
+	}
+}
+
+// TestObserverDetach checks SetObserver(nil) restores the never-fire
+// sentinel and Reset clears taps, so pooled cores cannot leak observers
+// across runs.
+func TestObserverDetach(t *testing.T) {
+	wl, _ := workload.ByName("mcf")
+	p := wl.Build()
+	c := ooo.New(ooo.Skylake(), nil, prog.NewExec(p), p.BuildMemory())
+	obs := &countingObserver{}
+	c.SetObserver(obs, 100)
+	baseline := obs.calls
+	if baseline != 1 {
+		t.Fatalf("attach fired %d callbacks, want exactly the baseline", baseline)
+	}
+	c.SetObserver(nil, 0)
+	c.Run(2_000)
+	if obs.calls != baseline {
+		t.Errorf("detached observer still fired: %d calls", obs.calls)
+	}
+}

@@ -44,6 +44,9 @@ func (c *Core) RunCtx(ctx context.Context, maxRetired uint64) (RunStats, error) 
 		c.stageIssue()
 		c.stageRename()
 		c.stageFetch()
+		if c.Stats.Cycles >= c.nextSample {
+			c.sample()
+		}
 		if c.srcDone && c.count == 0 && len(c.fetchQ)-c.fqHead == 0 &&
 			len(c.replay)-c.rpHead == 0 && c.pending == nil {
 			break
@@ -142,6 +145,9 @@ func (c *Core) classifyStall(h *rent) int {
 
 func (c *Core) commit(e *rent) {
 	d := &e.d
+	if c.trc != nil {
+		c.trc.PipeEvent(EvRetire, c.now, d, 0)
+	}
 	c.Stats.Retired++
 	c.Meter.Insts++
 	switch {
@@ -384,6 +390,9 @@ func (c *Core) retryWaitStore(ri int, e *rent) {
 func (c *Core) complete(ri int, e *rent, flush *flushReq) {
 	e.state = sDone
 	d := &e.d
+	if c.trc != nil {
+		c.trc.PipeEvent(EvComplete, e.doneAt, d, 0)
+	}
 	dist := c.distFromHead(ri)
 	nearHead := dist < c.cfg.RetireWidth
 
@@ -403,6 +412,13 @@ func (c *Core) complete(ri int, e *rent, flush *flushReq) {
 		correct := e.predValue == d.Value
 		info.WasPredicted = true
 		info.Correct = correct
+		if c.trc != nil {
+			ev := EvVPWrong
+			if correct {
+				ev = EvVPCorrect
+			}
+			c.trc.PipeEvent(ev, c.now, d, e.predValue)
+		}
 		if correct {
 			c.Meter.Correct++
 		} else {

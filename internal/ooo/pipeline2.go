@@ -116,6 +116,9 @@ func (c *Core) stageIssue() {
 			e.doneAt = c.now + c.cfg.latencyFor(class)
 			e.inIQ = false
 			c.iqCount--
+			if c.trc != nil {
+				c.trc.PipeEvent(EvIssue, c.now, &e.d, 0)
+			}
 			c.scheduleDone(ri, e)
 		}
 	}
@@ -147,6 +150,9 @@ func (c *Core) issueStore(ri int, e *rent) {
 	e.doneAt = 0 // pending data; stageWriteback resolves
 	e.inIQ = false
 	c.iqCount--
+	if c.trc != nil {
+		c.trc.PipeEvent(EvIssue, c.now, &e.d, 0)
+	}
 	// If data is already available the store completes next cycle.
 	if avail, ok := c.srcReady(e, 1, c.now); ok {
 		dr := e.addrKnownAt
@@ -200,6 +206,9 @@ func (c *Core) issueLoad(ri int, e *rent) {
 	e.issueAt = c.now
 	e.inIQ = false
 	c.iqCount--
+	if c.trc != nil {
+		c.trc.PipeEvent(EvIssue, c.now, &e.d, 0)
+	}
 
 	// Search older stores youngest-first for a same-address match with a
 	// resolved address; speculate past unresolved addresses (aggressive
@@ -384,6 +393,12 @@ func (c *Core) rename(fe *fetchEnt, vpBudget *int) {
 	}
 	c.count++
 	c.iqCount++
+	if c.trc != nil {
+		c.trc.PipeEvent(EvRename, c.now, d, 0)
+		if e.predicted {
+			c.trc.PipeEvent(EvPredict, c.now, d, e.predValue)
+		}
+	}
 	// Newly renamed entries enter the ready queue; the first issue attempt
 	// parks them on their producers if the sources are not yet available.
 	c.armIssue(slot, e)
@@ -446,6 +461,9 @@ func (c *Core) stageFetch() {
 		fe.readyAt = c.now + c.cfg.FrontEndDepth
 		c.fetchQ = append(c.fetchQ, *fe)
 		c.Stats.Fetched++
+		if c.trc != nil {
+			c.trc.PipeEvent(EvFetch, c.now, &c.fetchQ[len(c.fetchQ)-1].d, 0)
+		}
 		if fe.mispred {
 			// Fetch stops behind the mispredicted branch until it
 			// resolves.
@@ -498,6 +516,13 @@ func (c *Core) applyFlush(f flushReq) {
 		// Nothing younger in the window; still clear the front end and
 		// charge the penalty.
 		start = c.count
+	}
+	if c.trc != nil {
+		var first *isa.DynInst
+		if start < c.count {
+			first = &c.rob[c.idx(start)].d
+		}
+		c.trc.PipeEvent(EvFlush, c.now, first, uint64(c.count-start))
 	}
 
 	// Truncate the load/store rings to the surviving window. The boundary

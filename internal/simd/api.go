@@ -38,6 +38,20 @@ type RunRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
+// Progress reports how far a running simulation has gotten. The feed is
+// the façade's interval observer, which samples the measured region only,
+// so RetiredInsts counts measured-region retirements (warmup shows 0/target)
+// and trails real time by at most one sampling interval.
+type Progress struct {
+	// RetiredInsts is the number of measured-region instructions retired
+	// as of the last telemetry sample.
+	RetiredInsts uint64 `json:"retired_insts"`
+	// TargetInsts is the run's measured-region length.
+	TargetInsts uint64 `json:"target_insts"`
+	// Ratio is RetiredInsts/TargetInsts in [0,1].
+	Ratio float64 `json:"ratio"`
+}
+
 // JobStatus is the externally visible snapshot of a job.
 type JobStatus struct {
 	ID    string `json:"id"`
@@ -46,6 +60,9 @@ type JobStatus struct {
 	// cache or deduplicated onto an in-flight identical run.
 	Cached bool        `json:"cached"`
 	Spec   fvp.RunSpec `json:"spec"`
+	// Progress is present while State is running (followers report their
+	// leader's progress).
+	Progress *Progress `json:"progress,omitempty"`
 	// Metrics is present once State is done.
 	Metrics *fvp.Metrics `json:"metrics,omitempty"`
 	// Error is present when State is failed or canceled.

@@ -187,3 +187,24 @@ func (c *Client) Healthz(ctx context.Context) (simd.Health, error) {
 	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
 	return h, err
 }
+
+// MetricsText fetches the server's Prometheus text exposition.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Message: string(b)}
+	}
+	return string(b), nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -70,5 +71,18 @@ func TestClientSurfacesAPIErrors(t *testing.T) {
 	}
 	if apiErr.StatusCode != 400 || apiErr.Temporary() {
 		t.Errorf("unknown workload: %+v", apiErr)
+	}
+}
+
+func TestClientMetricsText(t *testing.T) {
+	c := newClient(t, simd.Config{Workers: 1})
+	text, err := c.MetricsText(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# HELP fvpd_jobs_queued", "# TYPE fvpd_jobs_queued gauge", "fvpd_jobs_queued 0"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics text missing %q:\n%s", want, text)
+		}
 	}
 }

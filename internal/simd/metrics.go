@@ -74,23 +74,28 @@ func (h *httpStats) observe(endpoint string, d time.Duration) {
 	st.seconds += d.Seconds()
 }
 
-// WriteMetrics renders the Prometheus-style text exposition served at
-// GET /metrics.
+// WriteMetrics renders the Prometheus text exposition (version 0.0.4,
+// with HELP/TYPE metadata) served at GET /v1/metrics.
 func (s *Service) WriteMetrics(w io.Writer) {
 	st := s.Snapshot()
-	fmt.Fprintf(w, "# fvpd batch-simulation service\n")
-	fmt.Fprintf(w, "fvpd_jobs_queued %d\n", st.JobsQueued)
-	fmt.Fprintf(w, "fvpd_jobs_running %d\n", st.JobsRunning)
-	fmt.Fprintf(w, "fvpd_jobs_done_total %d\n", st.JobsDone)
-	fmt.Fprintf(w, "fvpd_jobs_failed_total %d\n", st.JobsFailed)
-	fmt.Fprintf(w, "fvpd_jobs_canceled_total %d\n", st.JobsCanceled)
-	fmt.Fprintf(w, "fvpd_cache_hits_total %d\n", st.CacheHits)
-	fmt.Fprintf(w, "fvpd_cache_misses_total %d\n", st.CacheMisses)
-	fmt.Fprintf(w, "fvpd_cache_entries %d\n", st.CacheEntries)
-	fmt.Fprintf(w, "fvpd_sim_cycles_total %d\n", st.SimCycles)
-	fmt.Fprintf(w, "fvpd_sim_insts_total %d\n", st.SimInsts)
-	fmt.Fprintf(w, "fvpd_sim_seconds_total %g\n", st.SimSeconds)
-	fmt.Fprintf(w, "fvpd_sim_cycles_per_second %g\n", st.CyclesPerSecond())
+	gauge := func(name, help string, format string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s "+format+"\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, format string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s "+format+"\n", name, help, name, name, v)
+	}
+	gauge("fvpd_jobs_queued", "Unique runs waiting for a worker.", "%d", st.JobsQueued)
+	gauge("fvpd_jobs_running", "Simulations currently executing.", "%d", st.JobsRunning)
+	counter("fvpd_jobs_done_total", "Jobs that finished successfully.", "%d", st.JobsDone)
+	counter("fvpd_jobs_failed_total", "Jobs that finished with an error.", "%d", st.JobsFailed)
+	counter("fvpd_jobs_canceled_total", "Jobs canceled or timed out.", "%d", st.JobsCanceled)
+	counter("fvpd_cache_hits_total", "Submits served from the result cache or deduplicated onto an in-flight run.", "%d", st.CacheHits)
+	counter("fvpd_cache_misses_total", "Submits that required a fresh simulation.", "%d", st.CacheMisses)
+	gauge("fvpd_cache_entries", "Results held in the content-addressed cache.", "%d", st.CacheEntries)
+	counter("fvpd_sim_cycles_total", "Simulated cycles across all completed runs.", "%d", st.SimCycles)
+	counter("fvpd_sim_insts_total", "Simulated instructions across all completed runs.", "%d", st.SimInsts)
+	counter("fvpd_sim_seconds_total", "Wall-clock seconds spent simulating.", "%g", st.SimSeconds)
+	gauge("fvpd_sim_cycles_per_second", "Aggregate simulation throughput.", "%g", st.CyclesPerSecond())
 
 	s.http.mu.Lock()
 	endpoints := make([]string, 0, len(s.http.byE))
@@ -98,10 +103,13 @@ func (s *Service) WriteMetrics(w io.Writer) {
 		endpoints = append(endpoints, e)
 	}
 	sort.Strings(endpoints)
+	fmt.Fprintf(w, "# HELP fvpd_http_requests_total HTTP requests served, by route pattern.\n# TYPE fvpd_http_requests_total counter\n")
 	for _, e := range endpoints {
-		es := s.http.byE[e]
-		fmt.Fprintf(w, "fvpd_http_requests_total{endpoint=%q} %d\n", e, es.count)
-		fmt.Fprintf(w, "fvpd_http_request_seconds_total{endpoint=%q} %g\n", e, es.seconds)
+		fmt.Fprintf(w, "fvpd_http_requests_total{endpoint=%q} %d\n", e, s.http.byE[e].count)
+	}
+	fmt.Fprintf(w, "# HELP fvpd_http_request_seconds_total Cumulative request latency, by route pattern.\n# TYPE fvpd_http_request_seconds_total counter\n")
+	for _, e := range endpoints {
+		fmt.Fprintf(w, "fvpd_http_request_seconds_total{endpoint=%q} %g\n", e, s.http.byE[e].seconds)
 	}
 	s.http.mu.Unlock()
 }

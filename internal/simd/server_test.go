@@ -183,7 +183,7 @@ func TestHTTPClientDisconnectCancelsJob(t *testing.T) {
 	svc, srv := newTestServer(t, Config{Workers: 1})
 
 	ctx, cancel := context.WithCancel(context.Background())
-	body := `{"workload":"omnetpp","predictor":"fvp","measure_insts":2000000000}`
+	body := `{"workload":"omnetpp","predictor":"fvp","measure_insts":1000000000}`
 	req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
 		srv.URL+"/v1/runs?wait=1", strings.NewReader(body))
 	req.Header.Set("Content-Type", "application/json")

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fvp"
@@ -74,11 +75,13 @@ type job struct {
 
 	// Leader-only fields. ctx governs the simulation; live counts the
 	// not-yet-canceled jobs (leader + followers) interested in it — when
-	// it reaches zero the execution is canceled.
+	// it reaches zero the execution is canceled. progress is the gauge the
+	// worker attaches for the duration of the simulation.
 	ctx       context.Context
 	cancel    context.CancelFunc
 	followers []*job
 	live      int
+	progress  *progressGauge
 
 	// leader points a follower at its leader; nil on leaders.
 	leader *job
@@ -251,14 +254,21 @@ func (s *Service) worker() {
 		j := s.runq[0]
 		s.runq = s.runq[1:]
 		j.setStateLocked(StateRunning)
+		j.progress = &progressGauge{target: j.spec.MeasureInsts}
 		s.met.running++
 		s.mu.Unlock()
+
+		// Attach a progress gauge to a copy of the spec: the Observer field
+		// is json:"-" and outside the cache key, so the simulated work and
+		// its identity are untouched.
+		spec := j.spec
+		spec.Observer = j.progress
 
 		var m fvp.Metrics
 		err := j.ctx.Err()
 		start := time.Now()
 		if err == nil {
-			m, err = s.cfg.Run(j.ctx, j.spec)
+			m, err = s.cfg.Run(j.ctx, spec)
 		}
 		elapsed := time.Since(start)
 
@@ -473,6 +483,30 @@ func (s *Service) Close() {
 	s.wg.Wait()
 }
 
+// progressGauge tracks a running simulation's retirement count. It
+// implements fvp.Observer; samples arrive on the simulating goroutine
+// while status reads happen under the service lock, so the counter is
+// atomic rather than mutex-guarded.
+type progressGauge struct {
+	retired atomic.Uint64
+	target  uint64
+}
+
+func (g *progressGauge) OnInterval(m fvp.IntervalMetrics) {
+	g.retired.Add(m.Insts)
+}
+
+func (g *progressGauge) snapshot() *Progress {
+	p := &Progress{RetiredInsts: g.retired.Load(), TargetInsts: g.target}
+	if p.TargetInsts > 0 {
+		p.Ratio = float64(p.RetiredInsts) / float64(p.TargetInsts)
+		if p.Ratio > 1 {
+			p.Ratio = 1
+		}
+	}
+	return p
+}
+
 // status renders the externally visible snapshot; callers hold s.mu.
 func (j *job) status() JobStatus {
 	st := JobStatus{
@@ -481,6 +515,15 @@ func (j *job) status() JobStatus {
 		Cached:  j.cached,
 		Spec:    j.spec,
 		Metrics: j.result,
+	}
+	if j.state == StateRunning {
+		leader := j
+		if j.leader != nil {
+			leader = j.leader
+		}
+		if leader.progress != nil {
+			st.Progress = leader.progress.snapshot()
+		}
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()

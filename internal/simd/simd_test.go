@@ -190,7 +190,7 @@ func TestCancelStopsSimulation(t *testing.T) {
 	svc := New(Config{Workers: 1})
 	defer svc.Close()
 
-	spec := fvp.RunSpec{Workload: "omnetpp", Predictor: fvp.PredFVP, MeasureInsts: 2_000_000_000}
+	spec := fvp.RunSpec{Workload: "omnetpp", Predictor: fvp.PredFVP, MeasureInsts: 1_000_000_000}
 	st, err := svc.Submit(RunRequest{RunSpec: spec})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,187 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"fvp/internal/core"
+	"fvp/internal/ooo"
+	"fvp/internal/prog"
+	"fvp/internal/telemetry"
+	"fvp/internal/workload"
+)
+
+const testInsts = 20_000
+
+func newTestCore(t *testing.T, name string) *ooo.Core {
+	t.Helper()
+	wl, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	p := wl.Build()
+	c := ooo.New(ooo.Skylake(), core.New(core.DefaultConfig()), prog.NewExec(p), p.BuildMemory())
+	c.WarmCaches(p.WarmRanges)
+	return c
+}
+
+// TestSamplerDeltasSumToTotals runs a full workload with the sampler attached
+// from cold start and checks that summing the per-interval deltas reproduces
+// the run's final totals exactly — no interval lost, none double-counted.
+func TestSamplerDeltasSumToTotals(t *testing.T) {
+	for _, name := range []string{"mcf", "omnetpp", "hmmer"} {
+		t.Run(name, func(t *testing.T) {
+			c := newTestCore(t, name)
+			s := telemetry.NewSampler()
+			c.SetObserver(s, 3_000)
+			st := c.Run(testInsts)
+			c.FinishObservation()
+
+			tot := s.Totals()
+			if tot.Cycles != st.Cycles {
+				t.Errorf("cycles: samples sum to %d, run total %d", tot.Cycles, st.Cycles)
+			}
+			if tot.Insts != st.Retired {
+				t.Errorf("insts: samples sum to %d, run retired %d", tot.Insts, st.Retired)
+			}
+			if tot.VPFlushes != st.VPFlushes {
+				t.Errorf("vp flushes: samples sum to %d, run total %d", tot.VPFlushes, st.VPFlushes)
+			}
+			if tot.BranchMispredicts != st.BranchMispredicts {
+				t.Errorf("branch mispredicts: samples sum to %d, run total %d", tot.BranchMispredicts, st.BranchMispredicts)
+			}
+			if tot.Forwards != st.Forwards {
+				t.Errorf("forwards: samples sum to %d, run total %d", tot.Forwards, st.Forwards)
+			}
+			for i := range tot.CycleBreakdown {
+				if tot.CycleBreakdown[i] != st.Breakdown[i] {
+					t.Errorf("breakdown[%s]: samples sum to %d, run total %d",
+						ooo.BucketNames[i], tot.CycleBreakdown[i], st.Breakdown[i])
+				}
+			}
+			if tot.Loads != c.Meter.Loads || tot.PredictedLoads != c.Meter.PredictedLoads {
+				t.Errorf("loads: samples sum to %d/%d, meter %d/%d",
+					tot.PredictedLoads, tot.Loads, c.Meter.PredictedLoads, c.Meter.Loads)
+			}
+			if tot.Correct != c.Meter.Correct || tot.Wrong != c.Meter.Wrong {
+				t.Errorf("validation: samples sum to %d/%d, meter %d/%d",
+					tot.Correct, tot.Wrong, c.Meter.Correct, c.Meter.Wrong)
+			}
+		})
+	}
+}
+
+// TestSamplerPartition checks the samples tile the observed region with no
+// gaps or overlaps.
+func TestSamplerPartition(t *testing.T) {
+	c := newTestCore(t, "gcc")
+	s := telemetry.NewSampler()
+	c.SetObserver(s, 2_500)
+	st := c.Run(testInsts)
+	c.FinishObservation()
+
+	samples := s.Samples()
+	if len(samples) < 2 {
+		t.Fatalf("expected multiple samples, got %d", len(samples))
+	}
+	if samples[0].StartCycle != 0 {
+		t.Errorf("first sample starts at %d, want 0 (attached cold)", samples[0].StartCycle)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].StartCycle != samples[i-1].EndCycle {
+			t.Errorf("sample %d starts at %d, previous ended at %d",
+				i, samples[i].StartCycle, samples[i-1].EndCycle)
+		}
+	}
+	if last := samples[len(samples)-1].EndCycle; last != st.Cycles {
+		t.Errorf("last sample ends at %d, run ended at %d", last, st.Cycles)
+	}
+	for i, sm := range samples {
+		var bd uint64
+		for _, b := range sm.CycleBreakdown {
+			bd += b
+		}
+		if want := sm.EndCycle - sm.StartCycle; bd != want {
+			t.Errorf("sample %d: breakdown sums to %d, interval is %d cycles", i, bd, want)
+		}
+	}
+}
+
+// TestSamplerStreaming checks the OnSample callback sees the same series the
+// retaining path stores, and that Discard keeps memory flat.
+func TestSamplerStreaming(t *testing.T) {
+	c := newTestCore(t, "mcf")
+	var streamed []telemetry.Sample
+	s := &telemetry.Sampler{
+		OnSample: func(sm telemetry.Sample) { streamed = append(streamed, sm) },
+		Discard:  true,
+	}
+	c.SetObserver(s, 4_000)
+	st := c.Run(testInsts)
+	c.FinishObservation()
+
+	if len(s.Samples()) != 0 {
+		t.Errorf("Discard sampler retained %d samples", len(s.Samples()))
+	}
+	if len(streamed) == 0 {
+		t.Fatal("streaming callback never fired")
+	}
+	var insts uint64
+	for _, sm := range streamed {
+		insts += sm.Insts
+	}
+	if insts != st.Retired {
+		t.Errorf("streamed insts sum to %d, run retired %d", insts, st.Retired)
+	}
+}
+
+// TestSamplerReset checks a sampler can be reused across observed regions.
+func TestSamplerReset(t *testing.T) {
+	c := newTestCore(t, "hmmer")
+	s := telemetry.NewSampler()
+	c.SetObserver(s, 2_000)
+	st1 := c.Run(5_000) // Run's budget is total retired, so regions stack
+	c.FinishObservation()
+	first := len(s.Samples())
+	if first == 0 {
+		t.Fatal("no samples in first region")
+	}
+
+	s.Reset()
+	c.SetObserver(s, 2_000)
+	st := c.Run(10_000)
+	c.FinishObservation()
+	if len(s.Samples()) == 0 {
+		t.Fatal("no samples after Reset")
+	}
+	// The second region's samples must partition only the second run.
+	tot := s.Totals()
+	if want := st.Retired - st1.Retired; tot.Insts != want {
+		t.Errorf("second region insts sum to %d, want %d", tot.Insts, want)
+	}
+	if last := s.Samples()[len(s.Samples())-1].EndCycle; last != st.Cycles {
+		t.Errorf("second region ends at %d, run ended at %d", last, st.Cycles)
+	}
+}
+
+// TestSampleJSONRoundTrip pins the wire schema field names.
+func TestSampleJSONRoundTrip(t *testing.T) {
+	sm := telemetry.Sample{StartCycle: 10, EndCycle: 20, Insts: 15, IPC: 1.5}
+	b, err := json.Marshal(sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"start_cycle"`, `"end_cycle"`, `"insts"`, `"ipc"`, `"cycle_breakdown"`, `"rob_occ"`} {
+		if !bytes.Contains(b, []byte(key)) {
+			t.Errorf("marshaled sample missing %s: %s", key, b)
+		}
+	}
+	var back telemetry.Sample
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != sm {
+		t.Errorf("round trip mismatch: %+v != %+v", back, sm)
+	}
+}

@@ -1,0 +1,275 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"fvp/internal/isa"
+	"fvp/internal/ooo"
+)
+
+// PipeTrace records per-instruction pipeline stage timestamps for a bounded
+// window of instructions and exports them as Chrome trace-event JSON. Each
+// traced instruction becomes a chain of duration slices (frontend → wait →
+// exec → commit) on a lane chosen so that concurrent instructions occupy
+// different rows — loading the file in Perfetto shows the machine's
+// instruction-level parallelism directly. Value-prediction events
+// (predict / validate) render as instants on the instruction's lane, and
+// pipeline flushes as process-scoped instants.
+//
+// The window is bounded by distinct instructions, not events: once MaxInsts
+// instructions have been captured, events for new instructions are dropped
+// while in-flight ones still complete their timelines, so memory stays
+// O(MaxInsts) regardless of run length. An instruction squashed and
+// replayed keeps its original record (marked squashed) and gets a fresh
+// timeline on refetch without consuming extra window budget.
+type PipeTrace struct {
+	maxInsts int
+	captured map[uint64]bool // seqs ever admitted to the window
+	open     map[uint64]*instRec
+	done     []*instRec
+	flushes  []flushEv
+}
+
+// instRec is one instruction's stage timeline. Zero means "stage not
+// reached" (the core's clock starts at cycle 1).
+type instRec struct {
+	seq, pc uint64
+	op      isa.Op
+
+	fetch, rename, issue, complete, retire uint64
+
+	predicted            bool
+	predCycle, predValue uint64
+	valid                uint8 // 0 unvalidated, 1 correct, 2 wrong
+	validCycle           uint64
+
+	squashed bool
+}
+
+type flushEv struct {
+	cycle    uint64
+	seq      uint64
+	squashed uint64
+	hasSeq   bool
+}
+
+// DefaultTraceInsts is the window bound NewPipeTrace applies when given 0.
+const DefaultTraceInsts = 2048
+
+// NewPipeTrace returns a tracer capturing the first maxInsts distinct
+// instructions it observes (0 selects DefaultTraceInsts).
+func NewPipeTrace(maxInsts int) *PipeTrace {
+	if maxInsts <= 0 {
+		maxInsts = DefaultTraceInsts
+	}
+	return &PipeTrace{
+		maxInsts: maxInsts,
+		captured: make(map[uint64]bool, maxInsts),
+		open:     make(map[uint64]*instRec, 64),
+	}
+}
+
+// PipeEvent implements ooo.PipeTracer.
+func (t *PipeTrace) PipeEvent(ev ooo.TraceEvent, cycle uint64, d *isa.DynInst, arg uint64) {
+	if ev == ooo.EvFlush {
+		fe := flushEv{cycle: cycle, squashed: arg}
+		if d != nil {
+			fe.seq, fe.hasSeq = d.Seq, true
+		}
+		t.flushes = append(t.flushes, fe)
+		return
+	}
+	if ev == ooo.EvFetch {
+		if r := t.open[d.Seq]; r != nil {
+			// Refetch after a squash: archive the aborted timeline and
+			// start a fresh one for the replay.
+			r.squashed = true
+			t.done = append(t.done, r)
+			delete(t.open, d.Seq)
+		} else if !t.captured[d.Seq] {
+			if len(t.captured) >= t.maxInsts {
+				return
+			}
+			t.captured[d.Seq] = true
+		}
+		t.open[d.Seq] = &instRec{seq: d.Seq, pc: d.PC, op: d.Op, fetch: cycle}
+		return
+	}
+	r := t.open[d.Seq]
+	if r == nil {
+		return
+	}
+	switch ev {
+	case ooo.EvRename:
+		r.rename = cycle
+	case ooo.EvIssue:
+		r.issue = cycle
+	case ooo.EvComplete:
+		r.complete = cycle
+	case ooo.EvRetire:
+		r.retire = cycle
+		t.done = append(t.done, r)
+		delete(t.open, d.Seq)
+	case ooo.EvPredict:
+		r.predicted = true
+		r.predCycle, r.predValue = cycle, arg
+	case ooo.EvVPCorrect:
+		r.valid, r.validCycle = 1, cycle
+	case ooo.EvVPWrong:
+		r.valid, r.validCycle = 2, cycle
+	}
+}
+
+// Insts returns the number of distinct instructions captured so far.
+func (t *PipeTrace) Insts() int { return len(t.captured) }
+
+// end returns the last cycle the record has evidence for.
+func (r *instRec) end() uint64 {
+	last := r.fetch
+	for _, ts := range [...]uint64{r.rename, r.issue, r.complete, r.retire, r.validCycle} {
+		if ts > last {
+			last = ts
+		}
+	}
+	return last
+}
+
+// chromeEvent is one trace-event object; field names follow the Chrome
+// trace-event format (ph "X" = complete slice, "i" = instant, "M" =
+// metadata). Timestamps are simulated cycles written into the ts field —
+// Perfetto renders them as microseconds, which only rescales the axis.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object flavor of the format (the array flavor is
+// also legal, but the object form carries metadata).
+type traceFile struct {
+	TraceEvents []chromeEvent     `json:"traceEvents"`
+	OtherData   map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace renders every captured timeline (finished and in-flight)
+// to w.
+func (t *PipeTrace) WriteChromeTrace(w io.Writer) error {
+	recs := make([]*instRec, 0, len(t.done)+len(t.open))
+	recs = append(recs, t.done...)
+	for _, r := range t.open {
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].fetch != recs[j].fetch {
+			return recs[i].fetch < recs[j].fetch
+		}
+		return recs[i].seq < recs[j].seq
+	})
+
+	// Greedy lane assignment: each instruction takes the lowest lane free
+	// at its fetch cycle, so overlapping lifetimes land on distinct rows.
+	var laneEnd []uint64
+	events := []chromeEvent{{
+		Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "fvp pipeline"},
+	}}
+	for _, r := range recs {
+		lane := -1
+		for i, end := range laneEnd {
+			if end <= r.fetch {
+				lane = i
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 0, Tid: lane,
+				Args: map[string]any{"name": fmt.Sprintf("lane %02d", lane)},
+			})
+		}
+		laneEnd[lane] = r.end() + 1
+		events = append(events, r.events(lane)...)
+	}
+	for _, f := range t.flushes {
+		args := map[string]any{"squashed": f.squashed}
+		if f.hasSeq {
+			args["from_seq"] = f.seq
+		}
+		events = append(events, chromeEvent{
+			Name: "flush", Ph: "i", Ts: f.cycle, Pid: 0, Tid: 0, S: "p",
+			Cat: "flush", Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{
+		TraceEvents: events,
+		OtherData:   map[string]string{"clock": "cycles", "format": "fvp pipeline trace"},
+	})
+}
+
+// events renders one instruction's slices and instants on its lane.
+func (r *instRec) events(lane int) []chromeEvent {
+	label := fmt.Sprintf("%s %#x #%d", r.op, r.pc, r.seq)
+	args := map[string]any{"seq": r.seq, "pc": fmt.Sprintf("%#x", r.pc), "op": r.op.String()}
+	out := make([]chromeEvent, 0, 6)
+	slice := func(name string, from, to uint64) {
+		if from == 0 || to < from {
+			return
+		}
+		out = append(out, chromeEvent{
+			Name: name + " " + label, Ph: "X", Ts: from, Dur: to - from,
+			Pid: 0, Tid: lane, Cat: "stage", Args: args,
+		})
+	}
+	// Stage chain; a stage whose successor was never reached extends to the
+	// record's last evidence so partial (squashed / still in flight)
+	// timelines remain visible.
+	last := r.end()
+	next := func(ts uint64) uint64 {
+		if ts != 0 {
+			return ts
+		}
+		return last
+	}
+	slice("frontend", r.fetch, next(r.rename))
+	if r.rename != 0 {
+		slice("wait", r.rename, next(r.issue))
+	}
+	if r.issue != 0 {
+		slice("exec", r.issue, next(r.complete))
+	}
+	if r.complete != 0 {
+		slice("commit", r.complete, next(r.retire))
+	}
+	instant := func(name string, ts uint64, extra map[string]any) {
+		out = append(out, chromeEvent{
+			Name: name, Ph: "i", Ts: ts, Pid: 0, Tid: lane, S: "t",
+			Cat: "vp", Args: extra,
+		})
+	}
+	if r.predicted {
+		instant("vp-predict", r.predCycle, map[string]any{"seq": r.seq, "value": r.predValue})
+	}
+	switch r.valid {
+	case 1:
+		instant("vp-correct", r.validCycle, map[string]any{"seq": r.seq})
+	case 2:
+		instant("vp-wrong", r.validCycle, map[string]any{"seq": r.seq})
+	}
+	if r.squashed {
+		instant("squashed", last, map[string]any{"seq": r.seq})
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"fvp/internal/telemetry"
+)
+
+// runTrace simulates a workload with a tracer attached and returns the
+// decoded Chrome trace file.
+func runTrace(t *testing.T, workload string, maxInsts, insts int) (*telemetry.PipeTrace, map[string]any) {
+	t.Helper()
+	c := newTestCore(t, workload)
+	tr := telemetry.NewPipeTrace(maxInsts)
+	c.SetTracer(tr)
+	c.Run(uint64(insts))
+	c.SetTracer(nil)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("write trace: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	return tr, doc
+}
+
+func traceEvents(t *testing.T, doc map[string]any) []map[string]any {
+	t.Helper()
+	raw, ok := doc["traceEvents"].([]any)
+	if !ok {
+		t.Fatalf("trace file has no traceEvents array: keys %v", doc)
+	}
+	evs := make([]map[string]any, len(raw))
+	for i, e := range raw {
+		evs[i] = e.(map[string]any)
+	}
+	return evs
+}
+
+// TestPipeTraceChromeFormat checks the exported JSON is well-formed Chrome
+// trace-event data: slices with non-negative durations, required fields, and
+// the stage vocabulary the docs promise.
+func TestPipeTraceChromeFormat(t *testing.T) {
+	tr, doc := runTrace(t, "mcf", 256, 5_000)
+	if tr.Insts() != 256 {
+		t.Errorf("captured %d insts, want the full 256 window", tr.Insts())
+	}
+	evs := traceEvents(t, doc)
+	if len(evs) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	var slices, instants, meta int
+	stages := map[string]bool{}
+	for _, e := range evs {
+		ph := e["ph"].(string)
+		switch ph {
+		case "X":
+			slices++
+			if d, ok := e["dur"]; ok && d.(float64) < 0 {
+				t.Errorf("slice %v has negative duration", e["name"])
+			}
+			if e["ts"].(float64) < 0 {
+				t.Errorf("slice %v has negative ts", e["name"])
+			}
+			name := e["name"].(string)
+			for _, st := range []string{"frontend", "wait", "exec", "commit"} {
+				if len(name) >= len(st) && name[:len(st)] == st {
+					stages[st] = true
+				}
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %q", ph)
+		}
+	}
+	if slices == 0 {
+		t.Error("no duration slices emitted")
+	}
+	if meta == 0 {
+		t.Error("no metadata (thread_name) events emitted")
+	}
+	for _, st := range []string{"frontend", "wait", "exec", "commit"} {
+		if !stages[st] {
+			t.Errorf("stage %q never appears in the trace", st)
+		}
+	}
+}
+
+// TestPipeTraceBounded checks the capture window is enforced: a long run
+// with a small window captures exactly the window, not the run.
+func TestPipeTraceBounded(t *testing.T) {
+	tr, doc := runTrace(t, "omnetpp", 64, 10_000)
+	if tr.Insts() != 64 {
+		t.Errorf("captured %d distinct insts, want 64", tr.Insts())
+	}
+	seqs := map[float64]bool{}
+	for _, e := range traceEvents(t, doc) {
+		if args, ok := e["args"].(map[string]any); ok {
+			if seq, ok := args["seq"].(float64); ok {
+				seqs[seq] = true
+			}
+		}
+	}
+	if len(seqs) > 64 {
+		t.Errorf("trace mentions %d distinct seqs, window is 64", len(seqs))
+	}
+}
+
+// TestPipeTraceVPEvents checks value-prediction instants appear when a
+// predictor is attached (the test core always runs FVP). The window spans
+// the whole run because FVP predicts nothing until its confidence warms up.
+func TestPipeTraceVPEvents(t *testing.T) {
+	c := newTestCore(t, "mcf")
+	tr := telemetry.NewPipeTrace(25_000)
+	c.SetTracer(tr)
+	c.Run(20_000)
+	c.SetTracer(nil)
+	if c.Meter.PredictedLoads == 0 {
+		t.Skip("predictor made no predictions in this run")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("write trace: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	var predicts, validates int
+	for _, e := range traceEvents(t, doc) {
+		switch e["name"] {
+		case "vp-predict":
+			predicts++
+		case "vp-correct", "vp-wrong":
+			validates++
+		}
+	}
+	if predicts == 0 {
+		t.Error("no vp-predict instants in an FVP run")
+	}
+	if validates == 0 {
+		t.Error("no validation instants in an FVP run")
+	}
+	if validates > predicts {
+		t.Errorf("%d validations but only %d predictions", validates, predicts)
+	}
+}
+
+// TestPipeTraceDefaultWindow checks the 0 → default substitution.
+func TestPipeTraceDefaultWindow(t *testing.T) {
+	tr := telemetry.NewPipeTrace(0)
+	c := newTestCore(t, "gcc")
+	c.SetTracer(tr)
+	c.Run(telemetry.DefaultTraceInsts * 2)
+	if tr.Insts() != telemetry.DefaultTraceInsts {
+		t.Errorf("captured %d insts, want default window %d", tr.Insts(), telemetry.DefaultTraceInsts)
+	}
+}
