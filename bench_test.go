@@ -42,7 +42,7 @@ func headline(b *testing.B, cfg ooo.Config, spec harness.Spec) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchOpt)
-		pairs := r.Compare(cfg, harness.Factory(spec))
+		pairs := r.Compare(cfg, spec)
 		b.ReportMetric((harness.Geomean(pairs)-1)*100, "geo_gain_pct")
 		b.ReportMetric(harness.MeanCoverage(pairs)*100, "coverage_pct")
 	}
@@ -89,7 +89,7 @@ func BenchmarkFig8PerWorkload(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchOpt)
-		pairs := r.Compare(ooo.Skylake(), harness.Factory(harness.SpecFVP))
+		pairs := r.Compare(ooo.Skylake(), harness.SpecFVP)
 		best := 1.0
 		for _, p := range pairs {
 			if s := p.Speedup(); s > best {
@@ -106,8 +106,8 @@ func BenchmarkFig9Scaling(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchOpt)
-		sky := harness.Geomean(r.Compare(ooo.Skylake(), harness.Factory(harness.SpecFVP)))
-		sky2 := harness.Geomean(r.Compare(ooo.Skylake2X(), harness.Factory(harness.SpecFVP)))
+		sky := harness.Geomean(r.Compare(ooo.Skylake(), harness.SpecFVP))
+		sky2 := harness.Geomean(r.Compare(ooo.Skylake2X(), harness.SpecFVP))
 		b.ReportMetric((sky-1)*100, "skylake_gain_pct")
 		b.ReportMetric((sky2-1)*100, "skylake2x_gain_pct")
 	}
@@ -126,7 +126,7 @@ func BenchmarkFig10PriorArtSkylake(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchOpt)
 		for _, s := range fig10Specs {
-			g := harness.Geomean(r.Compare(ooo.Skylake(), harness.Factory(s)))
+			g := harness.Geomean(r.Compare(ooo.Skylake(), s))
 			b.ReportMetric((g-1)*100, string(s)+"_pct")
 		}
 	}
@@ -138,7 +138,7 @@ func BenchmarkFig11PriorArtSkylake2X(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchOpt)
 		for _, s := range fig10Specs {
-			g := harness.Geomean(r.Compare(ooo.Skylake2X(), harness.Factory(s)))
+			g := harness.Geomean(r.Compare(ooo.Skylake2X(), s))
 			b.ReportMetric((g-1)*100, string(s)+"_pct")
 		}
 	}
@@ -155,7 +155,7 @@ func BenchmarkFig12Criticality(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchOpt)
 		for _, s := range specs {
-			g := harness.Geomean(r.Compare(ooo.Skylake(), harness.Factory(s)))
+			g := harness.Geomean(r.Compare(ooo.Skylake(), s))
 			b.ReportMetric((g-1)*100, string(s)+"_pct")
 		}
 	}
@@ -167,8 +167,8 @@ func BenchmarkFig13Components(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchOpt)
-		reg := harness.Geomean(r.Compare(ooo.Skylake(), harness.Factory(harness.SpecFVPRegOnly)))
-		mem := harness.Geomean(r.Compare(ooo.Skylake(), harness.Factory(harness.SpecFVPMemOnly)))
+		reg := harness.Geomean(r.Compare(ooo.Skylake(), harness.SpecFVPRegOnly))
+		mem := harness.Geomean(r.Compare(ooo.Skylake(), harness.SpecFVPMemOnly))
 		b.ReportMetric((reg-1)*100, "register_pct")
 		b.ReportMetric((mem-1)*100, "memory_pct")
 	}
@@ -178,7 +178,7 @@ func BenchmarkFig13Components(b *testing.B) {
 func BenchmarkExpAllTypes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchOpt)
-		g := harness.Geomean(r.Compare(ooo.Skylake(), harness.Factory(harness.SpecFVPAllTypes)))
+		g := harness.Geomean(r.Compare(ooo.Skylake(), harness.SpecFVPAllTypes))
 		b.ReportMetric((g-1)*100, "alltypes_pct")
 	}
 }
@@ -187,7 +187,7 @@ func BenchmarkExpAllTypes(b *testing.B) {
 func BenchmarkExpBranchChains(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchOpt)
-		g := harness.Geomean(r.Compare(ooo.Skylake(), harness.Factory(harness.SpecFVPBrChains)))
+		g := harness.Geomean(r.Compare(ooo.Skylake(), harness.SpecFVPBrChains))
 		b.ReportMetric((g-1)*100, "branchchains_pct")
 	}
 }
@@ -207,7 +207,7 @@ func BenchmarkExpEpochSweep(b *testing.B) {
 				c.Epoch = epoch
 				return core.New(c)
 			}
-			g := harness.Geomean(r.Compare(ooo.Skylake(), pf))
+			g := harness.Geomean(r.CompareWith(ooo.Skylake(), "FVP-epoch-bench", pf))
 			b.ReportMetric((g-1)*100, "epoch_pct")
 		}
 	}
@@ -227,7 +227,7 @@ func BenchmarkExpTableSizes(b *testing.B) {
 				c.MR.VFEntries = sz.vf
 				return core.New(c)
 			}
-			g := harness.Geomean(r.Compare(ooo.Skylake(), pf))
+			g := harness.Geomean(r.CompareWith(ooo.Skylake(), "FVP-size-bench", pf))
 			b.ReportMetric((g-1)*100, "size_pct")
 		}
 	}
@@ -240,7 +240,7 @@ func BenchmarkExpStallBreakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := harness.NewRunner(benchOpt)
 		r.Workloads = subset
-		pairs := r.Compare(ooo.Skylake(), harness.Factory(harness.SpecFVP))
+		pairs := r.Compare(ooo.Skylake(), harness.SpecFVP)
 		var dram, dramF uint64
 		for _, p := range pairs {
 			dram += p.Base.Stats.Breakdown[ooo.CycMemDRAM]
@@ -263,7 +263,7 @@ func BenchmarkExpAblation(b *testing.B) {
 		cfg.Name = "Skylake-nopf"
 		r := harness.NewRunner(benchOpt)
 		r.Workloads = subset
-		g := harness.Geomean(r.Compare(cfg, harness.Factory(harness.SpecFVP)))
+		g := harness.Geomean(r.Compare(cfg, harness.SpecFVP))
 		b.ReportMetric((g-1)*100, "no_prefetch_gain_pct")
 	}
 }
@@ -277,7 +277,7 @@ func BenchmarkExpBaselinePredictors(b *testing.B) {
 		r := harness.NewRunner(benchOpt)
 		r.Workloads = subset
 		for _, s := range specs {
-			g := harness.Geomean(r.Compare(ooo.Skylake(), harness.Factory(s)))
+			g := harness.Geomean(r.Compare(ooo.Skylake(), s))
 			b.ReportMetric((g-1)*100, string(s)+"_pct")
 		}
 	}
@@ -316,6 +316,33 @@ func BenchmarkCoreCycleLoop(b *testing.B) {
 		c.Run(uint64(i+2) * instsPerOp)
 	}
 	b.ReportMetric(float64(instsPerOp*b.N)/b.Elapsed().Seconds(), "inst/s")
+}
+
+// BenchmarkCoreCycleLoopMemBound is BenchmarkCoreCycleLoop on an mcf-class
+// DRAM-bound pointer chaser — the workload category where the cycle loop
+// used to spin through hundreds of empty iterations per head-of-window
+// miss, and where idle-cycle elision therefore pays most. Run it with
+// -tags ooo_noskip to measure the ticking path; the default build must be
+// ≥1.5× its inst/s (fvpbench records both in BENCH_core.json). skip_ratio
+// reports the fraction of simulated cycles covered by clock jumps.
+func BenchmarkCoreCycleLoopMemBound(b *testing.B) {
+	const instsPerOp = 20_000 // mcf-class IPC is ~0.08: ~250k cycles per op
+	w, _ := workload.ByName("mcf-17")
+	p := w.Build()
+	ex := prog.NewExec(p)
+	c := ooo.New(ooo.Skylake(), core.New(core.DefaultConfig()), ex, p.BuildMemory())
+	c.WarmCaches(p.WarmRanges)
+	st0 := c.Run(instsPerOp) // reach steady state before timing
+	st1 := st0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st1 = c.Run(uint64(i+2) * instsPerOp)
+	}
+	b.ReportMetric(float64(instsPerOp*b.N)/b.Elapsed().Seconds(), "inst/s")
+	if dc := st1.Cycles - st0.Cycles; dc > 0 {
+		b.ReportMetric(float64(st1.SkippedCycles-st0.SkippedCycles)/float64(dc), "skip_ratio")
+	}
 }
 
 // BenchmarkCoreCycleLoopSampled repeats BenchmarkCoreCycleLoop with an

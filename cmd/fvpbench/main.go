@@ -6,10 +6,16 @@
 //     BenchmarkCoreCycleLoop in bench_test.go): simulated instructions per
 //     wall-clock second and heap allocations per 50k-instruction chunk,
 //     compared against the recorded pre-event-driven-scheduler reference.
-//  2. A full-suite FVP-vs-baseline sweep: aggregate simulation throughput
+//  2. The same loop on an mcf-class DRAM-bound pointer chaser, once with
+//     idle-cycle elision (the default build) and once on the ticking path
+//     (Config.DisableIdleElision), recording the elision speedup and the
+//     skip_ratio — the fraction of simulated cycles covered by clock jumps.
+//  3. A full-suite FVP-vs-baseline sweep: aggregate simulation throughput
 //     (sim MIPS across all parallel runs) and the geomean IPC speedup —
 //     the paper's headline metric — so a perf regression that also changes
-//     results is visible in the same artifact.
+//     results is visible in the same artifact. Each per-workload row now
+//     carries its skip_ratio, so the artifact shows which workload
+//     categories the elision fast path accelerates.
 //
 // Usage:
 //
@@ -37,6 +43,14 @@ import (
 // directly comparable with `go test -bench=CoreCycleLoop`.
 const cycleLoopInstsPerOp = 50_000
 
+// memBound names the DRAM-bound cycle-loop workload and matches
+// BenchmarkCoreCycleLoopMemBound (smaller chunks: mcf-class IPC is ~0.08,
+// so 20k instructions is already ~250k simulated cycles).
+const (
+	memBoundWorkload   = "mcf-17"
+	memBoundInstsPerOp = 20_000
+)
+
 // reference is the cycle-loop measurement recorded on the development host
 // immediately before the event-driven scheduler landed (per-cycle full-window
 // scans, no core reuse). Absolute inst/s is host-dependent; allocs/op is not,
@@ -50,7 +64,9 @@ var reference = CycleLoop{
 	Note:        "pre-event-driven scheduler (full-window scans), Xeon @ 2.10GHz",
 }
 
-// CycleLoop is the steady-state cycle-loop measurement.
+// CycleLoop is the steady-state cycle-loop measurement. SkipRatio is the
+// fraction of simulated cycles covered by idle-elision clock jumps during
+// the timed region (0 on the ticking path).
 type CycleLoop struct {
 	Workload    string  `json:"workload"`
 	InstsPerOp  uint64  `json:"insts_per_op"`
@@ -58,6 +74,7 @@ type CycleLoop struct {
 	InstPerSec  float64 `json:"inst_per_sec"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	SkipRatio   float64 `json:"skip_ratio"`
 	Note        string  `json:"note,omitempty"`
 }
 
@@ -73,12 +90,15 @@ type Suite struct {
 	PerWorkload  []WorkloadSpeedup `json:"per_workload"`
 }
 
-// WorkloadSpeedup is one row of the sweep.
+// WorkloadSpeedup is one row of the sweep. SkipRatio is taken from the FVP
+// run: high values mark the memory-bound workloads where idle-cycle elision
+// absorbs most of the simulated time.
 type WorkloadSpeedup struct {
-	Name    string  `json:"name"`
-	BaseIPC float64 `json:"base_ipc"`
-	FVPIPC  float64 `json:"fvp_ipc"`
-	Speedup float64 `json:"speedup"`
+	Name      string  `json:"name"`
+	BaseIPC   float64 `json:"base_ipc"`
+	FVPIPC    float64 `json:"fvp_ipc"`
+	Speedup   float64 `json:"speedup"`
+	SkipRatio float64 `json:"skip_ratio"`
 }
 
 // Report is the BENCH_core.json schema.
@@ -94,42 +114,58 @@ type Report struct {
 	SpeedupVsReference float64   `json:"speedup_vs_reference"`
 	AllocsReduction    float64   `json:"allocs_reduction_factor"`
 
+	// The mem-bound loop measured with elision on and again on the ticking
+	// path; MemBoundElisionSpeedup is their inst/s ratio (acceptance floor
+	// for the idle-elision fast path is 1.5x).
+	CycleLoopMemBound        CycleLoop `json:"core_cycle_loop_mem_bound"`
+	CycleLoopMemBoundTicking CycleLoop `json:"core_cycle_loop_mem_bound_ticking"`
+	MemBoundElisionSpeedup   float64   `json:"mem_bound_elision_speedup"`
+
 	Suite Suite `json:"suite"`
 }
 
 // measureCycleLoop reproduces BenchmarkCoreCycleLoop outside the testing
 // package: one core built and warmed outside the timed region, each op
 // advancing the same simulation by another chunk of retired instructions.
-func measureCycleLoop(ops int) CycleLoop {
-	w, ok := workload.ByName(reference.Workload)
+// disableElide forces the per-cycle ticking path even on the default build
+// (the two paths produce bit-identical RunStats; see internal/ooo/elide.go).
+func measureCycleLoop(wlName string, instsPerOp uint64, ops int, disableElide bool) CycleLoop {
+	w, ok := workload.ByName(wlName)
 	if !ok {
-		fatalf("workload %q not found", reference.Workload)
+		fatalf("workload %q not found", wlName)
 	}
 	p := w.Build()
 	ex := prog.NewExec(p)
-	c := ooo.New(ooo.Skylake(), core.New(core.DefaultConfig()), ex, p.BuildMemory())
+	cfg := ooo.Skylake()
+	cfg.DisableIdleElision = disableElide
+	c := ooo.New(cfg, core.New(core.DefaultConfig()), ex, p.BuildMemory())
 	c.WarmCaches(p.WarmRanges)
-	c.Run(cycleLoopInstsPerOp) // reach steady state before timing
+	st0 := c.Run(instsPerOp) // reach steady state before timing
+	st1 := st0
 
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	for i := 0; i < ops; i++ {
-		c.Run(uint64(i+2) * cycleLoopInstsPerOp)
+		st1 = c.Run(uint64(i+2) * instsPerOp)
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&m1)
 
 	n := float64(ops)
-	return CycleLoop{
-		Workload:    reference.Workload,
-		InstsPerOp:  cycleLoopInstsPerOp,
+	cl := CycleLoop{
+		Workload:    wlName,
+		InstsPerOp:  instsPerOp,
 		Ops:         ops,
-		InstPerSec:  float64(cycleLoopInstsPerOp) * n / elapsed.Seconds(),
+		InstPerSec:  float64(instsPerOp) * n / elapsed.Seconds(),
 		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / n,
 		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
 	}
+	if dc := st1.Cycles - st0.Cycles; dc > 0 {
+		cl.SkipRatio = float64(st1.SkippedCycles-st0.SkippedCycles) / float64(dc)
+	}
+	return cl
 }
 
 // measureSuite sweeps FVP vs baseline over ws and reports aggregate
@@ -151,12 +187,16 @@ func measureSuite(ws []workload.Workload, opt harness.Options) Suite {
 		GeomeanFVP:   harness.Geomean(pairs),
 	}
 	for _, p := range pairs {
-		s.PerWorkload = append(s.PerWorkload, WorkloadSpeedup{
+		row := WorkloadSpeedup{
 			Name:    p.Base.Workload,
 			BaseIPC: p.Base.IPC,
 			FVPIPC:  p.Pred.IPC,
 			Speedup: p.Speedup(),
-		})
+		}
+		if p.Pred.Stats.Cycles > 0 {
+			row.SkipRatio = float64(p.Pred.Stats.SkippedCycles) / float64(p.Pred.Stats.Cycles)
+		}
+		s.PerWorkload = append(s.PerWorkload, row)
 	}
 	return s
 }
@@ -183,9 +223,18 @@ func main() {
 
 	fmt.Printf("fvpbench: cycle loop (%d ops x %d insts on %s)...\n",
 		*ops, cycleLoopInstsPerOp, reference.Workload)
-	cl := measureCycleLoop(*ops)
-	fmt.Printf("  %.0f inst/s, %.1f allocs/op, %.0f B/op\n",
-		cl.InstPerSec, cl.AllocsPerOp, cl.BytesPerOp)
+	cl := measureCycleLoop(reference.Workload, cycleLoopInstsPerOp, *ops, false)
+	fmt.Printf("  %.0f inst/s, %.1f allocs/op, %.0f B/op, skip ratio %.3f\n",
+		cl.InstPerSec, cl.AllocsPerOp, cl.BytesPerOp, cl.SkipRatio)
+
+	fmt.Printf("fvpbench: mem-bound cycle loop (%d ops x %d insts on %s, elided vs ticking)...\n",
+		*ops, memBoundInstsPerOp, memBoundWorkload)
+	mb := measureCycleLoop(memBoundWorkload, memBoundInstsPerOp, *ops, false)
+	mbTick := measureCycleLoop(memBoundWorkload, memBoundInstsPerOp, *ops, true)
+	mbTick.Note = "ticking path (Config.DisableIdleElision)"
+	elisionSpeedup := mb.InstPerSec / mbTick.InstPerSec
+	fmt.Printf("  elided %.0f inst/s (skip ratio %.3f) vs ticking %.0f inst/s: %.2fx\n",
+		mb.InstPerSec, mb.SkipRatio, mbTick.InstPerSec, elisionSpeedup)
 
 	fmt.Printf("fvpbench: suite sweep (%d workloads x {baseline, FVP})...\n", len(ws))
 	suite := measureSuite(ws, opt)
@@ -202,7 +251,12 @@ func main() {
 		Reference:          reference,
 		SpeedupVsReference: cl.InstPerSec / reference.InstPerSec,
 		AllocsReduction:    reference.AllocsPerOp / maxf(cl.AllocsPerOp, 1),
-		Suite:              suite,
+
+		CycleLoopMemBound:        mb,
+		CycleLoopMemBoundTicking: mbTick,
+		MemBoundElisionSpeedup:   elisionSpeedup,
+
+		Suite: suite,
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

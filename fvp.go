@@ -368,6 +368,13 @@ type Metrics struct {
 	// CycleBreakdown attributes every cycle to a top-down bucket; see
 	// CycleBucketNames for labels. Buckets sum to Cycles.
 	CycleBreakdown [9]uint64 `json:"cycle_breakdown"`
+	// SkippedCycles counts cycles the simulator clock-jumped instead of
+	// ticking, in SkipEvents jumps — a simulator-speed meter, not a machine
+	// property: skipped cycles are fully accounted in Cycles and
+	// CycleBreakdown, and both fields are 0 when idle-cycle elision is off
+	// (-tags ooo_noskip or ooo.Config.DisableIdleElision).
+	SkippedCycles uint64 `json:"skipped_cycles"`
+	SkipEvents    uint64 `json:"skip_events"`
 }
 
 // CycleBucketNames labels Metrics.CycleBreakdown.
@@ -404,6 +411,8 @@ func toMetrics(r harness.Result) Metrics {
 		Forwards:          r.Stats.Forwards,
 		LoadsByLevel:      r.Stats.LoadsByLevel,
 		CycleBreakdown:    r.Stats.Breakdown,
+		SkippedCycles:     r.Stats.SkippedCycles,
+		SkipEvents:        r.Stats.SkipEvents,
 	}
 }
 
@@ -508,6 +517,9 @@ func ToRecord(spec RunSpec, base *Metrics, pred Metrics) harness.ReportRecord {
 		Retiring:  float64(pred.CycleBreakdown[ooo.CycRetiring]) / cycles,
 		MemStall:  mem / cycles,
 		Frontend:  float64(pred.CycleBreakdown[ooo.CycFrontend]) / cycles,
+
+		SkippedCycles: pred.SkippedCycles,
+		SkipRatio:     float64(pred.SkippedCycles) / cycles,
 	}
 	if base != nil {
 		rec.BaseIPC = base.IPC

@@ -77,7 +77,7 @@ func runAblation(r *Runner, out io.Writer) error {
 		// doesn't collapse them.
 		cfg.Name = v.label
 		base := r.Baseline(cfg)
-		pairs := r.Compare(cfg, Factory(SpecFVP))
+		pairs := r.Compare(cfg, SpecFVP)
 		fmt.Fprintf(w, "%s\t%+.2f%%\t%s\n",
 			v.label, (defGeo(base)-1)*100, pct(Geomean(pairs)))
 	}
@@ -98,7 +98,7 @@ func runBaselinePredictors(r *Runner, out io.Writer) error {
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "predictor\tstorage\tIPC gain\tcoverage\taccuracy")
 	for _, s := range specs {
-		pairs := r.Compare(ooo.Skylake(), Factory(s))
+		pairs := r.Compare(ooo.Skylake(), s)
 		bits := Factory(s)().StorageBits()
 		acc, n := 0.0, 0
 		for _, p := range pairs {

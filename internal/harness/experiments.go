@@ -23,16 +23,29 @@ type Experiment struct {
 	Run func(r *Runner, out io.Writer) error
 }
 
-// Runner caches baseline suite results so experiments sharing a baseline
-// don't re-simulate it.
+// Runner memoizes suite results per (core config, predictor spec) so
+// experiments sharing a suite — every figure reuses the baseline, and
+// fig6/fig7/fig8/fig9/fig13 all need the plain FVP arm — simulate each one
+// exactly once per process.
 type Runner struct {
 	Opt Options
 	// Workloads defaults to the full 60-entry list; tests shrink it.
 	Workloads []workload.Workload
 
-	ctx       context.Context
-	err       error
-	baseCache map[string][]Result
+	ctx    context.Context
+	err    error
+	suites map[suiteKey][]Result
+	// suiteRuns counts actual suite simulations (memo misses). Tests use it
+	// to assert that repeated Compare calls do zero new runs.
+	suiteRuns int
+}
+
+// suiteKey identifies one memoized suite: the core configuration by name
+// and the predictor arm by spec (or by caller-chosen label for closure
+// factories — see CompareWith).
+type suiteKey struct {
+	core string
+	spec Spec
 }
 
 // NewRunner builds a runner over the full study list.
@@ -48,27 +61,36 @@ func NewRunnerCtx(ctx context.Context, opt Options) *Runner {
 		Opt:       opt,
 		Workloads: workload.All(),
 		ctx:       ctx,
-		baseCache: make(map[string][]Result),
+		suites:    make(map[suiteKey][]Result),
 	}
 }
 
 // Err reports the first cancellation error hit by a suite run, if any.
 func (r *Runner) Err() error { return r.err }
 
-// Baseline returns (cached) baseline results for a core config.
+// SuiteRuns reports how many suites were actually simulated (memo misses).
+func (r *Runner) SuiteRuns() int { return r.suiteRuns }
+
+// Baseline returns (memoized) baseline results for a core config.
 func (r *Runner) Baseline(cfg ooo.Config) []Result {
-	if res, ok := r.baseCache[cfg.Name]; ok {
-		return res
-	}
-	res := r.suite(cfg, nil)
-	r.baseCache[cfg.Name] = res
-	return res
+	return r.memoSuite(cfg, SpecNone, nil)
 }
 
-// Compare runs the predictor suite and pairs it with the cached baseline.
-func (r *Runner) Compare(cfg ooo.Config, pf PredFactory) []Pair {
+// Compare runs the spec's predictor suite — memoized per (cfg.Name, spec) —
+// and pairs it with the (equally memoized) baseline.
+func (r *Runner) Compare(cfg ooo.Config, spec Spec) []Pair {
+	return r.pair(cfg, r.memoSuite(cfg, spec, Factory(spec)))
+}
+
+// CompareWith is Compare for ad-hoc predictor factories that have no Spec
+// (parameter sweeps). label keys the memo alongside the named specs, so it
+// must uniquely describe the factory's configuration.
+func (r *Runner) CompareWith(cfg ooo.Config, label string, pf PredFactory) []Pair {
+	return r.pair(cfg, r.memoSuite(cfg, Spec(label), pf))
+}
+
+func (r *Runner) pair(cfg ooo.Config, pred []Result) []Pair {
 	base := r.Baseline(cfg)
-	pred := r.suite(cfg, pf)
 	pairs := make([]Pair, len(base))
 	for i := range base {
 		pairs[i] = Pair{Base: base[i], Pred: pred[i]}
@@ -76,15 +98,23 @@ func (r *Runner) Compare(cfg ooo.Config, pf PredFactory) []Pair {
 	return pairs
 }
 
-func (r *Runner) suite(cfg ooo.Config, pf PredFactory) []Result {
+func (r *Runner) memoSuite(cfg ooo.Config, spec Spec, pf PredFactory) []Result {
+	key := suiteKey{core: cfg.Name, spec: spec}
+	if res, ok := r.suites[key]; ok {
+		return res
+	}
 	ctx := r.ctx
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	r.suiteRuns++
 	res, err := RunSuiteCtx(ctx, r.Workloads, cfg, pf, r.Opt)
 	if err != nil && r.err == nil {
 		r.err = err
 	}
+	// A cancelled run is cached too: the runner is poisoned (err latched)
+	// and every later call would be cancelled the same way.
+	r.suites[key] = res
 	return res
 }
 
@@ -203,21 +233,21 @@ func runTable3(r *Runner, out io.Writer) error {
 }
 
 func runFig6(r *Runner, out io.Writer) error {
-	pairs := r.Compare(ooo.Skylake(), Factory(SpecFVP))
+	pairs := r.Compare(ooo.Skylake(), SpecFVP)
 	fmt.Fprintln(out, "FVP on Skylake (paper: FSPEC 2.6%, ISPEC 4.6%, Server 5.7%, SPEC17 0.9%, geomean 3.3% @ 25% coverage)")
 	categoryTable(out, pairs, true)
 	return nil
 }
 
 func runFig7(r *Runner, out io.Writer) error {
-	pairs := r.Compare(ooo.Skylake2X(), Factory(SpecFVP))
+	pairs := r.Compare(ooo.Skylake2X(), SpecFVP)
 	fmt.Fprintln(out, "FVP on Skylake-2X (paper: FSPEC 7.0%, ISPEC 15.1%, Server 11.7%, SPEC17 2.5%, geomean 8.6% @ 24% coverage)")
 	categoryTable(out, pairs, true)
 	return nil
 }
 
 func runFig8(r *Runner, out io.Writer) error {
-	pairs := r.Compare(ooo.Skylake(), Factory(SpecFVP))
+	pairs := r.Compare(ooo.Skylake(), SpecFVP)
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "workload\tcategory\tIPC ratio\tcoverage")
 	for _, p := range pairs {
@@ -229,8 +259,8 @@ func runFig8(r *Runner, out io.Writer) error {
 }
 
 func runFig9(r *Runner, out io.Writer) error {
-	sky := r.Compare(ooo.Skylake(), Factory(SpecFVP))
-	sky2 := r.Compare(ooo.Skylake2X(), Factory(SpecFVP))
+	sky := r.Compare(ooo.Skylake(), SpecFVP)
+	sky2 := r.Compare(ooo.Skylake2X(), SpecFVP)
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "workload\tSkylake+FVP/Skylake\tSkylake2X+FVP/Skylake2X")
 	for i := range sky {
@@ -246,7 +276,7 @@ func priorArt(r *Runner, cfg ooo.Config, out io.Writer) error {
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "predictor\tstorage\tIPC gain\tcoverage")
 	for _, s := range specs {
-		pairs := r.Compare(cfg, Factory(s))
+		pairs := r.Compare(cfg, s)
 		bits := Factory(s)().StorageBits()
 		fmt.Fprintf(w, "%s\t%.1f KB\t%s\t%.0f%%\n",
 			s, float64(bits)/8/1024, pct(Geomean(pairs)), MeanCoverage(pairs)*100)
@@ -271,7 +301,7 @@ func runFig12(r *Runner, out io.Writer) error {
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "policy\tIPC gain\tcoverage")
 	for _, s := range specs {
-		pairs := r.Compare(ooo.Skylake(), Factory(s))
+		pairs := r.Compare(ooo.Skylake(), s)
 		fmt.Fprintf(w, "%s\t%s\t%.0f%%\n", s, pct(Geomean(pairs)), MeanCoverage(pairs)*100)
 	}
 	w.Flush()
@@ -280,9 +310,9 @@ func runFig12(r *Runner, out io.Writer) error {
 
 func runFig13(r *Runner, out io.Writer) error {
 	fmt.Fprintln(out, "Component contribution on Skylake (paper: register deps — FSPEC 2.10%, ISPEC 2.14%, Server 0.42%, SPEC17 0.29%; memory deps — FSPEC 0.46%, ISPEC 2.42%, Server 5.28%, SPEC17 0.63%)")
-	reg := r.Compare(ooo.Skylake(), Factory(SpecFVPRegOnly))
-	mem := r.Compare(ooo.Skylake(), Factory(SpecFVPMemOnly))
-	full := r.Compare(ooo.Skylake(), Factory(SpecFVP))
+	reg := r.Compare(ooo.Skylake(), SpecFVPRegOnly)
+	mem := r.Compare(ooo.Skylake(), SpecFVPMemOnly)
+	full := r.Compare(ooo.Skylake(), SpecFVP)
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "category\tregister deps\tmemory deps\tfull FVP")
 	byR, byM, byF := ByCategory(reg), ByCategory(mem), ByCategory(full)
@@ -298,8 +328,8 @@ func runFig13(r *Runner, out io.Writer) error {
 
 func runAllTypes(r *Runner, out io.Writer) error {
 	fmt.Fprintln(out, "§VI-A2 (paper: predicting non-loads adds nothing, can degrade slightly)")
-	loads := r.Compare(ooo.Skylake(), Factory(SpecFVP))
-	all := r.Compare(ooo.Skylake(), Factory(SpecFVPAllTypes))
+	loads := r.Compare(ooo.Skylake(), SpecFVP)
+	all := r.Compare(ooo.Skylake(), SpecFVPAllTypes)
 	fmt.Fprintf(out, "FVP loads-only: %s    FVP all-types: %s\n",
 		pct(Geomean(loads)), pct(Geomean(all)))
 	return nil
@@ -307,8 +337,8 @@ func runAllTypes(r *Runner, out io.Writer) error {
 
 func runBranchChains(r *Runner, out io.Writer) error {
 	fmt.Fprintln(out, "§VI-A3 (paper: targeting mispredicting-branch chains adds 0.5% coverage, 0.05% speedup)")
-	def := r.Compare(ooo.Skylake(), Factory(SpecFVP))
-	br := r.Compare(ooo.Skylake(), Factory(SpecFVPBrChains))
+	def := r.Compare(ooo.Skylake(), SpecFVP)
+	br := r.Compare(ooo.Skylake(), SpecFVPBrChains)
 	fmt.Fprintf(out, "FVP: %s @ %.1f%% cov    FVP+branch-chains: %s @ %.1f%% cov\n",
 		pct(Geomean(def)), MeanCoverage(def)*100,
 		pct(Geomean(br)), MeanCoverage(br)*100)
@@ -326,7 +356,7 @@ func runEpoch(r *Runner, out io.Writer) error {
 			c.Epoch = epoch
 			return core.New(c)
 		}
-		pairs := r.Compare(ooo.Skylake(), pf)
+		pairs := r.CompareWith(ooo.Skylake(), fmt.Sprintf("FVP-epoch-%d", epoch), pf)
 		fmt.Fprintf(w, "%d\t%s\n", epoch, pct(Geomean(pairs)))
 	}
 	w.Flush()
@@ -337,7 +367,7 @@ func runEpoch(r *Runner, out io.Writer) error {
 // baseline and under FVP — it makes visible *where* FVP's cycles come from
 // (mem-DRAM and store-fwd stalls shrink; retiring grows).
 func runStalls(r *Runner, out io.Writer) error {
-	pairs := r.Compare(ooo.Skylake(), Factory(SpecFVP))
+	pairs := r.Compare(ooo.Skylake(), SpecFVP)
 	type agg struct{ base, pred ooo.CycleBreakdown }
 	cats := map[workload.Category]*agg{}
 	for _, p := range pairs {
@@ -410,7 +440,7 @@ func runTableSizes(r *Runner, out io.Writer) error {
 			c.LTEntries = row.lt
 			return core.New(c)
 		}
-		pairs := r.Compare(ooo.Skylake(), pf)
+		pairs := r.CompareWith(ooo.Skylake(), "FVP-"+row.label, pf)
 		fmt.Fprintf(w, "%s\t%s\t%.0f%%\n", row.label, pct(Geomean(pairs)), MeanCoverage(pairs)*100)
 	}
 	w.Flush()

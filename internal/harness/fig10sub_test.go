@@ -22,7 +22,7 @@ func TestFig10Subset(t *testing.T) {
 		r.Workloads = append(r.Workloads, w)
 	}
 	for _, s := range []Spec{SpecFVP, SpecComp8KB, SpecComp1KB, SpecMR8KB, SpecMR1KB} {
-		pairs := r.Compare(ooo.Skylake(), Factory(s))
+		pairs := r.Compare(ooo.Skylake(), s)
 		t.Logf("%-14s %+0.2f%% cov=%.0f%%", s, (Geomean(pairs)-1)*100, MeanCoverage(pairs)*100)
 	}
 }

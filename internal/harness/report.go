@@ -26,6 +26,13 @@ type ReportRecord struct {
 	Retiring float64 `json:"retiring"`
 	MemStall float64 `json:"mem_stall"`
 	Frontend float64 `json:"frontend"`
+
+	// Simulator-speed meters of the predictor run: how many of its cycles
+	// were idle-elided (clock-jumped) and what fraction of all cycles that
+	// is. High SkipRatio = memory-bound workload the fast path accelerates
+	// most; 0 under -tags ooo_noskip.
+	SkippedCycles uint64  `json:"skipped_cycles"`
+	SkipRatio     float64 `json:"skip_ratio"`
 }
 
 // Records flattens comparison pairs into report rows.
@@ -55,6 +62,9 @@ func Records(pairs []Pair) []ReportRecord {
 			Retiring:  float64(p.Pred.Stats.Breakdown[ooo.CycRetiring]) / cycles,
 			MemStall:  mem / cycles,
 			Frontend:  float64(p.Pred.Stats.Breakdown[ooo.CycFrontend]) / cycles,
+
+			SkippedCycles: p.Pred.Stats.SkippedCycles,
+			SkipRatio:     float64(p.Pred.Stats.SkippedCycles) / cycles,
 		}
 	}
 	return out
@@ -70,14 +80,14 @@ func WriteJSON(w io.Writer, recs []ReportRecord) error {
 // WriteCSV emits records as a CSV table with a header row.
 func WriteCSV(w io.Writer, recs []ReportRecord) error {
 	if _, err := fmt.Fprintln(w,
-		"workload,category,core,predictor,base_ipc,pred_ipc,speedup,coverage,accuracy,vp_flushes,retiring,mem_stall,frontend"); err != nil {
+		"workload,category,core,predictor,base_ipc,pred_ipc,speedup,coverage,accuracy,vp_flushes,retiring,mem_stall,frontend,skipped_cycles,skip_ratio"); err != nil {
 		return err
 	}
 	for _, r := range recs {
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%.4f,%.4f,%.4f\n",
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%.4f,%.4f,%.4f,%d,%.4f\n",
 			r.Workload, r.Category, r.Core, r.Predictor, r.BaseIPC, r.PredIPC,
 			r.Speedup, r.Coverage, r.Accuracy, r.VPFlushes,
-			r.Retiring, r.MemStall, r.Frontend); err != nil {
+			r.Retiring, r.MemStall, r.Frontend, r.SkippedCycles, r.SkipRatio); err != nil {
 			return err
 		}
 	}

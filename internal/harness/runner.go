@@ -208,6 +208,8 @@ func statsDelta(a, b ooo.RunStats) ooo.RunStats {
 	}
 	d.StallHeadLoads -= a.StallHeadLoads
 	d.StallHeadOther -= a.StallHeadOther
+	d.SkippedCycles -= a.SkippedCycles
+	d.SkipEvents -= a.SkipEvents
 	for i := range d.Breakdown {
 		d.Breakdown[i] -= a.Breakdown[i]
 	}

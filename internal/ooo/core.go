@@ -166,6 +166,14 @@ type Core struct {
 	nextSample  uint64
 	trc         PipeTracer
 
+	// Idle-cycle elision (see elide.go). elide caches the effective switch
+	// (build tag AND config); activity is reset at the top of every cycle
+	// and set by any stage action that can change future machine state —
+	// the cycle loop may clock-jump only when a cycle ends with no
+	// activity and an empty ready queue.
+	elide    bool
+	activity bool
+
 	Meter vp.Meter
 	Stats RunStats
 }
@@ -193,6 +201,15 @@ type RunStats struct {
 	StallHeadOther uint64
 	// Breakdown attributes every simulated cycle to one top-down bucket.
 	Breakdown CycleBreakdown
+
+	// SkippedCycles counts the cycles the loop clock-jumped instead of
+	// ticking (always a subset of Cycles; 0 under -tags ooo_noskip or
+	// Config.DisableIdleElision) and SkipEvents the number of jumps. They
+	// describe the simulator, not the simulated machine: every skipped
+	// cycle is still present in Cycles and the stall breakdown, which stay
+	// byte-identical to the ticking loop.
+	SkippedCycles uint64
+	SkipEvents    uint64
 }
 
 // Stall buckets for the top-down cycle accounting.
@@ -267,6 +284,7 @@ func New(cfg Config, pred vp.Predictor, src InstSource, initMem *prog.Memory) *C
 	c.ldWin.init(cfg.LQSize)
 	c.stWin.init(cfg.SQSize)
 	c.nextSample = ^uint64(0)
+	c.elide = elisionBuild && !cfg.DisableIdleElision
 
 	c.ctx.MemPeek = c.shadow.Read
 	c.ctx.CacheLevel = func(addr uint64) int { return int(c.hier.ProbeLevel(addr)) }
@@ -340,6 +358,7 @@ func (c *Core) Reset(pred vp.Predictor, src InstSource, initMem *prog.Memory) {
 	c.obsInterval = 0
 	c.nextSample = ^uint64(0)
 	c.trc = nil
+	c.activity = false // elide is config-derived and survives Reset
 
 	c.Meter = vp.Meter{}
 	c.Stats = RunStats{}

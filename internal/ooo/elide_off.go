@@ -1,0 +1,8 @@
+//go:build ooo_noskip
+
+package ooo
+
+// elisionBuild is false under -tags ooo_noskip: every cycle ticks through
+// the full stage loop, the reference behavior idle-cycle elision must
+// reproduce byte-identically (see elide.go and the CI differential job).
+const elisionBuild = false

@@ -1,0 +1,8 @@
+//go:build !ooo_noskip
+
+package ooo
+
+// elisionBuild selects the idle-cycle elision fast path (elide.go) at
+// build time. Build with -tags ooo_noskip to force the per-cycle ticking
+// loop for differential testing.
+const elisionBuild = true

@@ -29,16 +29,23 @@ func (c *Core) Run(maxRetired uint64) RunStats {
 // shutdown without killing the worker goroutine.
 func (c *Core) RunCtx(ctx context.Context, maxRetired uint64) (RunStats, error) {
 	done := ctx.Done()
+	// The cancel poll counts loop iterations, not cycles: with idle-cycle
+	// elision one iteration can cover thousands of cycles, so a cycle-based
+	// gate would poll too rarely on jump-heavy runs (and Cycles&mask==0
+	// would additionally skew with the jump lengths).
+	var iter uint64
 	for c.Stats.Retired < maxRetired {
-		if done != nil && c.Stats.Cycles&cancelCheckMask == 0 {
+		if done != nil && iter&cancelCheckMask == 0 {
 			select {
 			case <-done:
 				return c.Stats, ctx.Err()
 			default:
 			}
 		}
+		iter++
 		c.now++
 		c.Stats.Cycles++
+		c.activity = false
 		c.stageRetire()
 		c.stageWriteback()
 		c.stageIssue()
@@ -50,6 +57,11 @@ func (c *Core) RunCtx(ctx context.Context, maxRetired uint64) (RunStats, error) 
 		if c.srcDone && c.count == 0 && len(c.fetchQ)-c.fqHead == 0 &&
 			len(c.replay)-c.rpHead == 0 && c.pending == nil {
 			break
+		}
+		// Inert cycle and nothing armed for issue: jump the clock to the
+		// next event horizon (bit-exact; see elide.go).
+		if c.elide && !c.activity && len(c.readyQ) == 0 {
+			c.elideIdle()
 		}
 	}
 	return c.Stats, nil
@@ -94,6 +106,7 @@ func (c *Core) stageRetire() {
 		retired++
 	}
 	if retired > 0 {
+		c.activity = true
 		c.Stats.Breakdown[CycRetiring]++
 		return
 	}
@@ -388,6 +401,7 @@ func (c *Core) retryWaitStore(ri int, e *rent) {
 // complete finishes execution of entry ri: validation, training, branch
 // resolution.
 func (c *Core) complete(ri int, e *rent, flush *flushReq) {
+	c.activity = true
 	e.state = sDone
 	d := &e.d
 	if c.trc != nil {

@@ -144,6 +144,7 @@ func (c *Core) loadMayIssue(e *rent) bool {
 }
 
 func (c *Core) issueStore(ri int, e *rent) {
+	c.activity = true
 	e.issueAt = c.now
 	e.state = sIssued
 	e.addrKnownAt = c.now + 1
@@ -203,6 +204,7 @@ func (c *Core) scanViolations(ri int, st *rent) {
 }
 
 func (c *Core) issueLoad(ri int, e *rent) {
+	c.activity = true
 	e.issueAt = c.now
 	e.inIQ = false
 	c.iqCount--
@@ -287,6 +289,7 @@ func (c *Core) stageRename() {
 }
 
 func (c *Core) rename(fe *fetchEnt, vpBudget *int) {
+	c.activity = true
 	slot := (c.head + c.count) % len(c.rob)
 	// Drop dependence subscriptions left by the slot's previous occupant
 	// (only squashed entries leave any; completion already drains the list).
@@ -437,6 +440,9 @@ func (c *Core) stageFetch() {
 		if !ok {
 			return
 		}
+		// Any fetched micro-op is activity — including the I-cache-miss
+		// path below, which parks it as the pending holdover.
+		c.activity = true
 		// Instruction cache: charge a stall when fetch crosses into an
 		// uncached line.
 		line := fe.d.PC >> 6
@@ -508,6 +514,7 @@ func (c *Core) nextInst() (*fetchEnt, bool) {
 // squashed micro-ops (plus everything in the front end) for replay, repairs
 // the RAT images and charges the refetch penalty.
 func (c *Core) applyFlush(f flushReq) {
+	c.activity = true
 	start := f.dist
 	if !f.inclusive {
 		start++

@@ -142,14 +142,19 @@ func (r *seqRing) searchSeq(seq uint64) int {
 	return lo
 }
 
-// scheduleDone records that entry ri finishes executing at e.doneAt.
+// scheduleDone records that entry ri finishes executing at e.doneAt. A new
+// completion event is machine activity: the idle-elision horizon must be
+// recomputed against it (see elide.go).
 func (c *Core) scheduleDone(ri int, e *rent) {
+	c.activity = true
 	c.done.push(doneEv{at: e.doneAt, seq: e.d.Seq, idx: ri})
 }
 
-// armIssue puts a waiting entry into the ready queue (idempotent).
+// armIssue puts a waiting entry into the ready queue (idempotent). Arming
+// is activity: the entry gets an issue attempt next cycle.
 func (c *Core) armIssue(ri int, e *rent) {
 	if !e.inReadyQ {
+		c.activity = true
 		e.inReadyQ = true
 		c.readyQ = append(c.readyQ, schedRef{idx: ri, seq: e.d.Seq})
 	}

@@ -19,22 +19,27 @@ type counters struct {
 	simCycles   uint64
 	simInsts    uint64
 	simSeconds  float64
+	// simSkippedCycles is the subset of simCycles the cores idle-elided
+	// (clock-jumped); the ratio to simCycles shows how much of the fleet's
+	// simulated time the fast path absorbed.
+	simSkippedCycles uint64
 }
 
 // Stats is a point-in-time snapshot of the service counters; the JSON
 // form mirrors the /metrics exposition names.
 type Stats struct {
-	JobsQueued   int     `json:"jobs_queued"`
-	JobsRunning  int     `json:"jobs_running"`
-	JobsDone     uint64  `json:"jobs_done"`
-	JobsFailed   uint64  `json:"jobs_failed"`
-	JobsCanceled uint64  `json:"jobs_canceled"`
-	CacheHits    uint64  `json:"cache_hits"`
-	CacheMisses  uint64  `json:"cache_misses"`
-	CacheEntries int     `json:"cache_entries"`
-	SimCycles    uint64  `json:"sim_cycles"`
-	SimInsts     uint64  `json:"sim_insts"`
-	SimSeconds   float64 `json:"sim_seconds"`
+	JobsQueued       int     `json:"jobs_queued"`
+	JobsRunning      int     `json:"jobs_running"`
+	JobsDone         uint64  `json:"jobs_done"`
+	JobsFailed       uint64  `json:"jobs_failed"`
+	JobsCanceled     uint64  `json:"jobs_canceled"`
+	CacheHits        uint64  `json:"cache_hits"`
+	CacheMisses      uint64  `json:"cache_misses"`
+	CacheEntries     int     `json:"cache_entries"`
+	SimCycles        uint64  `json:"sim_cycles"`
+	SimInsts         uint64  `json:"sim_insts"`
+	SimSeconds       float64 `json:"sim_seconds"`
+	SimSkippedCycles uint64  `json:"sim_skipped_cycles"`
 }
 
 // CyclesPerSecond is the service's aggregate simulation throughput.
@@ -93,6 +98,7 @@ func (s *Service) WriteMetrics(w io.Writer) {
 	counter("fvpd_cache_misses_total", "Submits that required a fresh simulation.", "%d", st.CacheMisses)
 	gauge("fvpd_cache_entries", "Results held in the content-addressed cache.", "%d", st.CacheEntries)
 	counter("fvpd_sim_cycles_total", "Simulated cycles across all completed runs.", "%d", st.SimCycles)
+	counter("fvpd_sim_skipped_cycles_total", "Simulated cycles covered by idle-elision clock jumps (subset of fvpd_sim_cycles_total).", "%d", st.SimSkippedCycles)
 	counter("fvpd_sim_insts_total", "Simulated instructions across all completed runs.", "%d", st.SimInsts)
 	counter("fvpd_sim_seconds_total", "Wall-clock seconds spent simulating.", "%g", st.SimSeconds)
 	gauge("fvpd_sim_cycles_per_second", "Aggregate simulation throughput.", "%g", st.CyclesPerSecond())

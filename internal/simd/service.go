@@ -277,6 +277,7 @@ func (s *Service) worker() {
 		if err == nil {
 			s.cache.put(j.key, m)
 			s.met.simCycles += m.Cycles
+			s.met.simSkippedCycles += m.SkippedCycles
 			s.met.simInsts += m.Insts
 			s.met.simSeconds += elapsed.Seconds()
 		}
@@ -418,17 +419,18 @@ func (s *Service) Snapshot() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		JobsQueued:   len(s.runq),
-		JobsRunning:  s.met.running,
-		JobsDone:     s.met.done,
-		JobsFailed:   s.met.failed,
-		JobsCanceled: s.met.canceled,
-		CacheHits:    s.met.cacheHits,
-		CacheMisses:  s.met.cacheMisses,
-		CacheEntries: s.cache.len(),
-		SimCycles:    s.met.simCycles,
-		SimInsts:     s.met.simInsts,
-		SimSeconds:   s.met.simSeconds,
+		JobsQueued:       len(s.runq),
+		JobsRunning:      s.met.running,
+		JobsDone:         s.met.done,
+		JobsFailed:       s.met.failed,
+		JobsCanceled:     s.met.canceled,
+		CacheHits:        s.met.cacheHits,
+		CacheMisses:      s.met.cacheMisses,
+		CacheEntries:     s.cache.len(),
+		SimCycles:        s.met.simCycles,
+		SimInsts:         s.met.simInsts,
+		SimSeconds:       s.met.simSeconds,
+		SimSkippedCycles: s.met.simSkippedCycles,
 	}
 }
 

@@ -43,6 +43,12 @@ type Sample struct {
 	BranchMispredicts uint64 `json:"branch_mispredicts"`
 	Forwards          uint64 `json:"forwards"`
 
+	// SkippedCycles is the interval's share of idle-elided cycles — a
+	// simulator-speed meter, not a machine property: every skipped cycle is
+	// still counted in the interval length and breakdown, and the field is 0
+	// under -tags ooo_noskip or ooo.Config.DisableIdleElision.
+	SkippedCycles uint64 `json:"skipped_cycles"`
+
 	// CycleBreakdown attributes the interval's cycles to the 9 top-down
 	// buckets (see ooo.BucketNames); buckets sum to EndCycle-StartCycle.
 	CycleBreakdown ooo.CycleBreakdown `json:"cycle_breakdown"`
@@ -99,6 +105,7 @@ func (s *Sampler) OnInterval(snap ooo.IntervalSnapshot) {
 		VPFlushes:         st.VPFlushes - s.prevStats.VPFlushes,
 		BranchMispredicts: st.BranchMispredicts - s.prevStats.BranchMispredicts,
 		Forwards:          st.Forwards - s.prevStats.Forwards,
+		SkippedCycles:     st.SkippedCycles - s.prevStats.SkippedCycles,
 		ROBOcc:            snap.ROBOcc,
 		IQOcc:             snap.IQOcc,
 		LQOcc:             snap.LQOcc,
@@ -138,6 +145,7 @@ func (s *Sampler) Reset() {
 type Totals struct {
 	Cycles, Insts, Loads, PredictedLoads, Correct, Wrong uint64
 	VPFlushes, BranchMispredicts, Forwards               uint64
+	SkippedCycles                                        uint64
 	CycleBreakdown                                       ooo.CycleBreakdown
 }
 
@@ -154,6 +162,7 @@ func (s *Sampler) Totals() Totals {
 		t.VPFlushes += sm.VPFlushes
 		t.BranchMispredicts += sm.BranchMispredicts
 		t.Forwards += sm.Forwards
+		t.SkippedCycles += sm.SkippedCycles
 		for i := range t.CycleBreakdown {
 			t.CycleBreakdown[i] += sm.CycleBreakdown[i]
 		}
