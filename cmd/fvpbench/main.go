@@ -16,6 +16,10 @@
 //     results is visible in the same artifact. Each per-workload row now
 //     carries its skip_ratio, so the artifact shows which workload
 //     categories the elision fast path accelerates.
+//  4. The fast-forward subsystem: warmup-phase throughput detailed vs
+//     functional (floor 5x), a paper-scale suite pass with each warmup
+//     mode (end-to-end wall-clock ratio), and the region-parallel scaling
+//     curve (K=1,2,4,8 checkpointed regions on K workers).
 //
 // Usage:
 //
@@ -36,6 +40,7 @@ import (
 	"fvp/internal/harness"
 	"fvp/internal/ooo"
 	"fvp/internal/prog"
+	"fvp/internal/vp"
 	"fvp/internal/workload"
 )
 
@@ -49,6 +54,18 @@ const cycleLoopInstsPerOp = 50_000
 const (
 	memBoundWorkload   = "mcf-17"
 	memBoundInstsPerOp = 20_000
+)
+
+// Fast-forward and region-scaling section parameters. The warmup window
+// matches benchWarmInsts in harness/warmup_test.go; the paper-scale suite
+// pass uses the DefaultOptions 100k/300k split the acceptance numbers are
+// quoted at.
+const (
+	ffWorkload        = "omnetpp"
+	ffWarmInsts       = 100_000
+	regionWorkload    = "omnetpp"
+	paperWarmInsts    = 100_000
+	paperMeasureInsts = 300_000
 )
 
 // reference is the cycle-loop measurement recorded on the development host
@@ -84,10 +101,45 @@ type Suite struct {
 	Workloads    int               `json:"workloads"`
 	WarmupInsts  uint64            `json:"warmup_insts"`
 	MeasureInsts uint64            `json:"measure_insts"`
+	WarmupMode   string            `json:"warmup_mode,omitempty"`
 	WallSeconds  float64           `json:"wall_seconds"`
 	SimMIPS      float64           `json:"sim_mips"`
 	GeomeanFVP   float64           `json:"geomean_fvp_speedup"`
-	PerWorkload  []WorkloadSpeedup `json:"per_workload"`
+	PerWorkload  []WorkloadSpeedup `json:"per_workload,omitempty"`
+}
+
+// FastForward is the warmup-phase throughput measurement: the same warmup
+// window driven once through the detailed pipeline and once through the
+// functional warming taps (ooo.Core.WarmFunctional), on a fresh core each
+// way. The speedup floor for the fast-forward subsystem is 5x.
+type FastForward struct {
+	Workload             string  `json:"workload"`
+	WarmupInsts          uint64  `json:"warmup_insts"`
+	DetailedInstPerSec   float64 `json:"detailed_inst_per_sec"`
+	FunctionalInstPerSec float64 `json:"functional_inst_per_sec"`
+	Speedup              float64 `json:"speedup"`
+}
+
+// RegionRow is one point of the region-parallel scaling curve: the same
+// (warmup, measure) slice split into K checkpointed regions simulated by K
+// workers. IPC is the stitched aggregate — deterministic for a fixed K
+// regardless of worker count, but not identical across K (each region
+// re-warms from cold structures).
+type RegionRow struct {
+	Regions     int     `json:"regions"`
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Speedup     float64 `json:"speedup_vs_k1"`
+	IPC         float64 `json:"ipc"`
+}
+
+// ParallelRegions is the region-scaling section.
+type ParallelRegions struct {
+	Workload     string      `json:"workload"`
+	WarmupInsts  uint64      `json:"warmup_insts"`
+	MeasureInsts uint64      `json:"measure_insts"`
+	Rows         []RegionRow `json:"rows"`
+	Note         string      `json:"note,omitempty"`
 }
 
 // WorkloadSpeedup is one row of the sweep. SkipRatio is taken from the FVP
@@ -120,6 +172,16 @@ type Report struct {
 	CycleLoopMemBound        CycleLoop `json:"core_cycle_loop_mem_bound"`
 	CycleLoopMemBoundTicking CycleLoop `json:"core_cycle_loop_mem_bound_ticking"`
 	MemBoundElisionSpeedup   float64   `json:"mem_bound_elision_speedup"`
+
+	// The warmup phase measured both ways (floor 5x), plus a paper-scale
+	// (100k warmup / 300k measure) suite pass with each warmup mode;
+	// SuiteWarmupSpeedup is their end-to-end wall-clock ratio.
+	FastForward        FastForward `json:"fast_forward"`
+	SuitePaper         Suite       `json:"suite_paper"`
+	SuiteFunctional    Suite       `json:"suite_functional"`
+	SuiteWarmupSpeedup float64     `json:"suite_warmup_speedup"`
+
+	ParallelRegions ParallelRegions `json:"parallel_regions"`
 
 	Suite Suite `json:"suite"`
 }
@@ -168,9 +230,81 @@ func measureCycleLoop(wlName string, instsPerOp uint64, ops int, disableElide bo
 	return cl
 }
 
+// measureFastForward times the warmup window once on the detailed pipeline
+// and once on the functional warming taps, each from a freshly reset core.
+// It mirrors BenchmarkWarmupFunctional / BenchmarkWarmupDetailed exactly
+// (same workload, window and vp.None predictor) so the artifact and the
+// named benchmarks report the same quantity.
+func measureFastForward(wlName string, warmInsts uint64, ops int) FastForward {
+	w, ok := workload.ByName(wlName)
+	if !ok {
+		fatalf("workload %q not found", wlName)
+	}
+	p := w.Build()
+	c := ooo.New(ooo.Skylake(), vp.None{}, prog.NewExec(p), p.BuildMemory())
+
+	time1 := func(warm func(*ooo.Core)) float64 {
+		var total time.Duration
+		for i := 0; i < ops; i++ {
+			c.Reset(vp.None{}, prog.NewExec(p), p.BuildMemory())
+			start := time.Now()
+			warm(c)
+			total += time.Since(start)
+		}
+		return float64(warmInsts) * float64(ops) / total.Seconds()
+	}
+	ff := FastForward{
+		Workload:             wlName,
+		WarmupInsts:          warmInsts,
+		DetailedInstPerSec:   time1(func(c *ooo.Core) { c.Run(warmInsts) }),
+		FunctionalInstPerSec: time1(func(c *ooo.Core) { c.WarmFunctional(warmInsts) }),
+	}
+	ff.Speedup = ff.FunctionalInstPerSec / ff.DetailedInstPerSec
+	return ff
+}
+
+// measureParallelRegions runs one long (warmup, measure) slice split into
+// K functionally-warmed regions simulated by K workers, for K = 1,2,4,8.
+func measureParallelRegions(wlName string, warm, measure uint64) ParallelRegions {
+	w, ok := workload.ByName(wlName)
+	if !ok {
+		fatalf("workload %q not found", wlName)
+	}
+	pr := ParallelRegions{Workload: wlName, WarmupInsts: warm, MeasureInsts: measure}
+	if runtime.NumCPU() < 8 {
+		pr.Note = fmt.Sprintf("host has %d CPU(s); worker counts above that serialize",
+			runtime.NumCPU())
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		opt := harness.Options{
+			WarmupInsts: warm, MeasureInsts: measure, ReuseCores: true,
+			WarmupMode: harness.WarmupFunctional,
+		}
+		if k > 1 {
+			opt.Regions = k
+			opt.RegionWorkers = k
+		}
+		start := time.Now()
+		res := harness.RunOne(w, ooo.Skylake(), harness.Factory(harness.SpecFVP), opt)
+		row := RegionRow{
+			Regions:     k,
+			Workers:     k,
+			WallSeconds: time.Since(start).Seconds(),
+			IPC:         res.IPC,
+		}
+		if len(pr.Rows) > 0 {
+			row.Speedup = pr.Rows[0].WallSeconds / row.WallSeconds
+		} else {
+			row.Speedup = 1
+		}
+		pr.Rows = append(pr.Rows, row)
+	}
+	return pr
+}
+
 // measureSuite sweeps FVP vs baseline over ws and reports aggregate
 // simulation throughput plus the paper's geomean speedup.
-func measureSuite(ws []workload.Workload, opt harness.Options) Suite {
+func measureSuite(ws []workload.Workload, opt harness.Options, perWorkload bool) Suite {
 	start := time.Now()
 	pairs := harness.RunComparison(ws, ooo.Skylake(), harness.Factory(harness.SpecFVP), opt)
 	wall := time.Since(start).Seconds()
@@ -182,9 +316,13 @@ func measureSuite(ws []workload.Workload, opt harness.Options) Suite {
 		Workloads:    len(ws),
 		WarmupInsts:  opt.WarmupInsts,
 		MeasureInsts: opt.MeasureInsts,
+		WarmupMode:   string(opt.WarmupMode),
 		WallSeconds:  wall,
 		SimMIPS:      simInsts / wall / 1e6,
 		GeomeanFVP:   harness.Geomean(pairs),
+	}
+	if !perWorkload {
+		return s
 	}
 	for _, p := range pairs {
 		row := WorkloadSpeedup{
@@ -237,9 +375,42 @@ func main() {
 		mb.InstPerSec, mb.SkipRatio, mbTick.InstPerSec, elisionSpeedup)
 
 	fmt.Printf("fvpbench: suite sweep (%d workloads x {baseline, FVP})...\n", len(ws))
-	suite := measureSuite(ws, opt)
+	suite := measureSuite(ws, opt, true)
 	fmt.Printf("  %.2f sim MIPS aggregate, geomean FVP speedup %.4f, %.1fs wall\n",
 		suite.SimMIPS, suite.GeomeanFVP, suite.WallSeconds)
+
+	fmt.Printf("fvpbench: fast-forward warmup (%s, %d insts, detailed vs functional)...\n",
+		ffWorkload, ffWarmInsts)
+	ff := measureFastForward(ffWorkload, ffWarmInsts, max(*ops/4, 2))
+	fmt.Printf("  detailed %.0f inst/s vs functional %.0f inst/s: %.2fx\n",
+		ff.DetailedInstPerSec, ff.FunctionalInstPerSec, ff.Speedup)
+
+	paperOpt := opt
+	paperOpt.WarmupInsts, paperOpt.MeasureInsts = paperWarmInsts, paperMeasureInsts
+	if *quick {
+		paperOpt.WarmupInsts, paperOpt.MeasureInsts = paperWarmInsts/4, paperMeasureInsts/4
+	}
+	fmt.Printf("fvpbench: paper-scale suite (%d/%d), detailed vs functional warmup...\n",
+		paperOpt.WarmupInsts, paperOpt.MeasureInsts)
+	suitePaper := measureSuite(ws, paperOpt, false)
+	funOpt := paperOpt
+	funOpt.WarmupMode = harness.WarmupFunctional
+	suiteFun := measureSuite(ws, funOpt, false)
+	suiteSpeedup := suitePaper.WallSeconds / suiteFun.WallSeconds
+	fmt.Printf("  detailed %.1fs vs functional %.1fs wall: %.2fx\n",
+		suitePaper.WallSeconds, suiteFun.WallSeconds, suiteSpeedup)
+
+	regWarm, regMeasure := uint64(50_000), uint64(800_000)
+	if *quick {
+		regWarm, regMeasure = 20_000, 200_000
+	}
+	fmt.Printf("fvpbench: parallel regions (%s, %d/%d, K=1,2,4,8)...\n",
+		regionWorkload, regWarm, regMeasure)
+	regions := measureParallelRegions(regionWorkload, regWarm, regMeasure)
+	for _, r := range regions.Rows {
+		fmt.Printf("  K=%d: %.2fs wall (%.2fx), stitched IPC %.4f\n",
+			r.Regions, r.WallSeconds, r.Speedup, r.IPC)
+	}
 
 	rep := Report{
 		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
@@ -255,6 +426,12 @@ func main() {
 		CycleLoopMemBound:        mb,
 		CycleLoopMemBoundTicking: mbTick,
 		MemBoundElisionSpeedup:   elisionSpeedup,
+
+		FastForward:        ff,
+		SuitePaper:         suitePaper,
+		SuiteFunctional:    suiteFun,
+		SuiteWarmupSpeedup: suiteSpeedup,
+		ParallelRegions:    regions,
 
 		Suite: suite,
 	}

@@ -8,6 +8,7 @@
 //	fvpsim -workload omnetpp -predictor fvp -json
 //	fvpsim -workload omnetpp -predictor fvp -trace trace.json
 //	fvpsim -workload omnetpp -predictor fvp -intervals ipc.json
+//	fvpsim -workload omnetpp -predictor fvp -warmup-mode functional -regions 4
 //	fvpsim -suite -predictor fvp -workload omnetpp,mcf,gcc
 //	fvpsim -server http://localhost:8080 -workload omnetpp -predictor fvp
 //	fvpsim -list
@@ -47,6 +48,9 @@ func main() {
 		pred       = flag.String("predictor", "fvp", "predictor configuration (see -list)")
 		warmup     = flag.Uint64("warmup", 100_000, "warmup instructions")
 		insts      = flag.Uint64("insts", 300_000, "measured instructions")
+		warmMode   = flag.String("warmup-mode", "", "detailed | functional (default detailed; functional fast-forwards warmup at O(insts))")
+		regions    = flag.Int("regions", 0, "split the measured region into this many checkpointed slices simulated in parallel (0/1 = monolithic)")
+		parallel   = flag.Int("parallel", 0, "concurrent region workers (with -regions) or concurrent workloads (with -suite); 0 = GOMAXPROCS")
 		compare    = flag.Bool("compare", false, "also run the baseline and report speedup")
 		suite      = flag.Bool("suite", false, "run baseline-vs-predictor over the workloads and report per-workload speedups")
 		jsonOut    = flag.Bool("json", false, "emit the result as one JSON report row")
@@ -74,16 +78,19 @@ func main() {
 	ctx := context.Background()
 
 	if *suite {
-		runSuite(ctx, *wl, *machine, *pred, *warmup, *insts)
+		runSuite(ctx, *wl, *machine, *pred, *warmup, *insts, *warmMode, *parallel)
 		return
 	}
 
 	spec := fvp.RunSpec{
-		Workload:     *wl,
-		Machine:      fvp.Machine(*machine),
-		Predictor:    fvp.Predictor(*pred),
-		WarmupInsts:  *warmup,
-		MeasureInsts: *insts,
+		Workload:      *wl,
+		Machine:       fvp.Machine(*machine),
+		Predictor:     fvp.Predictor(*pred),
+		WarmupInsts:   *warmup,
+		MeasureInsts:  *insts,
+		WarmupMode:    *warmMode,
+		Regions:       *regions,
+		RegionWorkers: *parallel,
 	}
 
 	run := fvp.RunContext
@@ -176,12 +183,14 @@ func main() {
 }
 
 // runSuite is the -suite mode: baseline-vs-predictor across workloads.
-func runSuite(ctx context.Context, wl, machine, pred string, warmup, insts uint64) {
+func runSuite(ctx context.Context, wl, machine, pred string, warmup, insts uint64, warmMode string, parallel int) {
 	spec := fvp.SuiteSpec{
 		Machine:      fvp.Machine(machine),
 		Predictor:    fvp.Predictor(pred),
 		WarmupInsts:  warmup,
 		MeasureInsts: insts,
+		WarmupMode:   warmMode,
+		Parallelism:  parallel,
 	}
 	if wl != "" && wl != "all" {
 		spec.Workloads = strings.Split(wl, ",")

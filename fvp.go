@@ -252,6 +252,17 @@ type RunSpec struct {
 	// WarmupInsts and MeasureInsts default to 100k/300k.
 	WarmupInsts  uint64 `json:"warmup_insts,omitempty"`
 	MeasureInsts uint64 `json:"measure_insts,omitempty"`
+	// WarmupMode selects "detailed" (default) or "functional" warmup —
+	// functional fast-forwards the warmup region through the machine's
+	// warming taps at O(instructions) cost (see DESIGN.md).
+	WarmupMode string `json:"warmup_mode,omitempty"`
+	// Regions splits the measured region into this many checkpoint-
+	// restored slices simulated in parallel and stitched (default 1).
+	Regions int `json:"regions,omitempty"`
+	// RegionWorkers bounds how many regions simulate concurrently
+	// (0 = GOMAXPROCS). A local resource knob: it never changes results,
+	// so it is not part of the wire schema or the result-cache key.
+	RegionWorkers int `json:"-"`
 
 	// Observer, if non-nil, streams interval metrics from the measured
 	// region (attached after warmup). It is a local hook, not part of the
@@ -283,6 +294,12 @@ func (s RunSpec) Normalized() RunSpec {
 	if s.MeasureInsts == 0 {
 		s.MeasureInsts = def.MeasureInsts
 	}
+	if s.WarmupMode == "" {
+		s.WarmupMode = string(harness.WarmupDetailed)
+	}
+	if s.Regions < 1 {
+		s.Regions = 1
+	}
 	return s
 }
 
@@ -296,7 +313,15 @@ const (
 	MaxWarmupInsts = 1_000_000_000
 	// MaxMeasureInsts caps RunSpec.MeasureInsts.
 	MaxMeasureInsts = 1_000_000_000
+	// MaxRegions caps RunSpec.Regions: beyond this, per-region warmup
+	// overhead dominates and the stitched result stops resembling the
+	// monolithic run.
+	MaxRegions = 64
 )
+
+// WarmupModes lists the accepted RunSpec.WarmupMode values, for CLIs and
+// service-side validation messages.
+func WarmupModes() []string { return harness.WarmupModes() }
 
 // InvalidSpecError reports a RunSpec field whose value is out of range —
 // names resolve, but the requested work is malformed or beyond the
@@ -340,6 +365,31 @@ func Validate(spec RunSpec) error {
 	if spec.MeasureInsts > MaxMeasureInsts {
 		return &InvalidSpecError{Field: "measure_insts", Value: spec.MeasureInsts, Limit: MaxMeasureInsts}
 	}
+	switch spec.WarmupMode {
+	case "", string(harness.WarmupDetailed), string(harness.WarmupFunctional):
+	default:
+		return unknownName("warmup mode", spec.WarmupMode, harness.WarmupModes())
+	}
+	if spec.Regions < 0 {
+		return &InvalidSpecError{Field: "regions", Reason: "region count < 1"}
+	}
+	if spec.Regions > MaxRegions {
+		return &InvalidSpecError{Field: "regions", Value: uint64(spec.Regions), Limit: MaxRegions}
+	}
+	if spec.Regions > 1 {
+		if measure := spec.Normalized().MeasureInsts; uint64(spec.Regions) > measure {
+			return &InvalidSpecError{
+				Field: "regions", Value: uint64(spec.Regions), Limit: measure,
+				Reason: "more regions than measured instructions",
+			}
+		}
+		if spec.Observer != nil || spec.Tracer != nil {
+			return &InvalidSpecError{
+				Field:  "regions",
+				Reason: "per-interval observation requires a single region",
+			}
+		}
+	}
 	return nil
 }
 
@@ -375,6 +425,15 @@ type Metrics struct {
 	// (-tags ooo_noskip or ooo.Config.DisableIdleElision).
 	SkippedCycles uint64 `json:"skipped_cycles"`
 	SkipEvents    uint64 `json:"skip_events"`
+	// WarmupMode records which warmup path produced the run ("detailed"
+	// or "functional").
+	WarmupMode string `json:"warmup_mode,omitempty"`
+	// FFInsts counts functionally fast-forwarded instructions (functional
+	// warmup plus the checkpoint scan of a region-parallel run) and
+	// FFInstsPerSec their wall-clock throughput — the simulator-speed
+	// meters of the fast-forward path. Both 0 for purely detailed runs.
+	FFInsts       uint64  `json:"ff_insts,omitempty"`
+	FFInstsPerSec float64 `json:"ff_insts_per_sec,omitempty"`
 }
 
 // CycleBucketNames labels Metrics.CycleBreakdown.
@@ -395,6 +454,15 @@ func (s RunSpec) options() harness.Options {
 	if s.Tracer != nil {
 		opt.Tracer = s.Tracer
 	}
+	if s.WarmupMode != "" {
+		opt.WarmupMode = harness.WarmupMode(s.WarmupMode)
+	}
+	if s.Regions > 0 {
+		opt.Regions = s.Regions
+	}
+	if s.RegionWorkers > 0 {
+		opt.RegionWorkers = s.RegionWorkers
+	}
 	return opt
 }
 
@@ -413,7 +481,19 @@ func toMetrics(r harness.Result) Metrics {
 		CycleBreakdown:    r.Stats.Breakdown,
 		SkippedCycles:     r.Stats.SkippedCycles,
 		SkipEvents:        r.Stats.SkipEvents,
+		WarmupMode:        string(r.WarmupMode),
+		FFInsts:           r.FFInsts,
+		FFInstsPerSec:     ffRate(r.FFInsts, r.FFSeconds),
 	}
+}
+
+// ffRate guards the throughput division (sub-microsecond fast-forwards
+// round to zero seconds).
+func ffRate(insts uint64, seconds float64) float64 {
+	if insts == 0 || seconds <= 0 {
+		return 0
+	}
+	return float64(insts) / seconds
 }
 
 // Run simulates one workload per spec and returns its metrics.
@@ -520,6 +600,9 @@ func ToRecord(spec RunSpec, base *Metrics, pred Metrics) harness.ReportRecord {
 
 		SkippedCycles: pred.SkippedCycles,
 		SkipRatio:     float64(pred.SkippedCycles) / cycles,
+
+		WarmupMode:    pred.WarmupMode,
+		FFInstsPerSec: pred.FFInstsPerSec,
 	}
 	if base != nil {
 		rec.BaseIPC = base.IPC
@@ -541,6 +624,8 @@ type SuiteSpec struct {
 	// WarmupInsts and MeasureInsts default to 100k/300k.
 	WarmupInsts  uint64 `json:"warmup_insts,omitempty"`
 	MeasureInsts uint64 `json:"measure_insts,omitempty"`
+	// WarmupMode applies to every run of the sweep ("" = detailed).
+	WarmupMode string `json:"warmup_mode,omitempty"`
 	// Workloads restricts the sweep to a subset of the study list; nil or
 	// empty selects all 60 entries.
 	Workloads []string `json:"workloads,omitempty"`
@@ -567,6 +652,11 @@ func CompareSuiteContext(ctx context.Context, spec SuiteSpec) ([]Comparison, err
 	if spec.MeasureInsts > MaxMeasureInsts {
 		return nil, &InvalidSpecError{Field: "measure_insts", Value: spec.MeasureInsts, Limit: MaxMeasureInsts}
 	}
+	switch spec.WarmupMode {
+	case "", string(harness.WarmupDetailed), string(harness.WarmupFunctional):
+	default:
+		return nil, unknownName("warmup mode", spec.WarmupMode, harness.WarmupModes())
+	}
 	ws := workload.All()
 	if len(spec.Workloads) > 0 {
 		ws = make([]workload.Workload, len(spec.Workloads))
@@ -578,7 +668,8 @@ func CompareSuiteContext(ctx context.Context, spec SuiteSpec) ([]Comparison, err
 			ws[i] = w
 		}
 	}
-	opt := RunSpec{WarmupInsts: spec.WarmupInsts, MeasureInsts: spec.MeasureInsts}.options()
+	opt := RunSpec{WarmupInsts: spec.WarmupInsts, MeasureInsts: spec.MeasureInsts,
+		WarmupMode: spec.WarmupMode}.options()
 	opt.Parallelism = spec.Parallelism
 	pairs, err := harness.RunComparisonCtx(ctx, ws, cfg, pf, opt)
 	if err != nil {

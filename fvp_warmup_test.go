@@ -1,0 +1,148 @@
+package fvp
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidateWarmupMode(t *testing.T) {
+	base := RunSpec{Workload: "mcf", WarmupInsts: 1_000, MeasureInsts: 5_000}
+
+	for _, mode := range append([]string{""}, WarmupModes()...) {
+		s := base
+		s.WarmupMode = mode
+		if err := Validate(s); err != nil {
+			t.Errorf("mode %q must validate: %v", mode, err)
+		}
+	}
+
+	s := base
+	s.WarmupMode = "fnctional"
+	err := Validate(s)
+	var une *UnknownNameError
+	if !errors.As(err, &une) {
+		t.Fatalf("typo mode: err = %v, want *UnknownNameError", err)
+	}
+	if une.Suggestion != "functional" {
+		t.Errorf("did-you-mean = %q, want %q", une.Suggestion, "functional")
+	}
+	if !strings.Contains(err.Error(), "functional") {
+		t.Errorf("error text lacks the suggestion: %q", err.Error())
+	}
+}
+
+func TestValidateRegions(t *testing.T) {
+	base := RunSpec{Workload: "mcf", WarmupInsts: 1_000, MeasureInsts: 5_000}
+
+	cases := []struct {
+		name    string
+		mutate  func(*RunSpec)
+		wantErr bool
+		field   string
+	}{
+		{"default", func(s *RunSpec) {}, false, ""},
+		{"at cap", func(s *RunSpec) { s.Regions = MaxRegions }, false, ""},
+		{"negative", func(s *RunSpec) { s.Regions = -1 }, true, "regions"},
+		{"over cap", func(s *RunSpec) { s.Regions = MaxRegions + 1 }, true, "regions"},
+		{"more regions than insts", func(s *RunSpec) {
+			s.MeasureInsts = 4
+			s.Regions = 8
+		}, true, "regions"},
+		{"observer with regions", func(s *RunSpec) {
+			s.Regions = 2
+			s.Observer = observerFunc(func(IntervalMetrics) {})
+		}, true, "regions"},
+	}
+	for _, c := range cases {
+		s := base
+		c.mutate(&s)
+		err := Validate(s)
+		if !c.wantErr {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		var ise *InvalidSpecError
+		if !errors.As(err, &ise) {
+			t.Errorf("%s: err = %v, want *InvalidSpecError", c.name, err)
+			continue
+		}
+		if ise.Field != c.field {
+			t.Errorf("%s: field = %q, want %q", c.name, ise.Field, c.field)
+		}
+	}
+}
+
+// Functional warmup and region-parallel runs must surface through the
+// façade metrics: the mode label, the fast-forwarded instruction count and
+// its throughput, with the measured region's length unchanged.
+func TestRunFunctionalWarmupMetrics(t *testing.T) {
+	det, err := Run(RunSpec{
+		Workload: "hmmer", Predictor: PredFVP,
+		WarmupInsts: 5_000, MeasureInsts: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.WarmupMode != "detailed" || det.FFInsts != 0 || det.FFInstsPerSec != 0 {
+		t.Errorf("detailed run metrics: mode=%q ff=%d rate=%v",
+			det.WarmupMode, det.FFInsts, det.FFInstsPerSec)
+	}
+
+	fun, err := Run(RunSpec{
+		Workload: "hmmer", Predictor: PredFVP,
+		WarmupInsts: 5_000, MeasureInsts: 20_000, WarmupMode: "functional",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fun.WarmupMode != "functional" {
+		t.Errorf("WarmupMode = %q, want functional", fun.WarmupMode)
+	}
+	// The warmup window splits into a functionally fast-forwarded bulk
+	// and a short detailed tail; FFInsts counts the former only.
+	if fun.FFInsts == 0 || fun.FFInsts >= 5_000 {
+		t.Errorf("FFInsts = %d, want in (0, 5000)", fun.FFInsts)
+	}
+	if fun.FFInstsPerSec <= 0 {
+		t.Errorf("FFInstsPerSec = %v, want > 0", fun.FFInstsPerSec)
+	}
+	if fun.Insts < 20_000 {
+		t.Errorf("measured %d instructions, want >= 20000", fun.Insts)
+	}
+
+	// The JSON wire names are part of the service schema.
+	raw, err := json.Marshal(fun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"warmup_mode":"functional"`, `"ff_insts":`, `"ff_insts_per_sec":`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("metrics JSON lacks %s: %s", key, raw)
+		}
+	}
+}
+
+func TestRunRegionsThroughFacade(t *testing.T) {
+	m, err := Run(RunSpec{
+		Workload: "omnetpp", Predictor: PredFVP,
+		WarmupInsts: 5_000, MeasureInsts: 40_000,
+		WarmupMode: "functional", Regions: 4, RegionWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IPC <= 0 {
+		t.Fatalf("IPC = %v", m.IPC)
+	}
+	if m.Insts < 40_000 {
+		t.Errorf("measured %d instructions, want >= 40000", m.Insts)
+	}
+	// FFInsts covers the checkpoint scan plus each region's warmup.
+	if m.FFInsts < 40_000 {
+		t.Errorf("FFInsts = %d, want >= 40000 (scan + per-region warmups)", m.FFInsts)
+	}
+}

@@ -175,6 +175,41 @@ func (c *Cache) Lookup(now uint64, addr uint64, write bool) (hit bool, when uint
 	return false, start, c.victimAddr(addr)
 }
 
+// WarmAccess is the functional-warmup variant of Lookup: it updates tag,
+// LRU and dirty state and counts the access like a demand reference, but
+// reserves no MSHR — warmup trains occupancy and replacement state, not
+// memory-level parallelism, and the warmer's pseudo-clock has no notion of
+// outstanding-miss backpressure. On a miss the caller installs the line
+// with Fill as usual (Fill finds no pending reservation and releases
+// nothing).
+func (c *Cache) WarmAccess(now uint64, addr uint64, write bool) (hit bool, when uint64) {
+	c.Stats.Accesses++
+	c.tick++
+	tag := c.tagOf(addr)
+	set := c.setOf(addr)
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			c.Stats.Hits++
+			if l.prefet {
+				c.Stats.PrefetchHits++
+				l.prefet = false
+			}
+			l.lru = c.tick
+			if write {
+				l.dirty = true
+			}
+			ready := now
+			if l.readyAt > ready {
+				ready = l.readyAt
+			}
+			return true, ready + c.cfg.Latency
+		}
+	}
+	c.Stats.Misses++
+	return false, now
+}
+
 // allocMSHR returns the cycle the miss can begin, honouring MSHR limits.
 // The reservation is released by Fill via freeMSHRAt.
 func (c *Cache) allocMSHR(now uint64) uint64 {

@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"fvp/internal/ooo"
+	"fvp/internal/prog"
+	"fvp/internal/vp"
+	"fvp/internal/workload"
+)
+
+// RegionResult is the measured outcome of one slice of a region-parallel
+// run.
+type RegionResult struct {
+	// Index is the region's position (0-based, in program order).
+	Index int
+	// StartSeq is the architectural sequence number the region's
+	// checkpoint was taken at; warmup runs from here, measurement from
+	// here plus the warmup length.
+	StartSeq uint64
+	// IPC is the region's measured IPC.
+	IPC float64
+	// Stats and Meter cover the region's measured slice only.
+	Stats ooo.RunStats
+	Meter vp.Meter
+	// FFInsts / FFSeconds are the region's own functional-warmup costs
+	// (the shared checkpoint scan is accounted in the Result).
+	FFInsts   uint64
+	FFSeconds float64
+}
+
+// runRegionsCtx is the region-parallel path of RunOneCtx: one functional
+// pass over the program takes K architectural checkpoints at measured-
+// region boundaries; each region is then restored, warmed per WarmupMode
+// and detail-simulated on its own core, concurrently up to RegionWorkers;
+// the per-region stats are stitched by field-wise addition. Stitching is
+// exact for additive counters, so the aggregate IPC is the instruction-
+// weighted mean of the region IPCs; the fidelity report (see
+// RegionFidelity) quantifies the gap to a monolithic run.
+func runRegionsCtx(ctx context.Context, w workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Options) (Result, error) {
+	k := opt.regionCount()
+	p := w.Build()
+	step := opt.MeasureInsts / uint64(k) // Validate guarantees step >= 1.
+
+	// Checkpoint scan: pure architectural execution takes a checkpoint
+	// every step instructions. Region i restores at seq i*step, warms the
+	// W instructions immediately preceding its measured slice, and then
+	// measures [W + i*step, W + (i+1)*step) — so the measured slices are
+	// consecutive and their union is exactly the monolithic run's measured
+	// span [W, W+M).
+	t0 := time.Now()
+	ex := prog.NewExec(p)
+	cps := make([]*prog.Checkpoint, k)
+	for i := range cps {
+		cps[i] = ex.Checkpoint()
+		if i < k-1 {
+			ex.Run(step, nil)
+		}
+	}
+	scanInsts := ex.Seq()
+	scanSeconds := time.Since(t0).Seconds()
+
+	workers := opt.RegionWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	regions := make([]RegionResult, k)
+	errs := make([]error, k)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			measure := step
+			if i == k-1 {
+				measure = opt.MeasureInsts - step*uint64(k-1)
+			}
+			var pred vp.Predictor
+			if pf != nil {
+				pred = pf()
+			}
+			exR := cps[i].Restore()
+			seg, err := runSegmentCtx(ctx, coreCfg, pred, exR, cps[i].Memory(), p.WarmRanges, opt, measure)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			regions[i] = RegionResult{
+				Index:     i,
+				StartSeq:  cps[i].Seq(),
+				IPC:       seg.stats.IPC(),
+				Stats:     seg.stats,
+				Meter:     seg.meter,
+				FFInsts:   seg.ffInsts,
+				FFSeconds: seg.ffSeconds,
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	var st ooo.RunStats
+	var mt vp.Meter
+	ffInsts := scanInsts
+	ffSeconds := scanSeconds
+	for i := range regions {
+		st = statsAdd(st, regions[i].Stats)
+		mt = meterAdd(mt, regions[i].Meter)
+		ffInsts += regions[i].FFInsts
+		ffSeconds += regions[i].FFSeconds
+	}
+
+	name := "baseline"
+	if pf != nil {
+		name = pf().Name()
+	}
+	return Result{
+		Workload:   w.Name,
+		Category:   w.Category,
+		Core:       coreCfg.Name,
+		Predictor:  name,
+		WarmupMode: opt.warmupMode(),
+		IPC:        st.IPC(),
+		Coverage:   mt.Coverage(),
+		Accuracy:   mt.Accuracy(),
+		Stats:      st,
+		Meter:      mt,
+		FFInsts:    ffInsts,
+		FFSeconds:  ffSeconds,
+		Regions:    regions,
+	}, nil
+}
+
+// statsAdd sums snapshots field-wise (the inverse pairing of statsDelta).
+func statsAdd(a, b ooo.RunStats) ooo.RunStats {
+	d := a
+	d.Cycles += b.Cycles
+	d.Retired += b.Retired
+	d.RetiredLoads += b.RetiredLoads
+	d.RetiredStores += b.RetiredStores
+	d.Fetched += b.Fetched
+	d.BranchMispredicts += b.BranchMispredicts
+	d.VPFlushes += b.VPFlushes
+	d.MemOrderFlushes += b.MemOrderFlushes
+	d.Forwards += b.Forwards
+	d.RetireStallCycles += b.RetireStallCycles
+	d.EmptyWindowCycles += b.EmptyWindowCycles
+	for i := range d.LoadsByLevel {
+		d.LoadsByLevel[i] += b.LoadsByLevel[i]
+	}
+	d.StallHeadLoads += b.StallHeadLoads
+	d.StallHeadOther += b.StallHeadOther
+	d.SkippedCycles += b.SkippedCycles
+	d.SkipEvents += b.SkipEvents
+	for i := range d.Breakdown {
+		d.Breakdown[i] += b.Breakdown[i]
+	}
+	return d
+}
+
+func meterAdd(a, b vp.Meter) vp.Meter {
+	return vp.Meter{
+		Loads:          a.Loads + b.Loads,
+		Insts:          a.Insts + b.Insts,
+		PredictedLoads: a.PredictedLoads + b.PredictedLoads,
+		PredictedOther: a.PredictedOther + b.PredictedOther,
+		Correct:        a.Correct + b.Correct,
+		Wrong:          a.Wrong + b.Wrong,
+		Flushes:        a.Flushes + b.Flushes,
+	}
+}
+
+// RegionFidelity compares a region-stitched result against a monolithic
+// run of the same spec: it returns the relative IPC error
+// |stitched - mono| / mono. The warming-fidelity gate in CI holds the
+// geomean of this error across the golden matrix under its threshold.
+func RegionFidelity(stitched, mono Result) float64 {
+	if mono.IPC == 0 {
+		return 0
+	}
+	d := stitched.IPC - mono.IPC
+	if d < 0 {
+		d = -d
+	}
+	return d / mono.IPC
+}

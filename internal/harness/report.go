@@ -33,6 +33,12 @@ type ReportRecord struct {
 	// most; 0 under -tags ooo_noskip.
 	SkippedCycles uint64  `json:"skipped_cycles"`
 	SkipRatio     float64 `json:"skip_ratio"`
+
+	// WarmupMode records how the runs were warmed; FFInstsPerSec is the
+	// fast-forward throughput of the predictor run (0 for purely detailed
+	// runs).
+	WarmupMode    string  `json:"warmup_mode,omitempty"`
+	FFInstsPerSec float64 `json:"ff_insts_per_sec,omitempty"`
 }
 
 // Records flattens comparison pairs into report rows.
@@ -65,6 +71,11 @@ func Records(pairs []Pair) []ReportRecord {
 
 			SkippedCycles: p.Pred.Stats.SkippedCycles,
 			SkipRatio:     float64(p.Pred.Stats.SkippedCycles) / cycles,
+
+			WarmupMode: string(p.Pred.WarmupMode),
+		}
+		if p.Pred.FFSeconds > 0 {
+			out[i].FFInstsPerSec = float64(p.Pred.FFInsts) / p.Pred.FFSeconds
 		}
 	}
 	return out
@@ -80,14 +91,15 @@ func WriteJSON(w io.Writer, recs []ReportRecord) error {
 // WriteCSV emits records as a CSV table with a header row.
 func WriteCSV(w io.Writer, recs []ReportRecord) error {
 	if _, err := fmt.Fprintln(w,
-		"workload,category,core,predictor,base_ipc,pred_ipc,speedup,coverage,accuracy,vp_flushes,retiring,mem_stall,frontend,skipped_cycles,skip_ratio"); err != nil {
+		"workload,category,core,predictor,base_ipc,pred_ipc,speedup,coverage,accuracy,vp_flushes,retiring,mem_stall,frontend,skipped_cycles,skip_ratio,warmup_mode,ff_insts_per_sec"); err != nil {
 		return err
 	}
 	for _, r := range recs {
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%.4f,%.4f,%.4f,%d,%.4f\n",
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%.4f,%.4f,%.4f,%d,%.4f,%s,%.0f\n",
 			r.Workload, r.Category, r.Core, r.Predictor, r.BaseIPC, r.PredIPC,
 			r.Speedup, r.Coverage, r.Accuracy, r.VPFlushes,
-			r.Retiring, r.MemStall, r.Frontend, r.SkippedCycles, r.SkipRatio); err != nil {
+			r.Retiring, r.MemStall, r.Frontend, r.SkippedCycles, r.SkipRatio,
+			r.WarmupMode, r.FFInstsPerSec); err != nil {
 			return err
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"fvp/internal/core"
 	"fvp/internal/ooo"
@@ -121,12 +122,26 @@ type Result struct {
 	Category  workload.Category
 	Core      string
 	Predictor string
+	// WarmupMode records which warmup path produced this result
+	// ("detailed" or "functional").
+	WarmupMode WarmupMode
 
 	IPC      float64
 	Coverage float64
 	Accuracy float64
 	Stats    ooo.RunStats
 	Meter    vp.Meter
+
+	// FFInsts counts instructions that were fast-forwarded functionally
+	// (warmup in WarmupFunctional mode, plus the checkpoint scan of a
+	// region-parallel run). Zero for a purely detailed run.
+	FFInsts uint64
+	// FFSeconds is the wall-clock spent fast-forwarding. Being a wall-time
+	// measurement it is excluded from determinism comparisons.
+	FFSeconds float64
+	// Regions holds the per-region results of a region-parallel run
+	// (nil when Options.Regions <= 1).
+	Regions []RegionResult
 }
 
 // Options controls run length.
@@ -158,6 +173,21 @@ type Options struct {
 	// the measured region (e.g. a telemetry.PipeTrace for Chrome trace
 	// export). Like OnSample, it reads the machine without perturbing it.
 	Tracer ooo.PipeTracer
+
+	// WarmupMode selects detailed (default) or functional warmup.
+	WarmupMode WarmupMode
+	// Regions splits the measured region into this many contiguous
+	// slices, each restored from an architectural checkpoint, warmed
+	// independently (per WarmupMode) and detail-simulated in parallel;
+	// the per-region stats are stitched into the Result. 0 or 1 keeps
+	// the historical single-region path. Stitched results are
+	// deterministic for a fixed region count regardless of worker count,
+	// but differ from the single-region run (each region re-warms from
+	// cold structures).
+	Regions int
+	// RegionWorkers bounds how many regions simulate concurrently
+	// (0 = GOMAXPROCS).
+	RegionWorkers int
 }
 
 // DefaultOptions is sized so predictors reach steady state while a full
@@ -238,24 +268,83 @@ func RunOne(w workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Options
 // cycle loop polls ctx and the partial run is abandoned (zero Result,
 // ctx.Err()) when it fires. Both the warmup and the measured region honor
 // the context, so a canceled service job stops consuming cycles promptly.
+// Degenerate Options are rejected up front with an *InvalidOptionsError.
 func RunOneCtx(ctx context.Context, w workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Options) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opt.regionCount() > 1 {
+		return runRegionsCtx(ctx, w, coreCfg, pf, opt)
+	}
 	p := w.Build()
 	ex := prog.NewExec(p)
 	var pred vp.Predictor
 	if pf != nil {
 		pred = pf()
 	}
+	seg, err := runSegmentCtx(ctx, coreCfg, pred, ex, p.BuildMemory(), p.WarmRanges, opt, opt.MeasureInsts)
+	if err != nil {
+		return Result{}, err
+	}
+	name := "baseline"
+	if pred != nil {
+		name = pred.Name()
+	}
+	return Result{
+		Workload:   w.Name,
+		Category:   w.Category,
+		Core:       coreCfg.Name,
+		Predictor:  name,
+		WarmupMode: opt.warmupMode(),
+		IPC:        seg.stats.IPC(),
+		Coverage:   seg.meter.Coverage(),
+		Accuracy:   seg.meter.Accuracy(),
+		Stats:      seg.stats,
+		Meter:      seg.meter,
+		FFInsts:    seg.ffInsts,
+		FFSeconds:  seg.ffSeconds,
+	}, nil
+}
+
+// segment is the measured outcome of one (warmup, measure) slice on one
+// core.
+type segment struct {
+	stats     ooo.RunStats
+	meter     vp.Meter
+	ffInsts   uint64
+	ffSeconds float64
+}
+
+// runSegmentCtx simulates one contiguous (warmup, measure) slice: it
+// acquires a core over ex (whose architectural memory image is mem), warms
+// caches and then the machine per opt.WarmupMode, and measures measure
+// instructions. It is the shared engine of the single-region path and each
+// region of a region-parallel run.
+func runSegmentCtx(ctx context.Context, coreCfg ooo.Config, pred vp.Predictor, ex *prog.Exec, mem *prog.Memory, warmRanges []prog.WarmRange, opt Options, measure uint64) (segment, error) {
 	var c *ooo.Core
 	if opt.ReuseCores {
-		c = acquireCore(coreCfg, pred, ex, p.BuildMemory())
+		c = acquireCore(coreCfg, pred, ex, mem)
 		defer releaseCore(coreCfg, c)
 	} else {
-		c = ooo.New(coreCfg, pred, ex, p.BuildMemory())
+		c = ooo.New(coreCfg, pred, ex, mem)
 	}
-	c.WarmCaches(p.WarmRanges)
+	c.WarmCaches(warmRanges)
 
-	if _, err := c.RunCtx(ctx, opt.WarmupInsts); err != nil {
-		return Result{}, err
+	var seg segment
+	if opt.warmupMode() == WarmupFunctional {
+		tail := detailTail(opt.WarmupInsts)
+		t0 := time.Now()
+		seg.ffInsts = c.WarmFunctional(opt.WarmupInsts - tail)
+		seg.ffSeconds = time.Since(t0).Seconds()
+		// Detailed tail: re-converge timing-born predictor state (FVP
+		// criticality, confidence counters) on the real pipeline just
+		// before measurement — the classic sampled-simulation split of
+		// functional warming plus a short detailed warmup.
+		if _, err := c.RunCtx(ctx, c.Stats.Retired+tail); err != nil {
+			return segment{}, err
+		}
+	} else if _, err := c.RunCtx(ctx, opt.WarmupInsts); err != nil {
+		return segment{}, err
 	}
 	warmStats := c.Stats
 	warmMeter := c.Meter
@@ -270,28 +359,17 @@ func RunOneCtx(ctx context.Context, w workload.Workload, coreCfg ooo.Config, pf 
 			c.SetTracer(nil)
 		}()
 	}
-	if _, err := c.RunCtx(ctx, opt.WarmupInsts+opt.MeasureInsts); err != nil {
-		return Result{}, err
+	// The measure bound counts from what warmup actually retired: in
+	// detailed mode that is exactly WarmupInsts (making this identical to
+	// the historical WarmupInsts+MeasureInsts bound), in functional mode
+	// retirement hasn't moved and the bound is just the measured length.
+	if _, err := c.RunCtx(ctx, warmStats.Retired+measure); err != nil {
+		return segment{}, err
 	}
 	c.FinishObservation()
-	st := statsDelta(warmStats, c.Stats)
-	mt := meterDelta(warmMeter, c.Meter)
-
-	name := "baseline"
-	if pred != nil {
-		name = pred.Name()
-	}
-	return Result{
-		Workload:  w.Name,
-		Category:  w.Category,
-		Core:      coreCfg.Name,
-		Predictor: name,
-		IPC:       st.IPC(),
-		Coverage:  mt.Coverage(),
-		Accuracy:  mt.Accuracy(),
-		Stats:     st,
-		Meter:     mt,
-	}, nil
+	seg.stats = statsDelta(warmStats, c.Stats)
+	seg.meter = meterDelta(warmMeter, c.Meter)
+	return seg, nil
 }
 
 // RunSuite runs every workload in ws with the given core and predictor,
@@ -405,4 +483,21 @@ func ByCategory(pairs []Pair) map[workload.Category][]Pair {
 func (r Result) String() string {
 	return fmt.Sprintf("%-16s %-10s %-16s IPC=%.3f cov=%.1f%% acc=%.2f%%",
 		r.Workload, r.Core, r.Predictor, r.IPC, r.Coverage*100, r.Accuracy*100)
+}
+
+// detailTailMax bounds the detailed slice at the end of a functional
+// warmup window. One eighth of the window re-settles confidence counters
+// and criticality tables without giving back the O(insts) win; the cap
+// keeps paper-scale windows (tens of millions of instructions) from
+// paying more than a fixed detailed cost.
+const detailTailMax = 2048
+
+// detailTail returns how many of warmup's final instructions run on the
+// detailed pipeline when WarmupMode is functional.
+func detailTail(warmup uint64) uint64 {
+	tail := warmup / 8
+	if tail > detailTailMax {
+		tail = detailTailMax
+	}
+	return tail
 }

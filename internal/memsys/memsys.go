@@ -209,6 +209,73 @@ func (h *Hierarchy) prefetch(now uint64, addr uint64, toL1 bool) {
 	}
 }
 
+// WarmLoad is the functional-warmup tap for a demand data read: it performs
+// the same tag/LRU/replacement walk and prefetcher training as Load on an
+// advancing pseudo-clock, but through the MSHR-free cache path (warmup
+// models occupancy, not memory-level parallelism). The returned level feeds
+// the warmer's criticality signals (L1Miss/LLCMiss).
+func (h *Hierarchy) WarmLoad(now uint64, addr, pc uint64) (done uint64, lvl Level) {
+	done, lvl = h.warmDemand(now, addr, false)
+	h.DemandLoads[lvl]++
+	if h.stride != nil {
+		for _, pa := range h.stride.Observe(pc, addr) {
+			h.prefetch(now, pa, true)
+		}
+	}
+	if h.stream != nil && lvl >= LvlL2 {
+		for _, pa := range h.stream.Observe(addr) {
+			h.prefetch(now, pa, false)
+		}
+	}
+	return done, lvl
+}
+
+// WarmStore is the functional-warmup tap for a demand data write
+// (write-allocate, like Store, without MSHR accounting).
+func (h *Hierarchy) WarmStore(now uint64, addr uint64) (done uint64, lvl Level) {
+	return h.warmDemand(now, addr, true)
+}
+
+// WarmFetch is the functional-warmup tap for an instruction fetch.
+func (h *Hierarchy) WarmFetch(now uint64, pc uint64) (done uint64, lvl Level) {
+	hit, when := h.L1I.WarmAccess(now, pc, false)
+	if hit {
+		return when, LvlL1
+	}
+	ready, lvl := h.warmBelowL1(when, pc)
+	h.L1I.Fill(pc, ready, false, false)
+	return ready, lvl
+}
+
+// warmDemand is demand() on the MSHR-free warm path.
+func (h *Hierarchy) warmDemand(now uint64, addr uint64, write bool) (uint64, Level) {
+	hit, when := h.L1D.WarmAccess(now, addr, write)
+	if hit {
+		return when, LvlL1
+	}
+	ready, lvl := h.warmBelowL1(when, addr)
+	h.L1D.Fill(addr, ready, write, false)
+	return ready, lvl
+}
+
+// warmBelowL1 is belowL1 on the MSHR-free warm path: same level walk, same
+// fill placement, same DRAM row/bank training.
+func (h *Hierarchy) warmBelowL1(start uint64, addr uint64) (uint64, Level) {
+	hit, when := h.L2.WarmAccess(start, addr, false)
+	if hit {
+		return when, LvlL2
+	}
+	hit, when3 := h.LLC.WarmAccess(when, addr, false)
+	if hit {
+		h.L2.Fill(addr, when3, false, false)
+		return when3, LvlLLC
+	}
+	memDone := h.Dram.Access(when3, addr) + h.memReturn
+	h.LLC.Fill(addr, memDone, false, false)
+	h.L2.Fill(addr, memDone, false, false)
+	return memDone, LvlMem
+}
+
 // Warm pre-loads the lines covering [base, base+bytes) into the given level
 // and everything below it, with data ready immediately. Workload setup uses
 // it to start kernels from a steady-state cache image instead of an

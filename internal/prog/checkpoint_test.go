@@ -1,0 +1,173 @@
+package prog_test
+
+import (
+	"reflect"
+	"testing"
+
+	"fvp/internal/isa"
+	"fvp/internal/prog"
+)
+
+// checkpointTestProgram is a small kernel with every state-carrying feature
+// a checkpoint must capture: a counted loop (registers), loads and stores
+// over a sliding window (memory pages), a call/ret pair (the call stack),
+// and a halt (restart accounting).
+func checkpointTestProgram(t testing.TB) *prog.Program {
+	b := prog.NewBuilder("ckpt")
+	b.InitReg(1, 0x4000) // base pointer
+	b.InitReg(2, 0)      // loop counter
+	b.InitReg(3, 257)    // iterations per outer pass
+	b.InitMem(0x4000, 11)
+
+	b.Label("loop")
+	b.Load(4, 1, 0)     // r4 = mem[r1]
+	b.AddI(4, 4, 3)     // r4 += 3
+	b.Store(1, 8, 4)    // mem[r1+8] = r4
+	b.AddI(1, 1, 8)     // r1 += 8 (slide window, touches fresh pages)
+	b.Call("bump")      // exercises the call stack across checkpoints
+	b.AddI(2, 2, 1)     // counter++
+	b.BLT(2, 3, "loop") // loop while r2 < r3
+	b.MovI(2, 0)        // reset counter
+	b.MovI(1, 0x4000)   // rewind window
+	b.Halt()            // restart: next outer pass
+
+	b.Label("bump")
+	b.XorI(5, 4, 0x55)
+	b.Ret()
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func collectStream(e *prog.Exec, n uint64) []isa.DynInst {
+	out := make([]isa.DynInst, 0, n)
+	e.Run(n, func(d *isa.DynInst) { out = append(out, *d) })
+	return out
+}
+
+// TestCheckpointResumeExact is the golden resume guarantee: an Exec restored
+// from a checkpoint at any boundary produces a DynInst stream byte-identical
+// to the uninterrupted stream from that point, and taking the checkpoint
+// does not perturb the live executor.
+func TestCheckpointResumeExact(t *testing.T) {
+	const total = 8192
+	p := checkpointTestProgram(t)
+	ref := collectStream(prog.NewExec(p), total)
+	if len(ref) != total {
+		t.Fatalf("reference stream short: %d", len(ref))
+	}
+
+	for _, boundary := range []uint64{0, 1, 7, 100, 1000, 2600, 5000} {
+		live := prog.NewExec(p)
+		if got := live.Run(boundary, nil); got != boundary {
+			t.Fatalf("boundary %d: ran %d", boundary, got)
+		}
+		cp := live.Checkpoint()
+		if cp.Seq() != boundary {
+			t.Fatalf("checkpoint seq %d, want %d", cp.Seq(), boundary)
+		}
+
+		rest := total - int(boundary)
+		// The live exec, checkpoint taken, must continue unperturbed.
+		gotLive := collectStream(live, uint64(rest))
+		if !reflect.DeepEqual(gotLive, ref[boundary:]) {
+			t.Errorf("boundary %d: live stream diverged after checkpoint", boundary)
+		}
+		// The restored exec must produce the identical continuation.
+		gotRestored := collectStream(cp.Restore(), uint64(rest))
+		if !reflect.DeepEqual(gotRestored, ref[boundary:]) {
+			t.Errorf("boundary %d: restored stream diverged", boundary)
+		}
+	}
+}
+
+// TestCheckpointRestoreIsolated: multiple restores from one checkpoint are
+// independent — writes through one do not leak into the others or back into
+// the checkpoint (the copy-on-write property, observed architecturally).
+func TestCheckpointRestoreIsolated(t *testing.T) {
+	p := checkpointTestProgram(t)
+	live := prog.NewExec(p)
+	live.Run(500, nil)
+	cp := live.Checkpoint()
+
+	a, b := cp.Restore(), cp.Restore()
+	gotA := collectStream(a, 3000)
+	// Live keeps running (dirtying shared pages) before b is consumed.
+	live.Run(3000, nil)
+	gotB := collectStream(b, 3000)
+	if !reflect.DeepEqual(gotA, gotB) {
+		t.Fatal("two restores from one checkpoint diverged")
+	}
+	// A third restore, after every sibling has run, still sees the
+	// checkpointed image.
+	gotC := collectStream(cp.Restore(), 3000)
+	if !reflect.DeepEqual(gotA, gotC) {
+		t.Fatal("late restore saw writes from a sibling exec")
+	}
+}
+
+// TestCheckpointMemoryCOW checks the snapshot memory really shares pages
+// until written, and that Memory() hands out an image equal to what the
+// restored exec observes.
+func TestCheckpointMemoryCOW(t *testing.T) {
+	p := checkpointTestProgram(t)
+	live := prog.NewExec(p)
+	live.Run(2000, nil)
+	cp := live.Checkpoint()
+
+	mem := cp.Memory()
+	if mem.Pages() == 0 {
+		t.Fatal("checkpoint image has no pages")
+	}
+	if mem.SharedPages() != mem.Pages() {
+		t.Fatalf("fresh clone should share every page: %d/%d",
+			mem.SharedPages(), mem.Pages())
+	}
+	const probe = 0x4000
+	before := mem.Read(probe)
+	mem.Write(probe, before+99)
+	if got := cp.Restore().Mem(probe); got != before {
+		t.Fatalf("write through clone leaked into checkpoint: %#x != %#x", got, before)
+	}
+}
+
+// FuzzCheckpointRestore drives arbitrary builder programs to an arbitrary
+// boundary, checkpoints, and asserts both the continued live stream and the
+// restored stream are byte-identical to an uninterrupted reference run.
+// This is the property the region-parallel harness relies on.
+func FuzzCheckpointRestore(f *testing.F) {
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{1, 5, 0, 0, 42, 2, 6, 5, 5, 0, 29, 0, 0, 0, 0}, uint16(3))
+	f.Add([]byte{19, 3, 1, 0, 8, 20, 1, 0, 3, 8, 22, 0, 2, 0, 0}, uint16(100))
+	f.Add([]byte{26, 0, 0, 0, 3, 29, 0, 0, 0, 0, 0, 0, 0, 0, 0, 27, 0, 0, 0, 0}, uint16(1000))
+	f.Add([]byte{15, 4, 2, 3, 7, 18, 4, 4, 4, 0, 28, 0, 2, 0, 0, 23, 1, 2, 0, 0}, uint16(4095))
+	f.Fuzz(func(t *testing.T, data []byte, rawBoundary uint16) {
+		p, err := buildFuzzProgram(data)
+		if err != nil {
+			t.Fatalf("fuzz program failed validation: %v", err)
+		}
+		boundary := uint64(rawBoundary) % fuzzProgInsts
+
+		ref := collectStream(prog.NewExec(p), fuzzProgInsts)
+
+		live := prog.NewExec(p)
+		ran := live.Run(boundary, nil)
+		cp := live.Checkpoint()
+		if cp.Seq() != ran {
+			t.Fatalf("checkpoint seq %d after running %d", cp.Seq(), ran)
+		}
+		rest := uint64(len(ref)) - ran
+
+		gotRestored := collectStream(cp.Restore(), rest)
+		if !reflect.DeepEqual(gotRestored, ref[ran:]) {
+			t.Fatal("restored stream diverged from uninterrupted reference")
+		}
+		gotLive := collectStream(live, rest)
+		if !reflect.DeepEqual(gotLive, ref[ran:]) {
+			t.Fatal("live stream perturbed by taking a checkpoint")
+		}
+	})
+}

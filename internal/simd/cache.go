@@ -14,8 +14,9 @@ import (
 // ones that spell defaults differently — collapse to one cache entry.
 func specKey(s fvp.RunSpec) string {
 	n := s.Normalized()
-	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%s|%d|%d",
-		n.Workload, n.Machine, n.Predictor, n.WarmupInsts, n.MeasureInsts)))
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%s|%d|%d|%s|%d",
+		n.Workload, n.Machine, n.Predictor, n.WarmupInsts, n.MeasureInsts,
+		n.WarmupMode, n.Regions)))
 	return hex.EncodeToString(sum[:16])
 }
 

@@ -86,3 +86,31 @@ func TestClientMetricsText(t *testing.T) {
 		}
 	}
 }
+
+// The warmup knobs must survive the wire both ways: spec fields out,
+// fast-forward metrics back.
+func TestClientWarmupFieldsRoundTrip(t *testing.T) {
+	c := newClient(t, simd.Config{Workers: 2})
+	m, err := c.Run(context.Background(), fvp.RunSpec{
+		Workload: "hmmer", WarmupInsts: 2_000, MeasureInsts: 5_000,
+		WarmupMode: "functional", Regions: 2,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if m.WarmupMode != "functional" {
+		t.Errorf("WarmupMode = %q, want functional", m.WarmupMode)
+	}
+	if m.FFInsts == 0 || m.FFInstsPerSec <= 0 {
+		t.Errorf("fast-forward meters missing: ff=%d rate=%v", m.FFInsts, m.FFInstsPerSec)
+	}
+
+	var apiErr *APIError
+	_, err = c.Run(context.Background(), fvp.RunSpec{Workload: "hmmer", WarmupMode: "fnctional"})
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 {
+		t.Errorf("bad warmup mode: err = %v, want *APIError with HTTP 400", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "functional") {
+		t.Errorf("error should carry the did-you-mean hint: %v", err)
+	}
+}

@@ -23,6 +23,9 @@ type counters struct {
 	// (clock-jumped); the ratio to simCycles shows how much of the fleet's
 	// simulated time the fast path absorbed.
 	simSkippedCycles uint64
+	// simFFInsts counts functionally fast-forwarded instructions (warmup
+	// and checkpoint scans) — work done outside the detailed model.
+	simFFInsts uint64
 }
 
 // Stats is a point-in-time snapshot of the service counters; the JSON
@@ -40,6 +43,7 @@ type Stats struct {
 	SimInsts         uint64  `json:"sim_insts"`
 	SimSeconds       float64 `json:"sim_seconds"`
 	SimSkippedCycles uint64  `json:"sim_skipped_cycles"`
+	SimFFInsts       uint64  `json:"sim_ff_insts"`
 }
 
 // CyclesPerSecond is the service's aggregate simulation throughput.
@@ -100,6 +104,7 @@ func (s *Service) WriteMetrics(w io.Writer) {
 	counter("fvpd_sim_cycles_total", "Simulated cycles across all completed runs.", "%d", st.SimCycles)
 	counter("fvpd_sim_skipped_cycles_total", "Simulated cycles covered by idle-elision clock jumps (subset of fvpd_sim_cycles_total).", "%d", st.SimSkippedCycles)
 	counter("fvpd_sim_insts_total", "Simulated instructions across all completed runs.", "%d", st.SimInsts)
+	counter("fvpd_sim_ff_insts_total", "Instructions functionally fast-forwarded (warmup and checkpoint scans) instead of detail-simulated.", "%d", st.SimFFInsts)
 	counter("fvpd_sim_seconds_total", "Wall-clock seconds spent simulating.", "%g", st.SimSeconds)
 	gauge("fvpd_sim_cycles_per_second", "Aggregate simulation throughput.", "%g", st.CyclesPerSecond())
 

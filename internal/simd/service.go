@@ -260,9 +260,14 @@ func (s *Service) worker() {
 
 		// Attach a progress gauge to a copy of the spec: the Observer field
 		// is json:"-" and outside the cache key, so the simulated work and
-		// its identity are untouched.
+		// its identity are untouched. Region-parallel runs measure their
+		// slices concurrently, where interval samples would interleave
+		// meaninglessly (the façade rejects the combination), so they run
+		// unobserved.
 		spec := j.spec
-		spec.Observer = j.progress
+		if spec.Regions <= 1 {
+			spec.Observer = j.progress
+		}
 
 		var m fvp.Metrics
 		err := j.ctx.Err()
@@ -279,6 +284,7 @@ func (s *Service) worker() {
 			s.met.simCycles += m.Cycles
 			s.met.simSkippedCycles += m.SkippedCycles
 			s.met.simInsts += m.Insts
+			s.met.simFFInsts += m.FFInsts
 			s.met.simSeconds += elapsed.Seconds()
 		}
 		s.finalizeLocked(j, m, err)
@@ -431,6 +437,7 @@ func (s *Service) Snapshot() Stats {
 		SimInsts:         s.met.simInsts,
 		SimSeconds:       s.met.simSeconds,
 		SimSkippedCycles: s.met.simSkippedCycles,
+		SimFFInsts:       s.met.simFFInsts,
 	}
 }
 
