@@ -20,6 +20,9 @@
 //     functional (floor 5x), a paper-scale suite pass with each warmup
 //     mode (end-to-end wall-clock ratio), and the region-parallel scaling
 //     curve (K=1,2,4,8 checkpointed regions on K workers).
+//  5. The fvpd store backends: result-record put latency (the disk
+//     backend's fsync cost) and service-level cache-hit submit latency,
+//     memory vs disk — cache hits must stay fsync-free on both.
 //
 // Usage:
 //
@@ -29,6 +32,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,10 +41,14 @@ import (
 	"runtime"
 	"time"
 
+	"fvp"
 	"fvp/internal/core"
 	"fvp/internal/harness"
 	"fvp/internal/ooo"
 	"fvp/internal/prog"
+	"fvp/internal/simd"
+	"fvp/internal/store"
+	"fvp/internal/store/disk"
 	"fvp/internal/vp"
 	"fvp/internal/workload"
 )
@@ -153,6 +162,17 @@ type WorkloadSpeedup struct {
 	SkipRatio float64 `json:"skip_ratio"`
 }
 
+// StoreBench is one fvpd store-backend row: the durable-write cost
+// (ResultPut includes the disk backend's per-record fsync) and the
+// service-level cache-hit submit latency (which must not fsync on either
+// backend — a hit is a read).
+type StoreBench struct {
+	Backend             string  `json:"backend"`
+	Ops                 int     `json:"ops"`
+	ResultPutNsPerOp    float64 `json:"result_put_ns_per_op"`
+	CachedSubmitNsPerOp float64 `json:"cached_submit_ns_per_op"`
+}
+
 // Report is the BENCH_core.json schema.
 type Report struct {
 	GeneratedAt string `json:"generated_at"`
@@ -183,7 +203,63 @@ type Report struct {
 
 	ParallelRegions ParallelRegions `json:"parallel_regions"`
 
+	// Store is the fvpd backend comparison: memory vs crash-safe disk.
+	Store []StoreBench `json:"store"`
+
 	Suite Suite `json:"suite"`
+}
+
+// measureStore times one store backend. newStores must return a fresh
+// backend each call (a new temp dir for disk).
+func measureStore(backend string, newStores func() (store.Stores, error), ops int) StoreBench {
+	sb := StoreBench{Backend: backend, Ops: ops}
+
+	// Durable result-put latency: distinct keys, a realistic encoded-
+	// Metrics-sized value. On disk every put is an fsync'd append.
+	st, err := newStores()
+	if err != nil {
+		fatalf("store %s: %v", backend, err)
+	}
+	val := bytes.Repeat([]byte("x"), 384)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if err := st.Results.Put(fmt.Sprintf("bench-%05d", i), val); err != nil {
+			fatalf("store %s: put: %v", backend, err)
+		}
+	}
+	sb.ResultPutNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(ops)
+	st.Close()
+
+	// Service-level cache-hit latency: one simulated run populates the
+	// cache, then identical submits are served terminal at admit time. A
+	// hit is a store read, so disk must track memory closely here.
+	st2, err := newStores()
+	if err != nil {
+		fatalf("store %s: %v", backend, err)
+	}
+	svc := simd.New(simd.Config{
+		Workers: 1, Stores: st2,
+		Run: func(ctx context.Context, spec fvp.RunSpec) (fvp.Metrics, error) {
+			return fvp.Metrics{IPC: 1, Cycles: 1, Insts: 1}, nil
+		},
+	})
+	defer svc.Close()
+	spec := fvp.RunSpec{Workload: "omnetpp", Predictor: fvp.PredFVP, WarmupInsts: 1_000, MeasureInsts: 2_000}
+	first, err := svc.Submit(simd.RunRequest{RunSpec: spec})
+	if err != nil {
+		fatalf("store %s: submit: %v", backend, err)
+	}
+	if _, err := svc.Wait(context.Background(), first.ID); err != nil {
+		fatalf("store %s: wait: %v", backend, err)
+	}
+	start = time.Now()
+	for i := 0; i < ops; i++ {
+		if _, err := svc.Submit(simd.RunRequest{RunSpec: spec}); err != nil {
+			fatalf("store %s: cached submit: %v", backend, err)
+		}
+	}
+	sb.CachedSubmitNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(ops)
+	return sb
 }
 
 // measureCycleLoop reproduces BenchmarkCoreCycleLoop outside the testing
@@ -412,6 +488,32 @@ func main() {
 			r.Regions, r.WallSeconds, r.Speedup, r.IPC)
 	}
 
+	storeOps := 400
+	if *quick {
+		storeOps = 100
+	}
+	fmt.Printf("fvpbench: store backends (%d ops, memory vs disk)...\n", storeOps)
+	storeRows := []StoreBench{
+		measureStore("memory", func() (store.Stores, error) {
+			return store.Stores{
+				Jobs:    store.NewMemoryJobStore(),
+				Results: store.NewMemoryResultStore(storeOps+16, 0),
+				Blobs:   store.NewMemoryBlobStore(0),
+			}, nil
+		}, storeOps),
+		measureStore("disk", func() (store.Stores, error) {
+			dir, err := os.MkdirTemp("", "fvpbench-store-*")
+			if err != nil {
+				return store.Stores{}, err
+			}
+			return disk.Open(dir, disk.Options{CacheEntries: storeOps + 16})
+		}, storeOps),
+	}
+	for _, r := range storeRows {
+		fmt.Printf("  %s: result put %.0f ns/op, cached submit %.0f ns/op\n",
+			r.Backend, r.ResultPutNsPerOp, r.CachedSubmitNsPerOp)
+	}
+
 	rep := Report{
 		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
 		GoVersion:          runtime.Version(),
@@ -432,6 +534,7 @@ func main() {
 		SuiteFunctional:    suiteFun,
 		SuiteWarmupSpeedup: suiteSpeedup,
 		ParallelRegions:    regions,
+		Store:              storeRows,
 
 		Suite: suite,
 	}

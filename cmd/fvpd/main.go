@@ -7,6 +7,13 @@
 // Usage:
 //
 //	fvpd -addr :8080 -workers 8 -queue 64 -cache 4096
+//	fvpd -data-dir /var/lib/fvpd    # durable: jobs and cache survive restarts
+//
+// With -data-dir the job queue, result cache, and trace artifacts live in
+// crash-safe file stores under the directory: jobs that were queued or
+// running when the process died are re-dispatched on the next boot, and
+// cached results keep serving hits across restarts. Without it everything
+// is in-memory, exactly as before.
 //
 // Endpoints: POST /v1/runs (single or batch, ?wait=1 to block),
 // GET /v1/runs/{id} (status, result, and live progress),
@@ -29,20 +36,41 @@ import (
 	"time"
 
 	"fvp/internal/simd"
+	"fvp/internal/store/disk"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "simulation workers (0 = NumCPU)")
-		queue   = flag.Int("queue", 0, "run-queue capacity (0 = 4×workers)")
-		cache   = flag.Int("cache", 0, "result-cache entries (0 = 1024)")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
-		pprofOn = flag.Bool("pprof", false, "serve Go profiling handlers under /debug/pprof/")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "simulation workers (0 = NumCPU)")
+		queue      = flag.Int("queue", 0, "run-queue capacity (0 = 4×workers)")
+		cache      = flag.Int("cache", 0, "result-cache entries (0 = 1024)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "result-cache byte budget (0 = entries-only)")
+		dataDir    = flag.String("data-dir", "", "durable store directory (empty = in-memory only)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		pprofOn    = flag.Bool("pprof", false, "serve Go profiling handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
-	svc := simd.New(simd.Config{Workers: *workers, QueueSize: *queue, CacheSize: *cache})
+	cfg := simd.Config{Workers: *workers, QueueSize: *queue, CacheSize: *cache, CacheBytes: *cacheBytes}
+	if *dataDir != "" {
+		entries := *cache
+		if entries <= 0 {
+			entries = simd.DefaultCacheSize
+		}
+		stores, err := disk.Open(*dataDir, disk.Options{CacheEntries: entries, CacheBytes: *cacheBytes})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fvpd: opening data dir:", err)
+			os.Exit(1)
+		}
+		cfg.Stores = stores
+	}
+	svc := simd.New(cfg)
+	if *dataDir != "" {
+		if n := svc.Snapshot().JobsRecovered; n > 0 {
+			fmt.Fprintf(os.Stderr, "fvpd: re-dispatched %d jobs recovered from %s\n", n, *dataDir)
+		}
+	}
 	handler := svc.Handler()
 	if *pprofOn {
 		// Profiling is opt-in: the handlers expose goroutine dumps and CPU

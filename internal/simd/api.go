@@ -36,6 +36,10 @@ type RunRequest struct {
 	fvp.RunSpec
 	// TimeoutMS bounds the simulation's wall time; 0 means no deadline.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace asks the run to record a pipeline trace artifact (Perfetto /
+	// chrome://tracing JSON), retrievable from GET /v1/runs/{id}/trace.
+	// Traces are only captured for single-region runs.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Progress reports how far a running simulation has gotten. The feed is
@@ -65,8 +69,16 @@ type JobStatus struct {
 	Progress *Progress `json:"progress,omitempty"`
 	// Metrics is present once State is done.
 	Metrics *fvp.Metrics `json:"metrics,omitempty"`
+	// Artifacts names the stored artifacts attached to a done job (e.g.
+	// "trace-<speckey>"); fetch via GET /v1/runs/{id}/trace.
+	Artifacts []string `json:"artifacts,omitempty"`
 	// Error is present when State is failed or canceled.
 	Error string `json:"error,omitempty"`
+}
+
+// JobList is the body of GET /v1/runs.
+type JobList struct {
+	Jobs []JobStatus `json:"jobs"`
 }
 
 // SubmitResponse is the body of POST /v1/runs.

@@ -1,7 +1,6 @@
 package simd
 
 import (
-	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -12,6 +11,8 @@ import (
 // specKey returns the content address of a run: a hash of the normalized
 // spec, so two requests that describe the same simulation — including
 // ones that spell defaults differently — collapse to one cache entry.
+// The key doubles as the ResultStore/BlobStore address, so cached results
+// written by one process are found by the next when the store is durable.
 func specKey(s fvp.RunSpec) string {
 	n := s.Normalized()
 	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%s|%d|%d|%s|%d",
@@ -19,51 +20,3 @@ func specKey(s fvp.RunSpec) string {
 		n.WarmupMode, n.Regions)))
 	return hex.EncodeToString(sum[:16])
 }
-
-// resultCache is an LRU map from spec key to finished metrics. It is not
-// self-locking; the Service's mutex guards every call.
-type resultCache struct {
-	max   int
-	order *list.List               // front = most recent
-	byKey map[string]*list.Element // value: *cacheEntry
-}
-
-type cacheEntry struct {
-	key     string
-	metrics fvp.Metrics
-}
-
-func newResultCache(max int) *resultCache {
-	return &resultCache{max: max, order: list.New(), byKey: make(map[string]*list.Element)}
-}
-
-func (c *resultCache) get(key string) (fvp.Metrics, bool) {
-	el, ok := c.byKey[key]
-	if !ok {
-		return fvp.Metrics{}, false
-	}
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).metrics, true
-}
-
-// has is get without the recency bump — used for capacity pre-checks.
-func (c *resultCache) has(key string) bool {
-	_, ok := c.byKey[key]
-	return ok
-}
-
-func (c *resultCache) put(key string, m fvp.Metrics) {
-	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).metrics = m
-		c.order.MoveToFront(el)
-		return
-	}
-	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, metrics: m})
-	for c.order.Len() > c.max {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*cacheEntry).key)
-	}
-}
-
-func (c *resultCache) len() int { return c.order.Len() }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"time"
 
 	"fvp"
@@ -165,6 +166,42 @@ func (c *Client) Poll(ctx context.Context, id string, interval time.Duration) (s
 // Cancel cancels one job.
 func (c *Client) Cancel(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/runs/"+id, nil, nil)
+}
+
+// List fetches the server's job listing, optionally filtered to one state
+// ("queued", "running", "done", "failed", "canceled"; "" lists all).
+func (c *Client) List(ctx context.Context, state string) ([]simd.JobStatus, error) {
+	path := "/v1/runs"
+	if state != "" {
+		path += "?state=" + url.QueryEscape(state)
+	}
+	var out simd.JobList
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Trace fetches a job's pipeline-trace artifact (submit the run with
+// Trace set). The bytes are chrome://tracing / Perfetto JSON.
+func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/runs/"+id+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: string(b)}
+	}
+	return b, nil
 }
 
 // Workloads lists the server's study list.

