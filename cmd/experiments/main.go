@@ -22,12 +22,17 @@ import (
 )
 
 // writeSuiteCSV dumps the per-workload FVP comparison as CSV for plotting.
-func writeSuiteCSV(ctx context.Context, path string, machine fvp.Machine, warmup, insts uint64) error {
+// With sampling enabled each arm is a sampled estimate and the rows carry
+// the IPC confidence intervals alongside the point values.
+func writeSuiteCSV(ctx context.Context, path string, machine fvp.Machine, warmup, insts uint64, sampUnits int, sampCI float64, sampSeed uint64) error {
 	cs, err := fvp.CompareSuiteContext(ctx, fvp.SuiteSpec{
-		Machine:      machine,
-		Predictor:    fvp.PredFVP,
-		WarmupInsts:  warmup,
-		MeasureInsts: insts,
+		Machine:        machine,
+		Predictor:      fvp.PredFVP,
+		WarmupInsts:    warmup,
+		MeasureInsts:   insts,
+		SampleUnits:    sampUnits,
+		SampleTargetCI: sampCI,
+		SampleSeed:     sampSeed,
 	})
 	if err != nil {
 		return err
@@ -37,10 +42,17 @@ func writeSuiteCSV(ctx context.Context, path string, machine fvp.Machine, warmup
 		return err
 	}
 	defer f.Close()
-	fmt.Fprintln(f, "workload,category,base_ipc,fvp_ipc,speedup,coverage")
+	fmt.Fprintln(f, "workload,category,base_ipc,fvp_ipc,speedup,coverage,base_ipc_rel_ci,fvp_ipc_rel_ci")
 	for _, c := range cs {
-		fmt.Fprintf(f, "%s,%s,%.4f,%.4f,%.4f,%.4f\n",
-			c.Workload, c.Category, c.Base.IPC, c.Pred.IPC, c.Speedup(), c.Pred.Coverage)
+		var baseCI, predCI float64
+		if c.Base.Sampling != nil {
+			baseCI = c.Base.Sampling.IPC.RelCI
+		}
+		if c.Pred.Sampling != nil {
+			predCI = c.Pred.Sampling.IPC.RelCI
+		}
+		fmt.Fprintf(f, "%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			c.Workload, c.Category, c.Base.IPC, c.Pred.IPC, c.Speedup(), c.Pred.Coverage, baseCI, predCI)
 	}
 	return nil
 }
@@ -53,6 +65,9 @@ func main() {
 		warmup = flag.Uint64("warmup", 0, "warmup instructions per run (0 = default 100k)")
 		insts  = flag.Uint64("insts", 0, "measured instructions per run (0 = default 300k)")
 		csv    = flag.String("csv", "", "write the per-workload FVP comparison (Fig 8 data) to this CSV file")
+		sampU  = flag.Int("sample-units", 0, "with -csv: estimate each run from this many detailed sample units (0 = full detail)")
+		sampCI = flag.Float64("sample-ci", 0, "with -csv: target relative 95% IPC CI half-width, growing units until met (0 = off)")
+		sampS  = flag.Uint64("sample-seed", 0, "with -csv: sampling phase seed")
 		prof   = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	)
 	flag.Parse()
@@ -77,7 +92,7 @@ func main() {
 	defer stop()
 
 	if *csv != "" {
-		if err := writeSuiteCSV(ctx, *csv, fvp.Skylake, *warmup, *insts); err != nil {
+		if err := writeSuiteCSV(ctx, *csv, fvp.Skylake, *warmup, *insts, *sampU, *sampCI, *sampS); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

@@ -23,11 +23,20 @@
 //  5. The fvpd store backends: result-record put latency (the disk
 //     backend's fsync cost) and service-level cache-hit submit latency,
 //     memory vs disk — cache hits must stay fsync-free on both.
+//  6. The statistical sampling engine: one paper-scale region measured in
+//     full detail and again as a SMARTS-style sampled estimate (speedup
+//     floor 10x), plus a sampled suite sweep whose sim MIPS credits the
+//     whole estimated region — the two-digit-MIPS headline.
+//
+// With -gate the freshly measured suite throughputs are compared against a
+// recorded BENCH_core.json and the run exits nonzero on a >5% sim MIPS
+// drop — the CI perf-regression gate.
 //
 // Usage:
 //
 //	fvpbench                       # full matrix -> BENCH_core.json
 //	fvpbench -quick                # 8-workload suite, fewer cycle-loop ops
+//	fvpbench -quick -gate BENCH_core.json
 //	fvpbench -out /tmp/bench.json
 package main
 
@@ -104,17 +113,48 @@ type CycleLoop struct {
 	Note        string  `json:"note,omitempty"`
 }
 
-// Suite is the full-sweep measurement.
+// Suite is the full-sweep measurement. For a sampled sweep (SampleUnits
+// set) SimMIPS credits the whole estimated region per run — the quantity
+// sampling exists to buy — while only units×unit_insts of it ran in
+// detail.
 type Suite struct {
-	Core         string            `json:"core"`
-	Workloads    int               `json:"workloads"`
-	WarmupInsts  uint64            `json:"warmup_insts"`
-	MeasureInsts uint64            `json:"measure_insts"`
-	WarmupMode   string            `json:"warmup_mode,omitempty"`
-	WallSeconds  float64           `json:"wall_seconds"`
-	SimMIPS      float64           `json:"sim_mips"`
-	GeomeanFVP   float64           `json:"geomean_fvp_speedup"`
-	PerWorkload  []WorkloadSpeedup `json:"per_workload,omitempty"`
+	Core            string            `json:"core"`
+	Workloads       int               `json:"workloads"`
+	WarmupInsts     uint64            `json:"warmup_insts"`
+	MeasureInsts    uint64            `json:"measure_insts"`
+	WarmupMode      string            `json:"warmup_mode,omitempty"`
+	SampleUnits     int               `json:"sample_units,omitempty"`
+	SampleUnitInsts uint64            `json:"sample_unit_insts,omitempty"`
+	WallSeconds     float64           `json:"wall_seconds"`
+	SimMIPS         float64           `json:"sim_mips"`
+	GeomeanFVP      float64           `json:"geomean_fvp_speedup"`
+	PerWorkload     []WorkloadSpeedup `json:"per_workload,omitempty"`
+}
+
+// SampledRun is the one-region full-detail-vs-sampled comparison: the same
+// (warmup, measure) slice simulated both ways. IPCError is the sampled
+// estimate's relative distance from the full-detail IPC; it should sit
+// within IPCRelCI (the estimate's own 95% interval) — when it does, the
+// speedup came at a statistically honest price.
+type SampledRun struct {
+	Workload           string  `json:"workload"`
+	WarmupInsts        uint64  `json:"warmup_insts"`
+	MeasureInsts       uint64  `json:"measure_insts"`
+	Units              int     `json:"units"`
+	UnitInsts          uint64  `json:"unit_insts"`
+	FullWallSeconds    float64 `json:"full_wall_seconds"`
+	SampledWallSeconds float64 `json:"sampled_wall_seconds"`
+	Speedup            float64 `json:"speedup"`
+	FullIPC            float64 `json:"full_ipc"`
+	SampledIPC         float64 `json:"sampled_ipc"`
+	IPCRelCI           float64 `json:"ipc_rel_ci"`
+	IPCError           float64 `json:"ipc_error"`
+}
+
+// SamplingSection is the statistical-sampling part of the artifact.
+type SamplingSection struct {
+	SpeedupVsDetail SampledRun `json:"speedup_vs_detail"`
+	Suite           Suite      `json:"suite"`
 }
 
 // FastForward is the warmup-phase throughput measurement: the same warmup
@@ -202,6 +242,11 @@ type Report struct {
 	SuiteWarmupSpeedup float64     `json:"suite_warmup_speedup"`
 
 	ParallelRegions ParallelRegions `json:"parallel_regions"`
+
+	// Sampling is the statistical-sampling engine: the full-vs-sampled
+	// speedup on one paper-scale region (floor 10x) and the sampled suite
+	// sweep (two-digit sim MIPS).
+	Sampling SamplingSection `json:"sampling"`
 
 	// Store is the fvpd backend comparison: memory vs crash-safe disk.
 	Store []StoreBench `json:"store"`
@@ -378,6 +423,42 @@ func measureParallelRegions(wlName string, warm, measure uint64) ParallelRegions
 	return pr
 }
 
+// measureSampledRun times one paper-scale region in full detail and again
+// as a sampled estimate of the same region.
+func measureSampledRun(wlName string, warm, measure uint64, units int, unitInsts uint64) SampledRun {
+	w, ok := workload.ByName(wlName)
+	if !ok {
+		fatalf("workload %q not found", wlName)
+	}
+	opt := harness.Options{WarmupInsts: warm, MeasureInsts: measure, ReuseCores: true}
+	start := time.Now()
+	full := harness.RunOne(w, ooo.Skylake(), harness.Factory(harness.SpecFVP), opt)
+	fullWall := time.Since(start).Seconds()
+
+	opt.Sampling = harness.Sampling{Units: units, UnitInsts: unitInsts, Seed: 1}
+	start = time.Now()
+	sampled := harness.RunOne(w, ooo.Skylake(), harness.Factory(harness.SpecFVP), opt)
+	sampledWall := time.Since(start).Seconds()
+
+	sr := SampledRun{
+		Workload:           wlName,
+		WarmupInsts:        warm,
+		MeasureInsts:       measure,
+		Units:              units,
+		UnitInsts:          unitInsts,
+		FullWallSeconds:    fullWall,
+		SampledWallSeconds: sampledWall,
+		Speedup:            fullWall / sampledWall,
+		FullIPC:            full.IPC,
+		SampledIPC:         sampled.IPC,
+		IPCRelCI:           sampled.Sampling.IPC.RelCI,
+	}
+	if full.IPC > 0 {
+		sr.IPCError = (sampled.IPC - full.IPC) / full.IPC
+	}
+	return sr
+}
+
 // measureSuite sweeps FVP vs baseline over ws and reports aggregate
 // simulation throughput plus the paper's geomean speedup.
 func measureSuite(ws []workload.Workload, opt harness.Options, perWorkload bool) Suite {
@@ -388,14 +469,16 @@ func measureSuite(ws []workload.Workload, opt harness.Options, perWorkload bool)
 	// Two runs (baseline + FVP) per workload, each warmup+measure long.
 	simInsts := float64(2*len(ws)) * float64(opt.WarmupInsts+opt.MeasureInsts)
 	s := Suite{
-		Core:         "Skylake",
-		Workloads:    len(ws),
-		WarmupInsts:  opt.WarmupInsts,
-		MeasureInsts: opt.MeasureInsts,
-		WarmupMode:   string(opt.WarmupMode),
-		WallSeconds:  wall,
-		SimMIPS:      simInsts / wall / 1e6,
-		GeomeanFVP:   harness.Geomean(pairs),
+		Core:            "Skylake",
+		Workloads:       len(ws),
+		WarmupInsts:     opt.WarmupInsts,
+		MeasureInsts:    opt.MeasureInsts,
+		WarmupMode:      string(opt.WarmupMode),
+		SampleUnits:     opt.Sampling.Units,
+		SampleUnitInsts: opt.Sampling.UnitInsts,
+		WallSeconds:     wall,
+		SimMIPS:         simInsts / wall / 1e6,
+		GeomeanFVP:      harness.Geomean(pairs),
 	}
 	if !perWorkload {
 		return s
@@ -425,6 +508,7 @@ func main() {
 		out   = flag.String("out", "BENCH_core.json", "output path")
 		ops   = flag.Int("ops", 20, "cycle-loop measurement chunks")
 		quick = flag.Bool("quick", false, "8-workload suite and fewer chunks")
+		gate  = flag.String("gate", "", "compare against this recorded BENCH_core.json and exit nonzero on a >5% sim MIPS drop")
 	)
 	flag.Parse()
 
@@ -488,6 +572,30 @@ func main() {
 			r.Regions, r.WallSeconds, r.Speedup, r.IPC)
 	}
 
+	// Sampling section. The speedup row keeps its paper-scale region even
+	// in quick mode: the 10x floor only exists when the measured region
+	// dwarfs the fixed per-unit warmup cost, so shrinking it would measure
+	// nothing. The sampled suite shrinks like the other suite passes.
+	sampWarm, sampMeasure := uint64(100_000), uint64(100_000_000)
+	suiteSampMeasure := uint64(20_000_000)
+	if *quick {
+		suiteSampMeasure = 4_000_000
+	}
+	fmt.Printf("fvpbench: sampled vs full detail (%s, %d insts)...\n", ffWorkload, sampMeasure)
+	sampRun := measureSampledRun(ffWorkload, sampWarm, sampMeasure, 16, 2_000)
+	fmt.Printf("  full %.1fs vs sampled %.1fs: %.1fx, IPC %.4f vs %.4f ±%.1f%% (err %+.1f%%)\n",
+		sampRun.FullWallSeconds, sampRun.SampledWallSeconds, sampRun.Speedup,
+		sampRun.FullIPC, sampRun.SampledIPC, sampRun.IPCRelCI*100, sampRun.IPCError*100)
+
+	sampOpt := opt
+	sampOpt.WarmupInsts, sampOpt.MeasureInsts = sampWarm, suiteSampMeasure
+	sampOpt.Sampling = harness.Sampling{Units: 16, UnitInsts: 2_000, Seed: 1}
+	fmt.Printf("fvpbench: sampled suite sweep (%d workloads x {baseline, FVP}, %d insts each)...\n",
+		len(ws), suiteSampMeasure)
+	suiteSampled := measureSuite(ws, sampOpt, false)
+	fmt.Printf("  %.2f sim MIPS aggregate, geomean FVP speedup %.4f, %.1fs wall\n",
+		suiteSampled.SimMIPS, suiteSampled.GeomeanFVP, suiteSampled.WallSeconds)
+
 	storeOps := 400
 	if *quick {
 		storeOps = 100
@@ -534,6 +642,7 @@ func main() {
 		SuiteFunctional:    suiteFun,
 		SuiteWarmupSpeedup: suiteSpeedup,
 		ParallelRegions:    regions,
+		Sampling:           SamplingSection{SpeedupVsDetail: sampRun, Suite: suiteSampled},
 		Store:              storeRows,
 
 		Suite: suite,
@@ -549,6 +658,60 @@ func main() {
 	}
 	fmt.Printf("fvpbench: wrote %s (%.2fx vs pre-scheduler reference, allocs %.0fx lower)\n",
 		*out, rep.SpeedupVsReference, rep.AllocsReduction)
+
+	if *gate != "" {
+		if err := checkGate(*gate, rep); err != nil {
+			fatalf("gate: %v", err)
+		}
+	}
+}
+
+// gateDropTolerance is how far a throughput number may fall below the
+// recorded baseline before -gate fails the run.
+const gateDropTolerance = 0.05
+
+// checkGate compares the fresh measurement's suite throughputs against a
+// recorded artifact. Only ratios of like measurements are gated (both
+// sides must use the same mode — the checked-in baseline is regenerated by
+// the same CI recipe that gates against it), and only a drop beyond the
+// tolerance fails; a baseline without a section (older schema) skips that
+// comparison.
+func checkGate(path string, rep Report) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %v", path, err)
+	}
+	checks := []struct {
+		name     string
+		got, ref float64
+	}{
+		{"suite.sim_mips", rep.Suite.SimMIPS, base.Suite.SimMIPS},
+		{"suite_functional.sim_mips", rep.SuiteFunctional.SimMIPS, base.SuiteFunctional.SimMIPS},
+		{"sampling.suite.sim_mips", rep.Sampling.Suite.SimMIPS, base.Sampling.Suite.SimMIPS},
+	}
+	failed := false
+	for _, c := range checks {
+		if c.ref <= 0 {
+			fmt.Printf("fvpbench: gate %-26s skipped (not in baseline)\n", c.name)
+			continue
+		}
+		ratio := c.got / c.ref
+		status := "ok"
+		if ratio < 1-gateDropTolerance {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("fvpbench: gate %-26s %8.2f vs baseline %8.2f (%+.1f%%) %s\n",
+			c.name, c.got, c.ref, (ratio-1)*100, status)
+	}
+	if failed {
+		return fmt.Errorf("sim MIPS dropped more than %.0f%% below %s", gateDropTolerance*100, path)
+	}
+	return nil
 }
 
 func maxf(a, b float64) float64 {

@@ -2,7 +2,12 @@
 // an HTTP/JSON API over a bounded job queue, a worker pool, and a
 // content-addressed result cache with single-flight deduplication, so
 // design-space sweeps from many clients share one simulation per unique
-// (workload, machine, predictor, run-length) point.
+// (workload, machine, predictor, run-length, sampling-plan) point.
+// Sampled runs — specs carrying sample_units or sample_target_ci — are
+// first-class: the sampling plan is part of the cache key (a sampled
+// estimate never masquerades as a full-detail result), the returned
+// metrics carry the confidence intervals, and the detailed fraction of
+// the fleet's sampled work is exported as fvpd_sim_sampled_insts_total.
 //
 // Usage:
 //

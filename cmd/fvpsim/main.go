@@ -9,6 +9,8 @@
 //	fvpsim -workload omnetpp -predictor fvp -trace trace.json
 //	fvpsim -workload omnetpp -predictor fvp -intervals ipc.json
 //	fvpsim -workload omnetpp -predictor fvp -warmup-mode functional -regions 4
+//	fvpsim -workload omnetpp -predictor fvp -insts 10000000 -sample-units 16
+//	fvpsim -workload omnetpp -predictor fvp -insts 10000000 -sample-ci 0.02
 //	fvpsim -suite -predictor fvp -workload omnetpp,mcf,gcc
 //	fvpsim -server http://localhost:8080 -workload omnetpp -predictor fvp
 //	fvpsim -list
@@ -27,6 +29,14 @@
 // interval telemetry (IPC, coverage, stall breakdown, occupancies over
 // time) is written as a JSON array. Both are local-only: they read the
 // simulated machine directly and cannot cross the fvpd wire.
+//
+// With -sample-units or -sample-ci the measured region is estimated by
+// SMARTS-style statistical sampling instead of simulated in full detail:
+// K systematic sample units run in detail (in parallel, up to -parallel
+// workers) and the gaps fast-forward functionally. The output then carries
+// a 95% confidence interval on IPC; -sample-ci 0.02 grows the unit count
+// until the interval is within ±2%. Sampling pays off when -insts is
+// paper-scale (millions) — see EXPERIMENTS.md for interpreting the CI.
 package main
 
 import (
@@ -50,7 +60,10 @@ func main() {
 		insts      = flag.Uint64("insts", 300_000, "measured instructions")
 		warmMode   = flag.String("warmup-mode", "", "detailed | functional (default detailed; functional fast-forwards warmup at O(insts))")
 		regions    = flag.Int("regions", 0, "split the measured region into this many checkpointed slices simulated in parallel (0/1 = monolithic)")
-		parallel   = flag.Int("parallel", 0, "concurrent region workers (with -regions) or concurrent workloads (with -suite); 0 = GOMAXPROCS")
+		parallel   = flag.Int("parallel", 0, "concurrent region/sample-unit workers (with -regions or -sample-units) or concurrent workloads (with -suite); 0 = GOMAXPROCS")
+		sampUnits  = flag.Int("sample-units", 0, "estimate the measured region from this many detailed sample units instead of full detail (0 = off)")
+		sampCI     = flag.Float64("sample-ci", 0, "target relative 95% CI half-width on IPC, e.g. 0.02 for ±2%; grows the unit count until met (0 = off)")
+		sampSeed   = flag.Uint64("sample-seed", 0, "sampling phase seed (results are deterministic per seed)")
 		compare    = flag.Bool("compare", false, "also run the baseline and report speedup")
 		suite      = flag.Bool("suite", false, "run baseline-vs-predictor over the workloads and report per-workload speedups")
 		jsonOut    = flag.Bool("json", false, "emit the result as one JSON report row")
@@ -78,19 +91,22 @@ func main() {
 	ctx := context.Background()
 
 	if *suite {
-		runSuite(ctx, *wl, *machine, *pred, *warmup, *insts, *warmMode, *parallel)
+		runSuite(ctx, *wl, *machine, *pred, *warmup, *insts, *warmMode, *parallel, *sampUnits, *sampCI, *sampSeed)
 		return
 	}
 
 	spec := fvp.RunSpec{
-		Workload:      *wl,
-		Machine:       fvp.Machine(*machine),
-		Predictor:     fvp.Predictor(*pred),
-		WarmupInsts:   *warmup,
-		MeasureInsts:  *insts,
-		WarmupMode:    *warmMode,
-		Regions:       *regions,
-		RegionWorkers: *parallel,
+		Workload:       *wl,
+		Machine:        fvp.Machine(*machine),
+		Predictor:      fvp.Predictor(*pred),
+		WarmupInsts:    *warmup,
+		MeasureInsts:   *insts,
+		WarmupMode:     *warmMode,
+		Regions:        *regions,
+		RegionWorkers:  *parallel,
+		SampleUnits:    *sampUnits,
+		SampleTargetCI: *sampCI,
+		SampleSeed:     *sampSeed,
 	}
 
 	run := fvp.RunContext
@@ -163,10 +179,12 @@ func main() {
 			c.Pred.Coverage*100, c.Pred.Accuracy*100, c.Pred.VPFlushes)
 		fmt.Printf("  loads by level (base) L1=%d L2=%d LLC=%d MEM=%d\n",
 			c.Base.LoadsByLevel[0], c.Base.LoadsByLevel[1], c.Base.LoadsByLevel[2], c.Base.LoadsByLevel[3])
+		printSampling(m, *insts)
 		return
 	}
 	fmt.Printf("%s on %s (%s): IPC=%.3f cycles=%d insts=%d loads=%d\n",
 		*wl, *machine, *pred, m.IPC, m.Cycles, m.Insts, m.Loads)
+	printSampling(m, *insts)
 	fmt.Printf("  coverage %.1f%% accuracy %.2f%% vp-flushes %d branch-mispredicts %d forwards %d\n",
 		m.Coverage*100, m.Accuracy*100, m.VPFlushes, m.BranchMispredicts, m.Forwards)
 	fmt.Printf("  loads by level L1=%d L2=%d LLC=%d MEM=%d\n",
@@ -182,15 +200,33 @@ func main() {
 	fmt.Println()
 }
 
+// printSampling appends the sampled run's confidence interval to the
+// human-readable output.
+func printSampling(m fvp.Metrics, measure uint64) {
+	s := m.Sampling
+	if s == nil {
+		return
+	}
+	fmt.Printf("  sampled: %d units × %d insts (%d of %d in detail), IPC ±%.2f%% (95%% CI)",
+		s.Units, s.UnitInsts, s.SampledInsts, measure, s.IPC.RelCI*100)
+	if s.TargetCI > 0 && !s.Converged {
+		fmt.Printf("  [NOT CONVERGED to ±%.2f%% after %d rounds]", s.TargetCI*100, s.Rounds)
+	}
+	fmt.Println()
+}
+
 // runSuite is the -suite mode: baseline-vs-predictor across workloads.
-func runSuite(ctx context.Context, wl, machine, pred string, warmup, insts uint64, warmMode string, parallel int) {
+func runSuite(ctx context.Context, wl, machine, pred string, warmup, insts uint64, warmMode string, parallel, sampUnits int, sampCI float64, sampSeed uint64) {
 	spec := fvp.SuiteSpec{
-		Machine:      fvp.Machine(machine),
-		Predictor:    fvp.Predictor(pred),
-		WarmupInsts:  warmup,
-		MeasureInsts: insts,
-		WarmupMode:   warmMode,
-		Parallelism:  parallel,
+		Machine:        fvp.Machine(machine),
+		Predictor:      fvp.Predictor(pred),
+		WarmupInsts:    warmup,
+		MeasureInsts:   insts,
+		WarmupMode:     warmMode,
+		Parallelism:    parallel,
+		SampleUnits:    sampUnits,
+		SampleTargetCI: sampCI,
+		SampleSeed:     sampSeed,
 	}
 	if wl != "" && wl != "all" {
 		spec.Workloads = strings.Split(wl, ",")
@@ -199,10 +235,19 @@ func runSuite(ctx context.Context, wl, machine, pred string, warmup, insts uint6
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("%-18s %-10s %10s %10s %9s %9s\n", "workload", "category", "base IPC", "pred IPC", "speedup", "coverage")
+	sampled := sampUnits != 0 || sampCI != 0
+	fmt.Printf("%-18s %-10s %10s %10s %9s %9s", "workload", "category", "base IPC", "pred IPC", "speedup", "coverage")
+	if sampled {
+		fmt.Printf(" %9s", "ipc CI")
+	}
+	fmt.Println()
 	for _, c := range cs {
-		fmt.Printf("%-18s %-10s %10.3f %10.3f %+8.2f%% %8.1f%%\n",
+		fmt.Printf("%-18s %-10s %10.3f %10.3f %+8.2f%% %8.1f%%",
 			c.Workload, c.Category, c.Base.IPC, c.Pred.IPC, (c.Speedup()-1)*100, c.Pred.Coverage*100)
+		if sampled && c.Pred.Sampling != nil {
+			fmt.Printf("  ±%.2f%%", c.Pred.Sampling.IPC.RelCI*100)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("geomean speedup %+.2f%%\n", (fvp.Geomean(cs)-1)*100)
 }

@@ -27,6 +27,7 @@ import (
 	"fvp/internal/harness"
 	"fvp/internal/ooo"
 	"fvp/internal/prog"
+	"fvp/internal/sample"
 	"fvp/internal/suggest"
 	"fvp/internal/telemetry"
 	"fvp/internal/vp"
@@ -262,7 +263,33 @@ type RunSpec struct {
 	// RegionWorkers bounds how many regions simulate concurrently
 	// (0 = GOMAXPROCS). A local resource knob: it never changes results,
 	// so it is not part of the wire schema or the result-cache key.
+	// Sampled runs reuse it to bound concurrent sample units.
 	RegionWorkers int `json:"-"`
+
+	// SampleUnits, when set (or when SampleTargetCI is set), switches the
+	// run to SMARTS-style sampled simulation: only SampleUnits systematic
+	// sample units of the measured region are simulated in detail, the
+	// rest is fast-forwarded, and Metrics carries a confidence interval
+	// for the population estimate. Minimum 2 (a single unit has no
+	// variance estimate); 0 with SampleTargetCI set starts auto-tuning at
+	// the default unit count.
+	SampleUnits int `json:"sample_units,omitempty"`
+	// SampleUnitInsts is the detailed length of each sample unit
+	// (0 = 1000 instructions).
+	SampleUnitInsts uint64 `json:"sample_unit_insts,omitempty"`
+	// SampleWarmupInsts is the per-unit functional warmup window
+	// (0 = 200k instructions — see DESIGN.md on why units need
+	// long-history warming).
+	SampleWarmupInsts uint64 `json:"sample_warmup_insts,omitempty"`
+	// SampleTargetCI, when > 0, auto-tunes the unit count: it doubles
+	// until the IPC estimate's relative 95% CI half-width is at most this
+	// (e.g. 0.02 for ±2%) or SampleMaxUnits is reached.
+	SampleTargetCI float64 `json:"sample_target_ci,omitempty"`
+	// SampleMaxUnits caps auto-tune growth (0 = 128).
+	SampleMaxUnits int `json:"sample_max_units,omitempty"`
+	// SampleSeed selects the systematic phase offset; results are
+	// deterministic for a fixed seed.
+	SampleSeed uint64 `json:"sample_seed,omitempty"`
 
 	// Observer, if non-nil, streams interval metrics from the measured
 	// region (attached after warmup). It is a local hook, not part of the
@@ -300,6 +327,20 @@ func (s RunSpec) Normalized() RunSpec {
 	if s.Regions < 1 {
 		s.Regions = 1
 	}
+	if s.SampleUnits != 0 || s.SampleTargetCI != 0 {
+		if s.SampleUnits == 0 {
+			s.SampleUnits = sample.DefaultUnits
+		}
+		if s.SampleUnitInsts == 0 {
+			s.SampleUnitInsts = sample.DefaultUnitInsts
+		}
+		if s.SampleWarmupInsts == 0 {
+			s.SampleWarmupInsts = harness.DefaultSampleWarmupInsts
+		}
+		if s.SampleMaxUnits == 0 {
+			s.SampleMaxUnits = sample.DefaultMaxUnits
+		}
+	}
 	return s
 }
 
@@ -317,6 +358,9 @@ const (
 	// overhead dominates and the stitched result stops resembling the
 	// monolithic run.
 	MaxRegions = 64
+	// MaxSampleUnits caps RunSpec.SampleUnits and SampleMaxUnits: beyond
+	// this, per-unit warmup work dwarfs the detailed savings.
+	MaxSampleUnits = 1024
 )
 
 // WarmupModes lists the accepted RunSpec.WarmupMode values, for CLIs and
@@ -390,6 +434,62 @@ func Validate(spec RunSpec) error {
 			}
 		}
 	}
+	return validateSampling(spec)
+}
+
+// validateSampling checks the sample_* spec fields (no-op when sampling is
+// disabled). The structural rules mirror harness.Options.Validate so bad
+// requests are rejected at the service boundary, before queueing.
+func validateSampling(spec RunSpec) error {
+	if spec.SampleUnits == 0 && spec.SampleTargetCI == 0 {
+		return nil
+	}
+	if spec.SampleUnits < 0 || spec.SampleUnits == 1 {
+		return &InvalidSpecError{
+			Field:  "sample_units",
+			Reason: "at least two sample units are needed for a variance estimate",
+		}
+	}
+	if spec.SampleUnits > MaxSampleUnits {
+		return &InvalidSpecError{Field: "sample_units", Value: uint64(spec.SampleUnits), Limit: MaxSampleUnits}
+	}
+	if spec.SampleTargetCI < 0 || spec.SampleTargetCI >= 1 {
+		return &InvalidSpecError{
+			Field:  "sample_target_ci",
+			Reason: fmt.Sprintf("relative CI target %v outside [0, 1)", spec.SampleTargetCI),
+		}
+	}
+	if spec.SampleMaxUnits < 0 {
+		return &InvalidSpecError{Field: "sample_max_units", Reason: "unit cap < 0"}
+	}
+	if spec.SampleMaxUnits > MaxSampleUnits {
+		return &InvalidSpecError{Field: "sample_max_units", Value: uint64(spec.SampleMaxUnits), Limit: MaxSampleUnits}
+	}
+	if spec.SampleUnitInsts > MaxMeasureInsts {
+		return &InvalidSpecError{Field: "sample_unit_insts", Value: spec.SampleUnitInsts, Limit: MaxMeasureInsts}
+	}
+	if spec.SampleWarmupInsts > MaxWarmupInsts {
+		return &InvalidSpecError{Field: "sample_warmup_insts", Value: spec.SampleWarmupInsts, Limit: MaxWarmupInsts}
+	}
+	n := spec.Normalized()
+	if budget := uint64(n.SampleUnits) * n.SampleUnitInsts; budget > n.MeasureInsts {
+		return &InvalidSpecError{
+			Field: "sample_units", Value: budget, Limit: n.MeasureInsts,
+			Reason: "detailed budget sample_units*sample_unit_insts exceeds the measured region",
+		}
+	}
+	if spec.Regions > 1 {
+		return &InvalidSpecError{
+			Field:  "sample_units",
+			Reason: "sampling and region-parallel runs are mutually exclusive",
+		}
+	}
+	if spec.Observer != nil || spec.Tracer != nil {
+		return &InvalidSpecError{
+			Field:  "sample_units",
+			Reason: "per-interval observation requires a contiguous (non-sampled) run",
+		}
+	}
 	return nil
 }
 
@@ -434,6 +534,44 @@ type Metrics struct {
 	// meters of the fast-forward path. Both 0 for purely detailed runs.
 	FFInsts       uint64  `json:"ff_insts,omitempty"`
 	FFInstsPerSec float64 `json:"ff_insts_per_sec,omitempty"`
+	// Sampling is the statistical summary of a sampled run (nil for
+	// full-detail runs). For sampled runs the point metrics above are the
+	// instruction-weighted stitch of the sample units.
+	Sampling *SamplingMetrics `json:"sampling,omitempty"`
+}
+
+// SampleEstimate is the population estimate of one metric from per-unit
+// observations: the mean, its standard error, and the 95% confidence
+// interval half-width in absolute and relative terms.
+type SampleEstimate struct {
+	Mean   float64 `json:"mean"`
+	StdErr float64 `json:"stderr"`
+	CIHalf float64 `json:"ci_half"`
+	RelCI  float64 `json:"rel_ci"`
+}
+
+// SamplingMetrics summarizes a sampled run for the wire schema: the final
+// plan shape, the auto-tune outcome, and per-metric confidence intervals.
+type SamplingMetrics struct {
+	// Units is the final sample-unit count, UnitInsts the detailed length
+	// of each, WarmupInsts the per-unit warmup window, Seed the systematic
+	// phase seed.
+	Units       int    `json:"units"`
+	UnitInsts   uint64 `json:"unit_insts"`
+	WarmupInsts uint64 `json:"warmup_insts"`
+	Seed        uint64 `json:"seed"`
+	// TargetCI echoes the auto-tune target (0 = fixed unit count); Rounds
+	// counts auto-tune iterations; Converged is false only when the unit
+	// cap was hit with the IPC interval still wider than TargetCI.
+	TargetCI  float64 `json:"target_ci,omitempty"`
+	Rounds    int     `json:"rounds"`
+	Converged bool    `json:"converged"`
+	// SampledInsts counts instructions simulated in detail across units.
+	SampledInsts uint64 `json:"sampled_insts"`
+	// IPC, Coverage and Accuracy are the per-unit population estimates.
+	IPC      SampleEstimate `json:"ipc"`
+	Coverage SampleEstimate `json:"coverage"`
+	Accuracy SampleEstimate `json:"accuracy"`
 }
 
 // CycleBucketNames labels Metrics.CycleBreakdown.
@@ -463,11 +601,43 @@ func (s RunSpec) options() harness.Options {
 	if s.RegionWorkers > 0 {
 		opt.RegionWorkers = s.RegionWorkers
 	}
+	if s.SampleUnits != 0 || s.SampleTargetCI != 0 {
+		opt.Sampling = harness.Sampling{
+			Units:       s.SampleUnits,
+			UnitInsts:   s.SampleUnitInsts,
+			WarmupInsts: s.SampleWarmupInsts,
+			TargetCI:    s.SampleTargetCI,
+			MaxUnits:    s.SampleMaxUnits,
+			Seed:        s.SampleSeed,
+		}
+	}
 	return opt
 }
 
+// toEstimate converts the internal estimator form to the wire form.
+func toEstimate(m sample.Metric) SampleEstimate {
+	return SampleEstimate{Mean: m.Mean, StdErr: m.StdErr, CIHalf: m.CIHalf, RelCI: m.RelCI}
+}
+
 func toMetrics(r harness.Result) Metrics {
+	var sm *SamplingMetrics
+	if sr := r.Sampling; sr != nil {
+		sm = &SamplingMetrics{
+			Units:        sr.PlannedUnits,
+			UnitInsts:    sr.UnitInsts,
+			WarmupInsts:  sr.WarmupInsts,
+			Seed:         sr.Seed,
+			TargetCI:     sr.TargetCI,
+			Rounds:       sr.Rounds,
+			Converged:    sr.Converged,
+			SampledInsts: sr.SampledInsts,
+			IPC:          toEstimate(sr.IPC),
+			Coverage:     toEstimate(sr.Coverage),
+			Accuracy:     toEstimate(sr.Accuracy),
+		}
+	}
 	return Metrics{
+		Sampling:          sm,
 		IPC:               r.IPC,
 		Coverage:          r.Coverage,
 		Accuracy:          r.Accuracy,
@@ -604,6 +774,11 @@ func ToRecord(spec RunSpec, base *Metrics, pred Metrics) harness.ReportRecord {
 		WarmupMode:    pred.WarmupMode,
 		FFInstsPerSec: pred.FFInstsPerSec,
 	}
+	if sm := pred.Sampling; sm != nil {
+		rec.SampleUnits = sm.Units
+		rec.SampledInsts = sm.SampledInsts
+		rec.IPCRelCI = sm.IPC.RelCI
+	}
 	if base != nil {
 		rec.BaseIPC = base.IPC
 		if base.IPC > 0 {
@@ -631,6 +806,13 @@ type SuiteSpec struct {
 	Workloads []string `json:"workloads,omitempty"`
 	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int `json:"parallelism,omitempty"`
+	// SampleUnits/SampleUnitInsts/SampleTargetCI/SampleSeed apply
+	// SMARTS-style sampled simulation to every run of the sweep (see the
+	// RunSpec fields of the same names).
+	SampleUnits     int     `json:"sample_units,omitempty"`
+	SampleUnitInsts uint64  `json:"sample_unit_insts,omitempty"`
+	SampleTargetCI  float64 `json:"sample_target_ci,omitempty"`
+	SampleSeed      uint64  `json:"sample_seed,omitempty"`
 }
 
 // CompareSuiteContext runs baseline and predictor over the suite's
@@ -668,8 +850,14 @@ func CompareSuiteContext(ctx context.Context, spec SuiteSpec) ([]Comparison, err
 			ws[i] = w
 		}
 	}
-	opt := RunSpec{WarmupInsts: spec.WarmupInsts, MeasureInsts: spec.MeasureInsts,
-		WarmupMode: spec.WarmupMode}.options()
+	runSpec := RunSpec{WarmupInsts: spec.WarmupInsts, MeasureInsts: spec.MeasureInsts,
+		WarmupMode:  spec.WarmupMode,
+		SampleUnits: spec.SampleUnits, SampleUnitInsts: spec.SampleUnitInsts,
+		SampleTargetCI: spec.SampleTargetCI, SampleSeed: spec.SampleSeed}
+	if err := validateSampling(runSpec); err != nil {
+		return nil, err
+	}
+	opt := runSpec.options()
 	opt.Parallelism = spec.Parallelism
 	pairs, err := harness.RunComparisonCtx(ctx, ws, cfg, pf, opt)
 	if err != nil {

@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"math"
+
+	"fvp/internal/sample"
 )
 
 // WarmupMode selects how the warmup region is simulated.
@@ -90,6 +92,54 @@ func (o Options) Validate() error {
 				Field:  "Regions",
 				Reason: "per-interval observation requires a single region",
 			}
+		}
+	}
+	if err := o.validateSampling(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateSampling rejects degenerate sampling shapes: a unit count below
+// the statistical minimum, a nonsensical CI target, a detailed budget that
+// exceeds the population, and combinations with features that assume a
+// contiguous measured stream.
+func (o Options) validateSampling() error {
+	s := o.Sampling
+	if !s.enabled() {
+		return nil
+	}
+	if s.Units < 0 || (s.Units > 0 && s.Units < sample.MinUnits) {
+		return &InvalidOptionsError{
+			Field: "Sampling.Units", Value: uint64(s.Units), Limit: sample.MinUnits,
+			Reason: "at least two sample units are needed for a variance estimate",
+		}
+	}
+	if s.TargetCI < 0 || s.TargetCI >= 1 {
+		return &InvalidOptionsError{
+			Field:  "Sampling.TargetCI",
+			Reason: fmt.Sprintf("relative CI target %v outside [0, 1)", s.TargetCI),
+		}
+	}
+	if s.MaxUnits < 0 {
+		return &InvalidOptionsError{Field: "Sampling.MaxUnits", Reason: "unit cap < 0"}
+	}
+	if budget := uint64(s.units()) * s.unitInsts(); budget > o.MeasureInsts {
+		return &InvalidOptionsError{
+			Field: "Sampling.Units", Value: budget, Limit: o.MeasureInsts,
+			Reason: "detailed budget units*unit_insts exceeds the measured region",
+		}
+	}
+	if o.Regions > 1 {
+		return &InvalidOptionsError{
+			Field:  "Sampling",
+			Reason: "sampling and region-parallel runs are mutually exclusive",
+		}
+	}
+	if o.OnSample != nil || o.Tracer != nil {
+		return &InvalidOptionsError{
+			Field:  "Sampling",
+			Reason: "per-interval observation requires a contiguous (non-sampled) run",
 		}
 	}
 	return nil

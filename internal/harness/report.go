@@ -39,6 +39,14 @@ type ReportRecord struct {
 	// runs).
 	WarmupMode    string  `json:"warmup_mode,omitempty"`
 	FFInstsPerSec float64 `json:"ff_insts_per_sec,omitempty"`
+
+	// Sampled-run statistics of the predictor run (all zero for full-detail
+	// runs): the final unit count, the detailed instruction budget actually
+	// measured, and the relative 95% CI half-width of the per-unit IPC
+	// estimate.
+	SampleUnits  int     `json:"sample_units,omitempty"`
+	SampledInsts uint64  `json:"sampled_insts,omitempty"`
+	IPCRelCI     float64 `json:"ipc_rel_ci,omitempty"`
 }
 
 // Records flattens comparison pairs into report rows.
@@ -77,6 +85,11 @@ func Records(pairs []Pair) []ReportRecord {
 		if p.Pred.FFSeconds > 0 {
 			out[i].FFInstsPerSec = float64(p.Pred.FFInsts) / p.Pred.FFSeconds
 		}
+		if sr := p.Pred.Sampling; sr != nil {
+			out[i].SampleUnits = sr.PlannedUnits
+			out[i].SampledInsts = sr.SampledInsts
+			out[i].IPCRelCI = sr.IPC.RelCI
+		}
 	}
 	return out
 }
@@ -91,15 +104,15 @@ func WriteJSON(w io.Writer, recs []ReportRecord) error {
 // WriteCSV emits records as a CSV table with a header row.
 func WriteCSV(w io.Writer, recs []ReportRecord) error {
 	if _, err := fmt.Fprintln(w,
-		"workload,category,core,predictor,base_ipc,pred_ipc,speedup,coverage,accuracy,vp_flushes,retiring,mem_stall,frontend,skipped_cycles,skip_ratio,warmup_mode,ff_insts_per_sec"); err != nil {
+		"workload,category,core,predictor,base_ipc,pred_ipc,speedup,coverage,accuracy,vp_flushes,retiring,mem_stall,frontend,skipped_cycles,skip_ratio,warmup_mode,ff_insts_per_sec,sample_units,sampled_insts,ipc_rel_ci"); err != nil {
 		return err
 	}
 	for _, r := range recs {
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%.4f,%.4f,%.4f,%d,%.4f,%s,%.0f\n",
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%.4f,%.4f,%.4f,%d,%.4f,%s,%.0f,%d,%d,%.4f\n",
 			r.Workload, r.Category, r.Core, r.Predictor, r.BaseIPC, r.PredIPC,
 			r.Speedup, r.Coverage, r.Accuracy, r.VPFlushes,
 			r.Retiring, r.MemStall, r.Frontend, r.SkippedCycles, r.SkipRatio,
-			r.WarmupMode, r.FFInstsPerSec); err != nil {
+			r.WarmupMode, r.FFInstsPerSec, r.SampleUnits, r.SampledInsts, r.IPCRelCI); err != nil {
 			return err
 		}
 	}

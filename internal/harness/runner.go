@@ -142,6 +142,9 @@ type Result struct {
 	// Regions holds the per-region results of a region-parallel run
 	// (nil when Options.Regions <= 1).
 	Regions []RegionResult
+	// Sampling holds the statistical summary of a sampled run
+	// (nil when Options.Sampling is disabled).
+	Sampling *SamplingReport
 }
 
 // Options controls run length.
@@ -186,8 +189,16 @@ type Options struct {
 	// cold structures).
 	Regions int
 	// RegionWorkers bounds how many regions simulate concurrently
-	// (0 = GOMAXPROCS).
+	// (0 = GOMAXPROCS); sampled runs reuse it to bound concurrent units.
 	RegionWorkers int
+
+	// Sampling, when enabled, replaces full-detail measurement with
+	// SMARTS-style sampled simulation: only K systematic sample units are
+	// detail-simulated and the Result carries a SamplingReport with
+	// confidence intervals. Mutually exclusive with Regions > 1 and with
+	// observation hooks (OnSample / Tracer), which assume a contiguous
+	// measured stream.
+	Sampling Sampling
 }
 
 // DefaultOptions is sized so predictors reach steady state while a full
@@ -272,6 +283,9 @@ func RunOne(w workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Options
 func RunOneCtx(ctx context.Context, w workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Options) (Result, error) {
 	if err := opt.Validate(); err != nil {
 		return Result{}, err
+	}
+	if opt.Sampling.enabled() {
+		return runSampledCtx(ctx, w, coreCfg, pf, opt)
 	}
 	if opt.regionCount() > 1 {
 		return runRegionsCtx(ctx, w, coreCfg, pf, opt)

@@ -1,0 +1,306 @@
+package harness
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"fvp/internal/ooo"
+	"fvp/internal/prog"
+	"fvp/internal/sample"
+	"fvp/internal/vp"
+	"fvp/internal/workload"
+)
+
+// DefaultSampleWarmupInsts is the per-unit warmup window of a sampled run
+// when Sampling.WarmupInsts is 0. Each unit restores an architectural
+// checkpoint into a cold machine, so the warmup must rebuild not just
+// caches but the long-history structures — BTB and value tables spanning
+// a workload's whole handler working set — whose time constants are far
+// longer than a unit. Empirically the sampled IPC converges on the
+// full-detail IPC at ~200k warmed instructions across the golden matrix
+// (shorter windows leave a systematic bias on the big-footprint
+// workloads); the window is clamped near the stream start. Because this
+// cost is per-unit and fixed, sampling pays off when MeasureInsts is much
+// larger than Units × (WarmupInsts + UnitInsts) — paper-scale regions.
+const DefaultSampleWarmupInsts = 200_000
+
+// Sampling configures SMARTS-style sampled simulation of the measured
+// region: instead of detail-simulating all MeasureInsts instructions, K
+// sample units at systematic positions are simulated in detail (each
+// restored from an architectural checkpoint and re-warmed), the gaps are
+// covered by the functional checkpoint scan, and the per-unit results are
+// aggregated into a population estimate with a 95% confidence interval.
+// The zero value disables sampling.
+type Sampling struct {
+	// Units is the sample-unit count K. 0 with a TargetCI set starts the
+	// auto-tune loop at sample.DefaultUnits; 0 without one disables
+	// sampling. Minimum sample.MinUnits (a single unit has no variance
+	// estimate).
+	Units int
+	// UnitInsts is the detailed length of each unit
+	// (0 = sample.DefaultUnitInsts).
+	UnitInsts uint64
+	// WarmupInsts is the per-unit warmup run before each unit's measured
+	// slice — functional bulk plus detailed tail, exactly like a
+	// WarmupFunctional run's warmup (0 = DefaultSampleWarmupInsts).
+	WarmupInsts uint64
+	// TargetCI, when > 0, auto-tunes: the unit count doubles until the
+	// IPC estimate's relative 95% CI half-width is <= TargetCI (e.g. 0.02
+	// for ±2%) or MaxUnits is reached.
+	TargetCI float64
+	// MaxUnits caps auto-tune growth (0 = sample.DefaultMaxUnits). The cap
+	// is additionally clamped to MeasureInsts/UnitInsts.
+	MaxUnits int
+	// Seed selects the systematic phase: units sit at the same
+	// seed-derived offset within each frame. Results are deterministic for
+	// a fixed Seed regardless of worker count.
+	Seed uint64
+}
+
+// enabled reports whether the options request a sampled run.
+func (s Sampling) enabled() bool { return s.Units != 0 || s.TargetCI != 0 }
+
+// units resolves the starting unit count.
+func (s Sampling) units() int {
+	if s.Units == 0 {
+		return sample.DefaultUnits
+	}
+	return s.Units
+}
+
+// unitInsts resolves the per-unit detailed length.
+func (s Sampling) unitInsts() uint64 {
+	if s.UnitInsts == 0 {
+		return sample.DefaultUnitInsts
+	}
+	return s.UnitInsts
+}
+
+// warmupInsts resolves the per-unit warmup window.
+func (s Sampling) warmupInsts() uint64 {
+	if s.WarmupInsts == 0 {
+		return DefaultSampleWarmupInsts
+	}
+	return s.WarmupInsts
+}
+
+// SampleUnitResult is the measured outcome of one detailed sample unit.
+type SampleUnitResult struct {
+	// Index is the unit's plan position.
+	Index int
+	// StartSeq is the absolute dynamic-instruction position of the unit's
+	// first measured instruction (warmup region included).
+	StartSeq uint64
+	// WarmupInsts is the unit's actual warmup length (clamped near the
+	// stream start).
+	WarmupInsts uint64
+	// IPC is the unit's measured IPC.
+	IPC float64
+	// Stats and Meter cover the unit's measured slice only.
+	Stats ooo.RunStats
+	Meter vp.Meter
+	// FFInsts / FFSeconds are the unit's own functional-warmup costs
+	// (the shared checkpoint scan is accounted in the Result).
+	FFInsts   uint64
+	FFSeconds float64
+}
+
+// SamplingReport is the statistical summary attached to a sampled run's
+// Result. The point metrics on the Result itself (IPC, Stats, Meter) are
+// the instruction-weighted stitch of the units; the Metric fields here
+// carry the per-unit mean, standard error, and 95% CI the fidelity and
+// coverage gates consume.
+type SamplingReport struct {
+	// PlannedUnits, UnitInsts, WarmupInsts, Seed and TargetCI echo the
+	// plan of the final round.
+	PlannedUnits int
+	UnitInsts    uint64
+	WarmupInsts  uint64
+	Seed         uint64
+	TargetCI     float64
+	// Rounds counts auto-tune iterations (1 when TargetCI is 0).
+	Rounds int
+	// Converged is false only when auto-tune hit its unit cap with the
+	// IPC interval still wider than TargetCI.
+	Converged bool
+	// SampledInsts counts the instructions measured in detail across
+	// units — the detailed fraction is SampledInsts/MeasureInsts.
+	SampledInsts uint64
+	// IPC, Coverage and Accuracy are the per-unit population estimates.
+	IPC      sample.Metric
+	Coverage sample.Metric
+	Accuracy sample.Metric
+	// Units holds the final round's per-unit results, in plan order.
+	Units []SampleUnitResult
+}
+
+// runSampledCtx is the sampled path of RunOneCtx: one architectural pass
+// over the program takes a checkpoint at each planned unit's warmup start;
+// each unit is then restored, functionally warmed (with the standard
+// detailed tail) and detail-simulated on its own core, concurrently up to
+// RegionWorkers; the per-unit stats are stitched and estimated. When
+// TargetCI is set, sample.AutoTune re-plans with a doubled unit count
+// until the IPC interval meets the target.
+func runSampledCtx(ctx context.Context, w workload.Workload, coreCfg ooo.Config, pf PredFactory, opt Options) (Result, error) {
+	sp := opt.Sampling
+	p := w.Build()
+
+	var (
+		units     []SampleUnitResult
+		ffInsts   uint64
+		ffSeconds float64
+	)
+	round := func(plan sample.Plan) ([]float64, error) {
+		rs, scanInsts, scanSeconds, err := runSampleRound(ctx, p, coreCfg, pf, opt, plan)
+		if err != nil {
+			return nil, err
+		}
+		units = rs
+		ffInsts += scanInsts
+		ffSeconds += scanSeconds
+		values := make([]float64, len(rs))
+		for i, u := range rs {
+			values[i] = u.IPC
+			ffInsts += u.FFInsts
+			ffSeconds += u.FFSeconds
+		}
+		return values, nil
+	}
+
+	cfg := sample.Config{
+		MeasureInsts: opt.MeasureInsts,
+		Units:        sp.units(),
+		UnitInsts:    sp.unitInsts(),
+		Seed:         sp.Seed,
+	}
+	out, err := sample.AutoTune(cfg, sp.TargetCI, sp.MaxUnits, round)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var st ooo.RunStats
+	var mt vp.Meter
+	coverage := make([]float64, len(units))
+	accuracy := make([]float64, len(units))
+	for i := range units {
+		st = statsAdd(st, units[i].Stats)
+		mt = meterAdd(mt, units[i].Meter)
+		coverage[i] = units[i].Meter.Coverage()
+		accuracy[i] = units[i].Meter.Accuracy()
+	}
+
+	name := "baseline"
+	if pf != nil {
+		name = pf().Name()
+	}
+	return Result{
+		Workload:  w.Name,
+		Category:  w.Category,
+		Core:      coreCfg.Name,
+		Predictor: name,
+		// Sampled units always warm through the functional taps; record
+		// the path that actually ran rather than the (unused) run-level
+		// warmup mode.
+		WarmupMode: WarmupFunctional,
+		IPC:        st.IPC(),
+		Coverage:   mt.Coverage(),
+		Accuracy:   mt.Accuracy(),
+		Stats:      st,
+		Meter:      mt,
+		FFInsts:    ffInsts,
+		FFSeconds:  ffSeconds,
+		Sampling: &SamplingReport{
+			PlannedUnits: len(out.Plan.Units),
+			UnitInsts:    out.Plan.UnitInsts,
+			WarmupInsts:  sp.warmupInsts(),
+			Seed:         sp.Seed,
+			TargetCI:     sp.TargetCI,
+			Rounds:       out.Rounds,
+			Converged:    out.Converged,
+			SampledInsts: st.Retired,
+			IPC:          out.Metric,
+			Coverage:     sample.Estimate(coverage),
+			Accuracy:     sample.Estimate(accuracy),
+			Units:        units,
+		},
+	}, nil
+}
+
+// runSampleRound simulates one planned round: the checkpoint scan plus the
+// parallel per-unit detail simulations. It returns the per-unit results in
+// plan order along with the scan's fast-forward accounting.
+func runSampleRound(ctx context.Context, p *prog.Program, coreCfg ooo.Config, pf PredFactory, opt Options, plan sample.Plan) ([]SampleUnitResult, uint64, float64, error) {
+	warm := opt.Sampling.warmupInsts()
+
+	// Checkpoint scan: pure architectural execution visits each unit's
+	// warmup start in ascending order. Unit i's measured slice begins at
+	// absolute position WarmupInsts + Start_i; its warmup begins warm
+	// instructions earlier, clamped at the stream start (only reachable
+	// when the run-level warmup region is shorter than the unit warmup).
+	t0 := time.Now()
+	ex := prog.NewExec(p)
+	cps := make([]*prog.Checkpoint, len(plan.Units))
+	warms := make([]uint64, len(plan.Units))
+	for i, u := range plan.Units {
+		measureStart := opt.WarmupInsts + u.Start
+		warms[i] = warm
+		if warms[i] > measureStart {
+			warms[i] = measureStart
+		}
+		if at := measureStart - warms[i]; at > ex.Seq() {
+			ex.Run(at-ex.Seq(), nil)
+		}
+		cps[i] = ex.Checkpoint()
+	}
+	scanInsts := ex.Seq()
+	scanSeconds := time.Since(t0).Seconds()
+
+	workers := opt.RegionWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	units := make([]SampleUnitResult, len(plan.Units))
+	errs := make([]error, len(plan.Units))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range plan.Units {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var pred vp.Predictor
+			if pf != nil {
+				pred = pf()
+			}
+			unitOpt := opt
+			unitOpt.WarmupMode = WarmupFunctional
+			unitOpt.WarmupInsts = warms[i]
+			exU := cps[i].Restore()
+			seg, err := runSegmentCtx(ctx, coreCfg, pred, exU, cps[i].Memory(), p.WarmRanges, unitOpt, plan.Units[i].Len)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			units[i] = SampleUnitResult{
+				Index:       i,
+				StartSeq:    cps[i].Seq() + warms[i],
+				WarmupInsts: warms[i],
+				IPC:         seg.stats.IPC(),
+				Stats:       seg.stats,
+				Meter:       seg.meter,
+				FFInsts:     seg.ffInsts,
+				FFSeconds:   seg.ffSeconds,
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	return units, scanInsts, scanSeconds, nil
+}

@@ -137,6 +137,14 @@ func stripWallClock(r Result) Result {
 	for i := range r.Regions {
 		r.Regions[i].FFSeconds = 0
 	}
+	if r.Sampling != nil {
+		sr := *r.Sampling
+		sr.Units = append([]SampleUnitResult(nil), sr.Units...)
+		for i := range sr.Units {
+			sr.Units[i].FFSeconds = 0
+		}
+		r.Sampling = &sr
+	}
 	return r
 }
 

@@ -1,0 +1,77 @@
+package sample
+
+// RoundFunc simulates one planned round and returns the per-unit
+// observations of the driving metric (IPC for the harness), in plan-unit
+// order. It is called once per auto-tune iteration; implementations
+// typically stash their own richer per-unit results on the side and let
+// the loop see only the tuning metric.
+type RoundFunc func(Plan) ([]float64, error)
+
+// Outcome is the final state of an AutoTune run.
+type Outcome struct {
+	// Plan is the last planned round and Values its observations.
+	Plan   Plan
+	Values []float64
+	// Metric is the estimate over Values.
+	Metric Metric
+	// Rounds counts the simulated rounds (1 when no growth was needed).
+	Rounds int
+	// Converged reports whether the target was met (always true when no
+	// target was set). A false value means K hit its cap — either the
+	// configured MaxUnits or the population's capacity — with the interval
+	// still wider than asked.
+	Converged bool
+}
+
+// AutoTune runs the grow-K loop: plan, simulate, estimate, and — while the
+// relative 95% CI half-width of the observations exceeds targetRelCI —
+// double the unit count and repeat. targetRelCI <= 0 disables growth (one
+// round at cfg.Units). maxUnits caps growth (0 = DefaultMaxUnits); the cap
+// is additionally clamped to what the population can hold, so the loop
+// always terminates. Growth replans from scratch each round — with a
+// doubled K the frames halve, so prior units are not reusable — and total
+// work is dominated by the final round.
+func AutoTune(cfg Config, targetRelCI float64, maxUnits int, round RoundFunc) (Outcome, error) {
+	if cfg.Units < MinUnits {
+		cfg.Units = DefaultUnits
+	}
+	if cfg.UnitInsts == 0 {
+		cfg.UnitInsts = DefaultUnitInsts
+	}
+	if maxUnits <= 0 {
+		maxUnits = DefaultMaxUnits
+	}
+	if cap := int(cfg.MeasureInsts / cfg.UnitInsts); maxUnits > cap {
+		maxUnits = cap
+	}
+	if cfg.Units > maxUnits {
+		cfg.Units = maxUnits
+	}
+
+	var out Outcome
+	for {
+		plan, err := New(cfg)
+		if err != nil {
+			return Outcome{}, err
+		}
+		values, err := round(plan)
+		if err != nil {
+			return Outcome{}, err
+		}
+		out.Plan = plan
+		out.Values = values
+		out.Metric = Estimate(values)
+		out.Rounds++
+		if targetRelCI <= 0 || out.Metric.RelCI <= targetRelCI {
+			out.Converged = true
+			return out, nil
+		}
+		if cfg.Units >= maxUnits {
+			return out, nil // cap reached, interval still wide
+		}
+		cfg.Units *= 2
+		if cfg.Units > maxUnits {
+			cfg.Units = maxUnits
+		}
+	}
+}

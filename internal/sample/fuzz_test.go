@@ -1,0 +1,72 @@
+package sample
+
+import "testing"
+
+// FuzzSamplePlan drives the planner with arbitrary shapes and asserts the
+// Plan invariants the executor depends on: every unit in-bounds, units
+// sorted and pairwise non-overlapping, systematic spacing, and the lengths
+// summing to exactly the requested detailed budget (Units × UnitInsts).
+// Configs the planner rejects are skipped — the property under test is
+// that whatever New accepts is safe to execute.
+func FuzzSamplePlan(f *testing.F) {
+	f.Add(uint64(300_000), 8, uint64(1_000), uint64(0))
+	f.Add(uint64(100_000), 10, uint64(2_000), uint64(7))
+	f.Add(uint64(1_000), 2, uint64(500), uint64(42))
+	f.Add(uint64(17), 3, uint64(1), uint64(9))
+	f.Add(uint64(1<<40), 128, uint64(0), uint64(1<<63))
+	f.Fuzz(func(t *testing.T, measure uint64, units int, unitInsts, seed uint64) {
+		// Bound the unit count so the fuzzer spends its budget on shape
+		// diversity rather than allocating million-entry plans.
+		if units > 1<<16 {
+			t.Skip()
+		}
+		p, err := New(Config{MeasureInsts: measure, Units: units, UnitInsts: unitInsts, Seed: seed})
+		if err != nil {
+			t.Skip()
+		}
+		if len(p.Units) != units {
+			t.Fatalf("planned %d units, want %d", len(p.Units), units)
+		}
+		wantLen := unitInsts
+		if wantLen == 0 {
+			wantLen = DefaultUnitInsts
+		}
+		var budget uint64
+		prevEnd := uint64(0)
+		frame := measure / uint64(units)
+		for i, u := range p.Units {
+			if u.Index != i {
+				t.Fatalf("unit %d: Index = %d", i, u.Index)
+			}
+			if u.Len != wantLen {
+				t.Fatalf("unit %d: Len = %d, want %d", i, u.Len, wantLen)
+			}
+			if u.Start+u.Len > measure || u.Start+u.Len < u.Start {
+				t.Fatalf("unit %d: [%d, %d) out of the %d-inst population",
+					i, u.Start, u.Start+u.Len, measure)
+			}
+			if i > 0 && u.Start < prevEnd {
+				t.Fatalf("unit %d at %d overlaps previous end %d", i, u.Start, prevEnd)
+			}
+			if u.Start < uint64(i)*frame || u.Start+u.Len > uint64(i+1)*frame {
+				t.Fatalf("unit %d: [%d, %d) escapes its frame [%d, %d)",
+					i, u.Start, u.Start+u.Len, uint64(i)*frame, uint64(i+1)*frame)
+			}
+			prevEnd = u.Start + u.Len
+			budget += u.Len
+		}
+		if want := uint64(units) * wantLen; budget != want {
+			t.Fatalf("detailed budget = %d, want exactly %d", budget, want)
+		}
+		// Replanning the identical config must reproduce the plan bit-for-bit.
+		q, err := New(Config{MeasureInsts: measure, Units: units, UnitInsts: unitInsts, Seed: seed})
+		if err != nil {
+			t.Fatalf("replan failed: %v", err)
+		}
+		for i := range p.Units {
+			if p.Units[i] != q.Units[i] {
+				t.Fatalf("replan diverged at unit %d: %+v vs %+v", i, p.Units[i], q.Units[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+// Package sample is the statistical-sampling engine behind the harness's
+// SMARTS-style sampled simulation: instead of detail-simulating an entire
+// measured region, K short sample units at systematic positions are
+// simulated in detail, the gaps are fast-forwarded functionally, and the
+// per-unit observations are aggregated into a population estimate with a
+// confidence interval.
+//
+// The package is deliberately simulator-free: it plans unit positions over
+// an abstract instruction population (Plan), turns per-unit observations
+// into mean / standard error / CI-half-width estimates (Estimate), and
+// drives the auto-tune loop that grows K until the IPC interval is tighter
+// than a target (AutoTune). The harness supplies the one callback that
+// actually simulates a planned round. Keeping the math free of machine
+// state makes every invariant directly unit- and fuzz-testable
+// (FuzzSamplePlan).
+package sample
+
+import "fmt"
+
+// Defaults used when a Config field is zero. They are shared by the
+// harness and the façade so a wire spec and a local Options that spell
+// the defaults differently still describe the same simulation.
+const (
+	// DefaultUnits is the starting sample-unit count of an auto-tuned run
+	// and the default for a fixed-K run that sets only a target CI.
+	DefaultUnits = 8
+	// DefaultUnitInsts is the detailed length of one sample unit.
+	DefaultUnitInsts = 1_000
+	// DefaultMaxUnits caps the auto-tune loop's growth.
+	DefaultMaxUnits = 128
+	// MinUnits is the smallest unit count that yields a variance estimate;
+	// a single unit has no standard error.
+	MinUnits = 2
+)
+
+// Config describes one sampling plan request over a population of
+// MeasureInsts instructions.
+type Config struct {
+	// MeasureInsts is the population: the measured region's length.
+	MeasureInsts uint64
+	// Units is the sample-unit count K (>= MinUnits).
+	Units int
+	// UnitInsts is the detailed length of each unit (0 = DefaultUnitInsts).
+	UnitInsts uint64
+	// Seed selects the systematic phase: units sit at the same offset
+	// within each of the K equal frames, and the offset is drawn
+	// deterministically from Seed. Two runs with equal Config are
+	// identical; changing Seed shifts every unit by the same amount.
+	Seed uint64
+}
+
+// Unit is one planned detailed-sample slice, in population coordinates
+// (offsets from the start of the measured region).
+type Unit struct {
+	// Index is the unit's position in plan order.
+	Index int
+	// Start is the offset of the unit's first measured instruction.
+	Start uint64
+	// Len is the unit's detailed length.
+	Len uint64
+}
+
+// Plan is a validated set of systematic sample units. Invariants (held by
+// construction, asserted by FuzzSamplePlan): units are sorted by Start,
+// in-bounds ([0, MeasureInsts)), pairwise non-overlapping, and their
+// lengths sum to exactly Units×UnitInsts — the requested detailed budget.
+type Plan struct {
+	MeasureInsts uint64
+	UnitInsts    uint64
+	Seed         uint64
+	Units        []Unit
+}
+
+// SampledInsts is the plan's total detailed budget.
+func (p Plan) SampledInsts() uint64 {
+	return uint64(len(p.Units)) * p.UnitInsts
+}
+
+// New plans k systematic units over cfg's population. It returns an error
+// when the population cannot hold the requested detailed budget (the
+// caller should fall back to full-detail simulation or shrink K).
+func New(cfg Config) (Plan, error) {
+	u := cfg.UnitInsts
+	if u == 0 {
+		u = DefaultUnitInsts
+	}
+	k := cfg.Units
+	if k < MinUnits {
+		return Plan{}, fmt.Errorf("sample: %d units (minimum %d)", k, MinUnits)
+	}
+	if cfg.MeasureInsts == 0 {
+		return Plan{}, fmt.Errorf("sample: empty population")
+	}
+	frame := cfg.MeasureInsts / uint64(k)
+	if u > frame {
+		return Plan{}, fmt.Errorf(
+			"sample: %d units of %d insts exceed the %d-inst region (need units*unit_insts <= measure)",
+			k, u, cfg.MeasureInsts)
+	}
+	// Systematic sampling with a seeded phase: every frame contributes one
+	// unit at the same offset, so the sample is periodic (the SMARTS
+	// design) and the phase decorrelates it from any program periodicity a
+	// fixed offset would alias with.
+	phase := splitmix64(cfg.Seed) % (frame - u + 1)
+	units := make([]Unit, k)
+	for i := range units {
+		units[i] = Unit{Index: i, Start: uint64(i)*frame + phase, Len: u}
+	}
+	return Plan{MeasureInsts: cfg.MeasureInsts, UnitInsts: u, Seed: cfg.Seed, Units: units}, nil
+}
+
+// splitmix64 is the 64-bit finalizer used to turn a seed into a phase;
+// chosen for its avalanche behavior so adjacent seeds land on unrelated
+// phases.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,191 @@
+package sample
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestPlanSystematic(t *testing.T) {
+	p, err := New(Config{MeasureInsts: 100_000, Units: 10, UnitInsts: 2_000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Units) != 10 {
+		t.Fatalf("planned %d units, want 10", len(p.Units))
+	}
+	if got := p.SampledInsts(); got != 20_000 {
+		t.Errorf("SampledInsts = %d, want 20000", got)
+	}
+	frame := uint64(10_000)
+	phase := p.Units[0].Start
+	if phase > frame-2_000 {
+		t.Errorf("phase %d leaves unit 0 out of its frame", phase)
+	}
+	for i, u := range p.Units {
+		if u.Index != i {
+			t.Errorf("unit %d: Index = %d", i, u.Index)
+		}
+		if want := uint64(i)*frame + phase; u.Start != want {
+			t.Errorf("unit %d: Start = %d, want %d (systematic)", i, u.Start, want)
+		}
+		if u.Len != 2_000 {
+			t.Errorf("unit %d: Len = %d", i, u.Len)
+		}
+	}
+}
+
+func TestPlanDeterministicAndSeedSensitive(t *testing.T) {
+	cfg := Config{MeasureInsts: 50_000, Units: 5, UnitInsts: 500, Seed: 42}
+	a, _ := New(cfg)
+	b, _ := New(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same config planned differently twice")
+	}
+	cfg.Seed = 43
+	c, _ := New(cfg)
+	if a.Units[0].Start == c.Units[0].Start {
+		t.Error("adjacent seeds chose the same phase (splitmix should decorrelate)")
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	cases := []Config{
+		{MeasureInsts: 1_000, Units: 1, UnitInsts: 100},   // below MinUnits
+		{MeasureInsts: 0, Units: 4, UnitInsts: 100},       // empty population
+		{MeasureInsts: 1_000, Units: 4, UnitInsts: 300},   // 4*300 > 1000
+		{MeasureInsts: 1_000, Units: 2_000, UnitInsts: 0}, // default U=1000, frame 0
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New(%+v) succeeded, want error", i, cfg)
+		}
+	}
+}
+
+func TestEstimateHandComputed(t *testing.T) {
+	// Values 1,2,3,4: mean 2.5, s = sqrt(5/3), SE = s/2, t(3) = 3.182.
+	m := Estimate([]float64{1, 2, 3, 4})
+	if m.Mean != 2.5 {
+		t.Errorf("Mean = %v", m.Mean)
+	}
+	se := math.Sqrt(5.0/3.0) / 2
+	if math.Abs(m.StdErr-se) > 1e-12 {
+		t.Errorf("StdErr = %v, want %v", m.StdErr, se)
+	}
+	if want := 3.182 * se; math.Abs(m.CIHalf-want) > 1e-9 {
+		t.Errorf("CIHalf = %v, want %v", m.CIHalf, want)
+	}
+	if want := 3.182 * se / 2.5; math.Abs(m.RelCI-want) > 1e-9 {
+		t.Errorf("RelCI = %v, want %v", m.RelCI, want)
+	}
+}
+
+func TestEstimateDegenerate(t *testing.T) {
+	if m := Estimate(nil); m != (Metric{}) {
+		t.Errorf("Estimate(nil) = %+v", m)
+	}
+	m := Estimate([]float64{3.5})
+	if m.Mean != 3.5 || m.StdErr != 0 || m.CIHalf != 0 || m.RelCI != 0 {
+		t.Errorf("single observation: %+v, want zero-width fields", m)
+	}
+	// Identical observations: zero variance, zero-width interval.
+	m = Estimate([]float64{2, 2, 2, 2})
+	if m.StdErr != 0 || m.RelCI != 0 {
+		t.Errorf("zero-variance sample: %+v", m)
+	}
+}
+
+func TestTQuantileMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		q := tQuantile975(df)
+		if q > prev {
+			t.Fatalf("t quantile not non-increasing at df=%d: %v > %v", df, q, prev)
+		}
+		prev = q
+	}
+	if got := tQuantile975(1_000_000); got != 1.960 {
+		t.Errorf("asymptote = %v, want 1.96", got)
+	}
+}
+
+// syntheticRound yields observations with fixed per-unit noise so the
+// standard error shrinks as 1/sqrt(K) and the auto-tune loop must grow K
+// to meet a tight target.
+func syntheticRound(noise float64) RoundFunc {
+	return func(p Plan) ([]float64, error) {
+		out := make([]float64, len(p.Units))
+		for i, u := range p.Units {
+			// Deterministic pseudo-noise in [-noise, +noise) keyed by the
+			// unit's position, so every round is reproducible.
+			h := splitmix64(u.Start)
+			out[i] = 1.0 + noise*(float64(h%2048)/1024-1)
+		}
+		return out, nil
+	}
+}
+
+func TestAutoTuneConvergesByGrowing(t *testing.T) {
+	cfg := Config{MeasureInsts: 1 << 20, Units: 4, UnitInsts: 64, Seed: 1}
+	// Loose target: the first round suffices.
+	out, err := AutoTune(cfg, 0.5, 0, syntheticRound(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rounds != 1 || !out.Converged || len(out.Values) != 4 {
+		t.Errorf("loose target: rounds=%d converged=%v K=%d", out.Rounds, out.Converged, len(out.Values))
+	}
+	// Tight target: K must grow, and the final interval must meet it.
+	out, err = AutoTune(cfg, 0.02, 1024, syntheticRound(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Fatalf("tight target never met: relCI %.4f at K=%d", out.Metric.RelCI, len(out.Values))
+	}
+	if out.Rounds < 2 || len(out.Values) <= 4 {
+		t.Errorf("tight target met without growth: rounds=%d K=%d", out.Rounds, len(out.Values))
+	}
+	if out.Metric.RelCI > 0.02 {
+		t.Errorf("converged with relCI %.4f > target", out.Metric.RelCI)
+	}
+}
+
+func TestAutoTuneCapStopsUnconverged(t *testing.T) {
+	cfg := Config{MeasureInsts: 1 << 20, Units: 4, UnitInsts: 64, Seed: 1}
+	out, err := AutoTune(cfg, 1e-9, 16, syntheticRound(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Converged {
+		t.Error("impossible target reported converged")
+	}
+	if len(out.Values) != 16 {
+		t.Errorf("stopped at K=%d, want the 16-unit cap", len(out.Values))
+	}
+}
+
+func TestAutoTuneNoTargetSingleRound(t *testing.T) {
+	cfg := Config{MeasureInsts: 100_000, Units: 6, UnitInsts: 1_000, Seed: 3}
+	out, err := AutoTune(cfg, 0, 0, syntheticRound(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rounds != 1 || !out.Converged || len(out.Values) != 6 {
+		t.Errorf("no-target run: rounds=%d converged=%v K=%d", out.Rounds, out.Converged, len(out.Values))
+	}
+}
+
+// The population cap must clamp growth: 10k insts at 1k units can hold at
+// most 10 units, so even an impossible target stops there.
+func TestAutoTunePopulationClampsCap(t *testing.T) {
+	cfg := Config{MeasureInsts: 10_000, Units: 2, UnitInsts: 1_000, Seed: 0}
+	out, err := AutoTune(cfg, 1e-9, 0, syntheticRound(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(out.Values); got > 10 {
+		t.Errorf("grew to K=%d, beyond the population's 10-unit capacity", got)
+	}
+}

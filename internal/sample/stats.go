@@ -1,0 +1,80 @@
+package sample
+
+import "math"
+
+// Metric is the population estimate of one measured quantity derived from
+// per-unit observations: the mean, its standard error, and the 95%
+// confidence-interval half-width in absolute and relative terms. The
+// variance estimator is the simple-random-sampling one, which for
+// systematic samples of a non-adversarial population is conservative
+// (overstates the interval) — the safe direction for a fidelity gate.
+type Metric struct {
+	// Mean is the arithmetic mean of the per-unit observations.
+	Mean float64 `json:"mean"`
+	// StdErr is the standard error of Mean (s/sqrt(K)).
+	StdErr float64 `json:"stderr"`
+	// CIHalf is the 95% confidence-interval half-width: Student-t at K-1
+	// degrees of freedom times StdErr.
+	CIHalf float64 `json:"ci_half"`
+	// RelCI is CIHalf / |Mean| — the figure the auto-tune loop drives
+	// under its target (0 when Mean is 0).
+	RelCI float64 `json:"rel_ci"`
+}
+
+// Estimate aggregates per-unit observations into a Metric. Fewer than
+// MinUnits observations carry no variance information; the returned
+// Metric then has the mean and zero-width error fields, and callers that
+// need a trustworthy interval must enforce MinUnits themselves (the
+// planner already does).
+func Estimate(values []float64) Metric {
+	n := len(values)
+	if n == 0 {
+		return Metric{}
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	m := Metric{Mean: sum / float64(n)}
+	if n < MinUnits {
+		return m
+	}
+	ss := 0.0
+	for _, v := range values {
+		d := v - m.Mean
+		ss += d * d
+	}
+	m.StdErr = math.Sqrt(ss/float64(n-1)) / math.Sqrt(float64(n))
+	m.CIHalf = tQuantile975(n-1) * m.StdErr
+	if m.Mean != 0 {
+		m.RelCI = m.CIHalf / math.Abs(m.Mean)
+	}
+	return m
+}
+
+// t975 holds the two-sided 95% Student-t quantiles for 1..30 degrees of
+// freedom (index df-1).
+var t975 = [30]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tQuantile975 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom, converging on the normal 1.96 for large samples.
+func tQuantile975(df int) float64 {
+	switch {
+	case df <= 0:
+		return math.Inf(1)
+	case df <= 30:
+		return t975[df-1]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.960
+	}
+}

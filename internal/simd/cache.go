@@ -15,8 +15,10 @@ import (
 // written by one process are found by the next when the store is durable.
 func specKey(s fvp.RunSpec) string {
 	n := s.Normalized()
-	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%s|%d|%d|%s|%d",
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%s|%d|%d|%s|%d|%d|%d|%d|%g|%d|%d",
 		n.Workload, n.Machine, n.Predictor, n.WarmupInsts, n.MeasureInsts,
-		n.WarmupMode, n.Regions)))
+		n.WarmupMode, n.Regions,
+		n.SampleUnits, n.SampleUnitInsts, n.SampleWarmupInsts,
+		n.SampleTargetCI, n.SampleMaxUnits, n.SampleSeed)))
 	return hex.EncodeToString(sum[:16])
 }

@@ -28,6 +28,10 @@ type counters struct {
 	// simFFInsts counts functionally fast-forwarded instructions (warmup
 	// and checkpoint scans) — work done outside the detailed model.
 	simFFInsts uint64
+	// simSampledInsts counts instructions measured in detail inside sample
+	// units; the ratio to the sampled runs' total measured region is the
+	// fleet's detailed sampling fraction.
+	simSampledInsts uint64
 }
 
 // Stats is a point-in-time snapshot of the service counters; the JSON
@@ -52,6 +56,7 @@ type Stats struct {
 	SimSeconds       float64     `json:"sim_seconds"`
 	SimSkippedCycles uint64      `json:"sim_skipped_cycles"`
 	SimFFInsts       uint64      `json:"sim_ff_insts"`
+	SimSampledInsts  uint64      `json:"sim_sampled_insts"`
 }
 
 // CyclesPerSecond is the service's aggregate simulation throughput.
@@ -136,6 +141,7 @@ func (s *Service) WriteMetrics(w io.Writer) {
 	counter("fvpd_sim_skipped_cycles_total", "Simulated cycles covered by idle-elision clock jumps (subset of fvpd_sim_cycles_total).", "%d", st.SimSkippedCycles)
 	counter("fvpd_sim_insts_total", "Simulated instructions across all completed runs.", "%d", st.SimInsts)
 	counter("fvpd_sim_ff_insts_total", "Instructions functionally fast-forwarded (warmup and checkpoint scans) instead of detail-simulated.", "%d", st.SimFFInsts)
+	counter("fvpd_sim_sampled_insts_total", "Instructions detail-simulated inside sample units of sampled runs.", "%d", st.SimSampledInsts)
 	counter("fvpd_sim_seconds_total", "Wall-clock seconds spent simulating.", "%g", st.SimSeconds)
 	gauge("fvpd_sim_cycles_per_second", "Aggregate simulation throughput.", "%g", st.CyclesPerSecond())
 

@@ -433,13 +433,13 @@ func (s *Service) worker() {
 
 		// Attach a progress gauge to a copy of the spec: the Observer field
 		// is json:"-" and outside the cache key, so the simulated work and
-		// its identity are untouched. Region-parallel runs measure their
-		// slices concurrently, where interval samples would interleave
-		// meaninglessly (the façade rejects the combination), so they run
-		// unobserved — and untraced, for the same reason.
+		// its identity are untouched. Region-parallel and sampled runs
+		// measure their slices concurrently, where interval samples would
+		// interleave meaninglessly (the façade rejects the combinations), so
+		// they run unobserved — and untraced, for the same reason.
 		spec := j.spec
 		var tracer *fvp.PipeTrace
-		if spec.Regions <= 1 {
+		if spec.Regions <= 1 && spec.SampleUnits == 0 && spec.SampleTargetCI == 0 {
 			spec.Observer = j.progress
 			if j.trace {
 				tracer = fvp.NewPipeTrace(traceMaxInsts)
@@ -480,6 +480,9 @@ func (s *Service) worker() {
 			s.met.simSkippedCycles += m.SkippedCycles
 			s.met.simInsts += m.Insts
 			s.met.simFFInsts += m.FFInsts
+			if m.Sampling != nil {
+				s.met.simSampledInsts += m.Sampling.SampledInsts
+			}
 			s.met.simSeconds += elapsed.Seconds()
 		}
 		s.finalizeLocked(j, m, err)
@@ -699,6 +702,7 @@ func (s *Service) Snapshot() Stats {
 		SimSeconds:       s.met.simSeconds,
 		SimSkippedCycles: s.met.simSkippedCycles,
 		SimFFInsts:       s.met.simFFInsts,
+		SimSampledInsts:  s.met.simSampledInsts,
 	}
 }
 
