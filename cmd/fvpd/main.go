@@ -13,6 +13,8 @@
 //
 //	fvpd -addr :8080 -workers 8 -queue 64 -cache 4096
 //	fvpd -data-dir /var/lib/fvpd    # durable: jobs and cache survive restarts
+//	fvpd -node-id a -peers "a=http://a:8080,b=http://b:8080" \
+//	    -tenant-quota "ci=5:64:3,sweep=20:200"    # 2-node cluster, quotas
 //
 // With -data-dir the job queue, result cache, and trace artifacts live in
 // crash-safe file stores under the directory: jobs that were queued or
@@ -20,9 +22,20 @@
 // cached results keep serving hits across restarts. Without it everything
 // is in-memory, exactly as before.
 //
+// With -peers (the same static "id=url,..." list on every node, -node-id
+// naming this one) the nodes form a coordinator-free cluster: specs are
+// consistent-hashed to an owner node so dedup and caching shard with the
+// content address, non-owners forward over the ordinary /v1 API, and an
+// unreachable owner degrades to local execution behind a circuit breaker
+// (GET /v1/cluster shows per-peer health). -tenant-quota /
+// -tenant-default-quota attach per-tenant token buckets and weighted
+// fair queueing, turning over-quota submits into per-tenant
+// 429+Retry-After instead of the global 503.
+//
 // Endpoints: POST /v1/runs (single or batch, ?wait=1 to block),
 // GET /v1/runs/{id} (status, result, and live progress),
 // DELETE /v1/runs/{id}, GET /v1/workloads, GET /v1/predictors,
+// GET /v1/cluster (ring membership and peer health),
 // GET /v1/metrics (Prometheus text), GET /healthz. The pre-versioning
 // unversioned paths still answer, with a Deprecation header. With -pprof
 // the Go profiling handlers are additionally served under /debug/pprof/.
@@ -40,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"fvp/internal/cluster"
 	"fvp/internal/simd"
 	"fvp/internal/store/disk"
 )
@@ -54,10 +68,39 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "durable store directory (empty = in-memory only)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		pprofOn    = flag.Bool("pprof", false, "serve Go profiling handlers under /debug/pprof/")
+		nodeID     = flag.String("node-id", "", "this node's cluster ID (required with -peers)")
+		peersFlag  = flag.String("peers", "", "cluster members as id=url,... (all nodes, this one included)")
+		tenantQ    = flag.String("tenant-quota", "", "per-tenant quotas as tenant=rate[:burst[:weight]],...")
+		tenantDefQ = flag.String("tenant-default-quota", "", "quota for tenants not named in -tenant-quota, as rate[:burst[:weight]]")
 	)
 	flag.Parse()
 
-	cfg := simd.Config{Workers: *workers, QueueSize: *queue, CacheSize: *cache, CacheBytes: *cacheBytes}
+	fatalf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "fvpd: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	peers, err := cluster.ParsePeers(*peersFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	tenants := simd.TenantConfig{}
+	if *tenantQ != "" {
+		if tenants.Quotas, err = simd.ParseTenantQuotas(*tenantQ); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *tenantDefQ != "" {
+		q, err := simd.ParseQuotaSpec(*tenantDefQ)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tenants.Default = &q
+	}
+
+	cfg := simd.Config{
+		Workers: *workers, QueueSize: *queue, CacheSize: *cache, CacheBytes: *cacheBytes,
+		NodeID: *nodeID, Tenants: tenants,
+	}
 	if *dataDir != "" {
 		entries := *cache
 		if entries <= 0 {
@@ -76,7 +119,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fvpd: re-dispatched %d jobs recovered from %s\n", n, *dataDir)
 		}
 	}
-	handler := svc.Handler()
+	node, err := cluster.New(cluster.Config{Service: svc, Self: *nodeID, Peers: peers})
+	if err != nil {
+		svc.Close()
+		fatalf("%v", err)
+	}
+	handler := node.Handler()
+	if len(peers) > 1 {
+		fmt.Fprintf(os.Stderr, "fvpd: cluster mode, node %q of %d peers\n", *nodeID, len(peers))
+	}
 	if *pprofOn {
 		// Profiling is opt-in: the handlers expose goroutine dumps and CPU
 		// profiles, which don't belong on an unattended public port.

@@ -72,9 +72,39 @@ func main() {
 		ivPath     = flag.String("intervals", "", "write interval telemetry (JSON array of samples) to this file")
 		interval   = flag.Uint64("interval", 0, "sampling period in cycles for -intervals (0 = default)")
 		server     = flag.String("server", "", "fvpd base URL; submit there instead of simulating locally")
+		tenant     = flag.String("tenant", "", "tenant ID to submit runs under (with -server; subject to the daemon's quotas)")
+		clusterOn  = flag.Bool("cluster", false, "print the server's cluster membership and forwarding health, then exit (with -server)")
 		list       = flag.Bool("list", false, "list workloads and predictors, then exit")
 	)
 	flag.Parse()
+
+	if *clusterOn {
+		if *server == "" {
+			fail(fmt.Errorf("-cluster needs -server"))
+		}
+		st, err := client.New(*server).Cluster(context.Background())
+		if err != nil {
+			fail(err)
+		}
+		if st.Self == "" {
+			fmt.Println("single-node deployment (no -peers)")
+			return
+		}
+		fmt.Printf("node %s, %d vnodes/node\n", st.Self, st.VNodes)
+		for _, p := range st.Peers {
+			mark := " "
+			if p.Self {
+				mark = "*"
+			}
+			fmt.Printf("%s %-12s %-24s health=%-9s inflight=%d forwarded=%d errors=%d",
+				mark, p.ID, p.URL, p.Health, p.Inflight, p.Forwarded, p.ForwardErrors)
+			if p.LastError != "" {
+				fmt.Printf(" last-error=%q", p.LastError)
+			}
+			fmt.Println()
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("workloads:")
@@ -114,7 +144,10 @@ func main() {
 		if *tracePath != "" || *ivPath != "" {
 			fail(fmt.Errorf("-trace and -intervals are local-only (they read the simulated machine directly); drop -server"))
 		}
-		run = client.New(*server).Run
+		c := client.New(*server)
+		run = func(ctx context.Context, spec fvp.RunSpec) (fvp.Metrics, error) {
+			return c.RunWith(ctx, spec, client.SubmitOptions{Tenant: *tenant})
+		}
 	}
 
 	var trace *fvp.PipeTrace

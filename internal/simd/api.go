@@ -10,7 +10,11 @@
 // to clients as 503 + Retry-After rather than unbounded memory growth.
 package simd
 
-import "fvp"
+import (
+	"errors"
+
+	"fvp"
+)
 
 // State is a job's lifecycle phase.
 type State string
@@ -34,12 +38,69 @@ func (s State) terminal() bool {
 // RunSpec plus service-level knobs.
 type RunRequest struct {
 	fvp.RunSpec
+	// Tenant attributes the run to a submitter for admission control and
+	// fairness; "" is the anonymous tenant. Tenancy is a service-level
+	// concern: it is not part of the spec's content address, so identical
+	// specs from different tenants still share one simulation.
+	Tenant string `json:"tenant,omitempty"`
+	// Sampling is the versioned form of the sampled-simulation knobs,
+	// replacing the embedded RunSpec's flat sample_* fields. The flat
+	// fields are still accepted (the service answers them with a
+	// Deprecation header); setting both is a validation error.
+	Sampling *SamplingSpec `json:"sampling,omitempty"`
 	// TimeoutMS bounds the simulation's wall time; 0 means no deadline.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Trace asks the run to record a pipeline trace artifact (Perfetto /
 	// chrome://tracing JSON), retrievable from GET /v1/runs/{id}/trace.
 	// Traces are only captured for single-region runs.
 	Trace bool `json:"trace,omitempty"`
+}
+
+// SamplingSpec is the nested sampled-simulation block of a RunRequest.
+// Fields mirror fvp.RunSpec's sample_* knobs one-to-one; see those for
+// semantics.
+type SamplingSpec struct {
+	Units       int     `json:"units,omitempty"`
+	UnitInsts   uint64  `json:"unit_insts,omitempty"`
+	WarmupInsts uint64  `json:"warmup_insts,omitempty"`
+	TargetCI    float64 `json:"target_ci,omitempty"`
+	MaxUnits    int     `json:"max_units,omitempty"`
+	Seed        uint64  `json:"seed,omitempty"`
+}
+
+// ErrSamplingConflict rejects a request that sets both the nested
+// Sampling block and the deprecated flat sample_* fields.
+var ErrSamplingConflict = errors.New(
+	`simd: request sets both "sampling" and the deprecated flat sample_* fields; use "sampling" only`)
+
+// legacySampling reports whether the request spells its sampling plan
+// with the deprecated flat fields.
+func (r RunRequest) legacySampling() bool {
+	return r.Sampling == nil &&
+		(r.SampleUnits != 0 || r.SampleUnitInsts != 0 || r.SampleWarmupInsts != 0 ||
+			r.SampleTargetCI != 0 || r.SampleMaxUnits != 0 || r.SampleSeed != 0)
+}
+
+// Flattened folds the nested Sampling block into the embedded RunSpec's
+// flat fields — the execution-side representation — erroring when both
+// forms are present.
+func (r RunRequest) Flattened() (RunRequest, error) {
+	if r.Sampling == nil {
+		return r, nil
+	}
+	if r.legacySampling() || r.SampleUnits != 0 || r.SampleUnitInsts != 0 ||
+		r.SampleWarmupInsts != 0 || r.SampleTargetCI != 0 || r.SampleMaxUnits != 0 || r.SampleSeed != 0 {
+		return r, ErrSamplingConflict
+	}
+	sp := r.Sampling
+	r.SampleUnits = sp.Units
+	r.SampleUnitInsts = sp.UnitInsts
+	r.SampleWarmupInsts = sp.WarmupInsts
+	r.SampleTargetCI = sp.TargetCI
+	r.SampleMaxUnits = sp.MaxUnits
+	r.SampleSeed = sp.Seed
+	r.Sampling = nil
+	return r, nil
 }
 
 // Progress reports how far a running simulation has gotten. The feed is
@@ -64,6 +125,11 @@ type JobStatus struct {
 	// cache or deduplicated onto an in-flight identical run.
 	Cached bool        `json:"cached"`
 	Spec   fvp.RunSpec `json:"spec"`
+	// Tenant is the submitter the job is attributed to ("" = anonymous).
+	Tenant string `json:"tenant,omitempty"`
+	// Node names the cluster node the job lives on; empty outside
+	// cluster mode.
+	Node string `json:"node,omitempty"`
 	// Progress is present while State is running (followers report their
 	// leader's progress).
 	Progress *Progress `json:"progress,omitempty"`

@@ -13,6 +13,11 @@ import (
 // ones that spell defaults differently — collapse to one cache entry.
 // The key doubles as the ResultStore/BlobStore address, so cached results
 // written by one process are found by the next when the store is durable.
+// SpecKey is the exported form for layers above the service: the
+// cluster router consistent-hashes it to pick a run's owner node, so
+// ownership, dedup, and caching all shard on the same address.
+func SpecKey(s fvp.RunSpec) string { return specKey(s) }
+
 func specKey(s fvp.RunSpec) string {
 	n := s.Normalized()
 	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%s|%s|%d|%d|%s|%d|%d|%d|%d|%g|%d|%d",

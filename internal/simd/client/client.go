@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"fvp"
+	"fvp/internal/cluster"
 	"fvp/internal/simd"
 )
 
@@ -34,6 +35,42 @@ func (e *APIError) Error() string {
 // Temporary reports whether the request may succeed if retried (the
 // service signaled backpressure, not rejection).
 func (e *APIError) Temporary() bool { return e.StatusCode == http.StatusServiceUnavailable }
+
+// QuotaExceededError is a 429: per-tenant admission control refused the
+// submit. Unlike global backpressure (503), it names the throttled
+// tenant — other tenants' submits would still be admitted.
+type QuotaExceededError struct {
+	// Tenant is the tenant the quota applied to.
+	Tenant string
+	// RetryAfter is the server's earliest-retry hint.
+	RetryAfter time.Duration
+	// Message is the service's error text.
+	Message string
+}
+
+func (e *QuotaExceededError) Error() string {
+	return fmt.Sprintf("fvpd: tenant %q over quota, retry in %s: %s", e.Tenant, e.RetryAfter, e.Message)
+}
+
+// Temporary reports that the submit may succeed once tokens refill.
+func (e *QuotaExceededError) Temporary() bool { return true }
+
+// ForwardedError is a 502 from a cluster node that could not reach the
+// peer owning the addressed job: the job may exist, but its owner is
+// down. Retrying asks the owner again; it does not reroute.
+type ForwardedError struct {
+	// Peer is the unreachable owner node's ID.
+	Peer string
+	// Message is the routing node's error text.
+	Message string
+}
+
+func (e *ForwardedError) Error() string {
+	return fmt.Sprintf("fvpd: job owner %q unreachable: %s", e.Peer, e.Message)
+}
+
+// Temporary reports that the owner may come back.
+func (e *ForwardedError) Temporary() bool { return true }
 
 // Client talks to one fvpd server.
 type Client struct {
@@ -94,6 +131,16 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 				apiErr.RetryAfter = time.Duration(secs) * time.Second
 			}
 		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return &QuotaExceededError{
+				Tenant:     resp.Header.Get("X-Fvpd-Tenant"),
+				RetryAfter: apiErr.RetryAfter,
+				Message:    apiErr.Message,
+			}
+		}
+		if peer := resp.Header.Get(cluster.ForwardPeerHeader); resp.StatusCode == http.StatusBadGateway && peer != "" {
+			return &ForwardedError{Peer: peer, Message: apiErr.Message}
+		}
 		return apiErr
 	}
 	if out == nil {
@@ -102,12 +149,37 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Submit sends a batch of runs. With wait=true the call blocks until
-// every job finishes and the returned statuses carry results; canceling
-// ctx mid-wait disconnects, which cancels the server-side jobs.
+// SubmitOptions is the options-struct form of Submit's knobs.
+type SubmitOptions struct {
+	// Wait blocks until every job finishes; the returned statuses then
+	// carry results. Canceling ctx mid-wait disconnects, which cancels
+	// the server-side jobs.
+	Wait bool
+	// Tenant attributes the runs to a tenant for admission control. It
+	// is applied to every request that doesn't already name one.
+	Tenant string
+}
+
+// Submit sends a batch of runs; see SubmitWith for the full option set.
 func (c *Client) Submit(ctx context.Context, reqs []simd.RunRequest, wait bool) ([]simd.JobStatus, error) {
+	return c.SubmitWith(ctx, reqs, SubmitOptions{Wait: wait})
+}
+
+// SubmitWith sends a batch of runs under the given options. A 429
+// (per-tenant quota) surfaces as *QuotaExceededError.
+func (c *Client) SubmitWith(ctx context.Context, reqs []simd.RunRequest, opts SubmitOptions) ([]simd.JobStatus, error) {
+	if opts.Tenant != "" {
+		stamped := make([]simd.RunRequest, len(reqs))
+		copy(stamped, reqs)
+		for i := range stamped {
+			if stamped[i].Tenant == "" {
+				stamped[i].Tenant = opts.Tenant
+			}
+		}
+		reqs = stamped
+	}
 	path := "/v1/runs"
-	if wait {
+	if opts.Wait {
 		path += "?wait=1"
 	}
 	var resp simd.SubmitResponse
@@ -119,10 +191,24 @@ func (c *Client) Submit(ctx context.Context, reqs []simd.RunRequest, wait bool) 
 	return resp.Jobs, nil
 }
 
+// Cluster fetches the server's ring membership and per-peer forwarding
+// health (GET /v1/cluster).
+func (c *Client) Cluster(ctx context.Context) (cluster.Status, error) {
+	var st cluster.Status
+	err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &st)
+	return st, err
+}
+
 // Run submits one spec in wait mode and returns its metrics — the remote
 // equivalent of fvp.RunContext.
 func (c *Client) Run(ctx context.Context, spec fvp.RunSpec) (fvp.Metrics, error) {
-	jobs, err := c.Submit(ctx, []simd.RunRequest{{RunSpec: spec}}, true)
+	return c.RunWith(ctx, spec, SubmitOptions{})
+}
+
+// RunWith is Run under submit options; Wait is implied.
+func (c *Client) RunWith(ctx context.Context, spec fvp.RunSpec, opts SubmitOptions) (fvp.Metrics, error) {
+	opts.Wait = true
+	jobs, err := c.SubmitWith(ctx, []simd.RunRequest{{RunSpec: spec}}, opts)
 	if err != nil {
 		return fvp.Metrics{}, err
 	}

@@ -3,12 +3,16 @@ package client
 import (
 	"context"
 	"errors"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"fvp"
+	"fvp/internal/cluster"
 	"fvp/internal/simd"
 )
 
@@ -156,5 +160,122 @@ func TestClientListAndTrace(t *testing.T) {
 	}
 	if _, err := c.Trace(ctx, "j-99999999"); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
 		t.Errorf("trace of unknown job = %v, want HTTP 404", err)
+	}
+}
+
+// stubRun returns instantly-succeeding metrics for submit-path tests.
+func stubRun(ctx context.Context, spec fvp.RunSpec) (fvp.Metrics, error) {
+	return fvp.Metrics{IPC: 1, Cycles: 1, Insts: 1}, nil
+}
+
+// newClusterClient wires the client to a cluster.Node handler instead
+// of the bare service surface.
+func newClusterClient(t *testing.T, cfg simd.Config) *Client {
+	t.Helper()
+	svc := simd.New(cfg)
+	node, err := cluster.New(cluster.Config{Service: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(node.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return New(srv.URL)
+}
+
+func TestClientQuotaExceededError(t *testing.T) {
+	c := newClient(t, simd.Config{
+		Workers: 1, Run: stubRun,
+		Tenants: simd.TenantConfig{Quotas: map[string]simd.TenantQuota{
+			"flood": {Rate: 0.001, Burst: 1},
+		}},
+	})
+	ctx := context.Background()
+	opts := SubmitOptions{Tenant: "flood"}
+
+	spec := func(insts uint64) []simd.RunRequest {
+		return []simd.RunRequest{{RunSpec: fvp.RunSpec{
+			Workload: "omnetpp", Predictor: "fvp", WarmupInsts: 100, MeasureInsts: insts,
+		}}}
+	}
+	if _, err := c.SubmitWith(ctx, spec(1000), opts); err != nil {
+		t.Fatalf("first submit within burst: %v", err)
+	}
+	_, err := c.SubmitWith(ctx, spec(2000), opts)
+	var qe *QuotaExceededError
+	if !errors.As(err, &qe) {
+		t.Fatalf("over-quota submit: %v, want *QuotaExceededError", err)
+	}
+	if qe.Tenant != "flood" || qe.RetryAfter <= 0 || !qe.Temporary() {
+		t.Fatalf("QuotaExceededError = %+v", qe)
+	}
+}
+
+func TestClientClusterStatus(t *testing.T) {
+	c := newClusterClient(t, simd.Config{Workers: 1, Run: stubRun})
+	st, err := c.Cluster(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Self != "" || len(st.Peers) != 1 || !st.Peers[0].Self {
+		t.Fatalf("single-node cluster status = %+v", st)
+	}
+}
+
+func TestClientForwardedError(t *testing.T) {
+	// A fake cluster node that answers every by-ID GET with the
+	// owner-unreachable 502.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(cluster.ForwardPeerHeader, "node2")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		w.Write([]byte(`{"error":"cluster: job owner \"node2\" unreachable: connection refused"}`))
+	}))
+	defer srv.Close()
+
+	_, err := New(srv.URL).Get(context.Background(), "node2.j-00000001")
+	var fe *ForwardedError
+	if !errors.As(err, &fe) {
+		t.Fatalf("got %v, want *ForwardedError", err)
+	}
+	if fe.Peer != "node2" || !fe.Temporary() {
+		t.Fatalf("ForwardedError = %+v", fe)
+	}
+}
+
+func TestClientSubmitWithStampsTenant(t *testing.T) {
+	var got atomic.Value
+	svc := simd.New(simd.Config{Workers: 1, Run: stubRun})
+	inner := svc.Handler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			raw, _ := io.ReadAll(r.Body)
+			got.Store(string(raw))
+			r.Body = io.NopCloser(strings.NewReader(string(raw)))
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+
+	c := New(srv.URL)
+	reqs := []simd.RunRequest{
+		{RunSpec: fvp.RunSpec{Workload: "omnetpp", Predictor: "fvp", WarmupInsts: 100, MeasureInsts: 1000}},
+		{Tenant: "explicit", RunSpec: fvp.RunSpec{Workload: "omnetpp", Predictor: "fvp", WarmupInsts: 100, MeasureInsts: 2000}},
+	}
+	if _, err := c.SubmitWith(context.Background(), reqs, SubmitOptions{Wait: true, Tenant: "team-a"}); err != nil {
+		t.Fatal(err)
+	}
+	body := got.Load().(string)
+	if !strings.Contains(body, `"tenant":"team-a"`) || !strings.Contains(body, `"tenant":"explicit"`) {
+		t.Fatalf("tenant stamping wrong: %s", body)
+	}
+	// The caller's slice must not be mutated.
+	if reqs[0].Tenant != "" {
+		t.Fatal("SubmitWith mutated the caller's requests")
 	}
 }

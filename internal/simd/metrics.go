@@ -57,6 +57,9 @@ type Stats struct {
 	SimSkippedCycles uint64      `json:"sim_skipped_cycles"`
 	SimFFInsts       uint64      `json:"sim_ff_insts"`
 	SimSampledInsts  uint64      `json:"sim_sampled_insts"`
+	// Tenants is per-tenant admission accounting; empty for a
+	// pre-tenancy deployment (one anonymous unlimited tenant).
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }
 
 // CyclesPerSecond is the service's aggregate simulation throughput.
@@ -145,6 +148,22 @@ func (s *Service) WriteMetrics(w io.Writer) {
 	counter("fvpd_sim_seconds_total", "Wall-clock seconds spent simulating.", "%g", st.SimSeconds)
 	gauge("fvpd_sim_cycles_per_second", "Aggregate simulation throughput.", "%g", st.CyclesPerSecond())
 
+	// Per-tenant admission control. Family metadata is always present so
+	// dashboards can be built before the first tenant shows up.
+	tenantNames := make([]string, 0, len(st.Tenants))
+	for name := range st.Tenants {
+		tenantNames = append(tenantNames, name)
+	}
+	sort.Strings(tenantNames)
+	fmt.Fprintf(w, "# HELP fvpd_tenant_rejected_total Submits refused by per-tenant admission control (HTTP 429).\n# TYPE fvpd_tenant_rejected_total counter\n")
+	for _, name := range tenantNames {
+		fmt.Fprintf(w, "fvpd_tenant_rejected_total{tenant=%q} %d\n", name, st.Tenants[name].Rejected)
+	}
+	fmt.Fprintf(w, "# HELP fvpd_tenant_inflight Non-terminal jobs (queued + running, including deduplicated followers) per tenant.\n# TYPE fvpd_tenant_inflight gauge\n")
+	for _, name := range tenantNames {
+		fmt.Fprintf(w, "fvpd_tenant_inflight{tenant=%q} %d\n", name, st.Tenants[name].Inflight)
+	}
+
 	s.http.mu.Lock()
 	endpoints := make([]string, 0, len(s.http.byE))
 	for e := range s.http.byE {
@@ -160,4 +179,11 @@ func (s *Service) WriteMetrics(w io.Writer) {
 		fmt.Fprintf(w, "fvpd_http_request_seconds_total{endpoint=%q} %g\n", e, s.http.byE[e].seconds)
 	}
 	s.http.mu.Unlock()
+
+	s.mu.Lock()
+	extras := append([]func(io.Writer){}, s.metricsExtra...)
+	s.mu.Unlock()
+	for _, fn := range extras {
+		fn(w)
+	}
 }

@@ -1,8 +1,10 @@
 package simd
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"time"
@@ -86,47 +88,102 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, apiError{Error: err.Error()})
 }
 
-// decodeRuns accepts either a single RunRequest object or a batch
-// envelope {"runs":[...]}.
-func decodeRuns(body io.Reader) ([]RunRequest, error) {
-	raw, err := io.ReadAll(io.LimitReader(body, 1<<20))
-	if err != nil {
-		return nil, err
-	}
+// ParseRuns decodes a POST /v1/runs body: either a single RunRequest
+// object or a batch envelope {"runs":[...]}. legacy reports whether any
+// request spells its sampling plan with the deprecated flat sample_*
+// fields instead of the nested "sampling" block, so callers can signal
+// deprecation on the response.
+func ParseRuns(raw []byte) (reqs []RunRequest, legacy bool, err error) {
 	var batch struct {
 		Runs []RunRequest `json:"runs"`
 	}
 	if err := json.Unmarshal(raw, &batch); err == nil && batch.Runs != nil {
-		return batch.Runs, nil
+		reqs = batch.Runs
+	} else {
+		var one RunRequest
+		if err := json.Unmarshal(raw, &one); err != nil {
+			return nil, false, errors.New("simd: body must be a run spec or {\"runs\":[...]}")
+		}
+		reqs = []RunRequest{one}
 	}
-	var one RunRequest
-	if err := json.Unmarshal(raw, &one); err != nil {
-		return nil, errors.New("simd: body must be a run spec or {\"runs\":[...]}")
+	for _, r := range reqs {
+		if r.legacySampling() {
+			legacy = true
+			break
+		}
 	}
-	return []RunRequest{one}, nil
+	return reqs, legacy, nil
 }
 
-func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	reqs, err := decodeRuns(r.Body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	statuses, err := s.SubmitBatch(reqs)
+// MarkSamplingDeprecated stamps the RFC 8594-style deprecation signal
+// for requests still using the flat sample_* fields.
+func MarkSamplingDeprecated(h http.Header) {
+	h.Set("Deprecation", "true")
+	h.Set("Link", `</v1/runs>; rel="successor-version"; title="use the nested sampling{} block instead of flat sample_* fields"`)
+}
+
+// WriteSubmitError renders a SubmitBatch error with the API's status
+// code and header conventions: 429 + Retry-After for per-tenant quota
+// rejections, 503 + Retry-After for global backpressure and shutdown,
+// 500 for durable-store refusals, 400 for validation errors.
+func WriteSubmitError(w http.ResponseWriter, err error) {
+	var qe *QuotaError
 	switch {
-	case err == nil:
+	case errors.As(err, &qe):
+		secs := int(qe.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		w.Header().Set("X-Fvpd-Tenant", qe.Tenant)
+		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
-		return
 	case errors.Is(err, ErrStore):
 		// The durable store refused the enqueue; nothing was admitted for
 		// this request and the client should not retry blindly.
 		writeError(w, http.StatusInternalServerError, err)
-		return
 	default:
 		// Validation errors (unknown names, empty batch) are client errors.
 		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// AwaitBatch blocks until every submitted job in statuses finishes,
+// returning their final states. A ctx cancellation (client disconnect)
+// cancels the not-yet-finished jobs and returns the ctx error.
+func (s *Service) AwaitBatch(ctx context.Context, statuses []JobStatus) ([]JobStatus, error) {
+	for i, st := range statuses {
+		final, err := s.Wait(ctx, st.ID)
+		statuses[i] = final
+		if err != nil {
+			for _, rest := range statuses[i+1:] {
+				s.Cancel(rest.ID)
+			}
+			return statuses, err
+		}
+	}
+	return statuses, nil
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	reqs, legacy, err := ParseRuns(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if legacy {
+		MarkSamplingDeprecated(w.Header())
+	}
+	statuses, err := s.SubmitBatch(reqs)
+	if err != nil {
+		WriteSubmitError(w, err)
 		return
 	}
 
@@ -137,15 +194,9 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Wait mode: block until every job finishes. A client disconnect
 	// cancels the request context, which cancels the waited-on jobs —
 	// and with them any simulation nobody else is interested in.
-	for i, st := range statuses {
-		final, err := s.Wait(r.Context(), st.ID)
-		statuses[i] = final
-		if err != nil {
-			for _, rest := range statuses[i+1:] {
-				s.Cancel(rest.ID)
-			}
-			return // client is gone; nothing to write
-		}
+	statuses, err = s.AwaitBatch(r.Context(), statuses)
+	if err != nil {
+		return // client is gone; nothing to write
 	}
 	writeJSON(w, http.StatusOK, SubmitResponse{Jobs: statuses})
 }

@@ -9,6 +9,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,8 +64,19 @@ type Config struct {
 	// crash-safe disk backends (store/disk). The service takes ownership
 	// and closes them on Close/Drain.
 	Stores store.Stores
+	// NodeID names this service instance in a cluster; when set, job IDs
+	// are rendered as "<node>.j-<n>" so any peer can route a GET/DELETE
+	// by ID to the owning node. Empty (the default) keeps the bare "j-<n>"
+	// wire format.
+	NodeID string
+	// Tenants is the per-tenant admission-control table. The zero value
+	// imposes no quotas: every tenant is unlimited and the queue is a
+	// single FIFO, exactly the pre-tenancy behavior.
+	Tenants TenantConfig
 	// Run overrides the simulation function (tests only).
 	Run RunFunc
+	// clock overrides time.Now for token-bucket refill (tests only).
+	clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +104,9 @@ func (c Config) withDefaults() Config {
 	if c.Run == nil {
 		c.Run = fvp.RunContext
 	}
+	if c.clock == nil {
+		c.clock = time.Now
+	}
 	return c
 }
 
@@ -103,6 +118,7 @@ type job struct {
 	id        string
 	numID     uint64 // the JobStore's monotonic number behind id
 	key       string
+	tenant    string      // admission-control attribution ("" = anonymous)
 	spec      fvp.RunSpec // normalized
 	trace     bool        // leader-only: record a pipeline-trace artifact
 	state     State
@@ -127,9 +143,25 @@ type job struct {
 	leader *job
 }
 
-// jobID renders a JobStore number as the wire-visible job ID. The format
-// predates durable stores; recovered jobs keep their pre-crash IDs.
-func jobID(n uint64) string { return fmt.Sprintf("j-%08d", n) }
+// jobID renders a JobStore number as the wire-visible job ID. The bare
+// format predates durable stores; recovered jobs keep their pre-crash
+// numbers. In cluster mode (NodeID set) the ID carries the node name so
+// peers can route status lookups: "<node>.j-<n>".
+func (s *Service) jobID(n uint64) string {
+	if s.cfg.NodeID != "" {
+		return fmt.Sprintf("%s.j-%08d", s.cfg.NodeID, n)
+	}
+	return fmt.Sprintf("j-%08d", n)
+}
+
+// SplitJobID splits a wire job ID into its node prefix ("" for the bare
+// pre-cluster format) and the node-local remainder.
+func SplitJobID(id string) (node, local string) {
+	if i := strings.LastIndex(id, ".j-"); i >= 0 {
+		return id[:i], id[i+1:]
+	}
+	return "", id
+}
 
 // traceKey is the blob key of a run's pipeline-trace artifact. Keyed by
 // spec (not job), so the artifact is content-addressed like the result:
@@ -148,7 +180,7 @@ type Service struct {
 
 	mu        sync.Mutex
 	cond      *sync.Cond
-	runq      []*job          // queued leaders, FIFO
+	tq        *tenants        // per-tenant queued leaders, WRR-drained
 	jobs      map[string]*job // every known job by ID
 	finished  []string        // terminal job IDs, oldest first (retention)
 	inflight  map[string]*job // spec key → leader not yet finalized
@@ -156,6 +188,11 @@ type Service struct {
 	closed    bool
 	http      *httpStats
 	recovered uint64 // jobs re-dispatched from the JobStore at boot
+
+	// metricsExtra are exposition appenders registered by layers above
+	// the service (the cluster router adds its forwarding families), so
+	// GET /v1/metrics stays the single scrape target.
+	metricsExtra []func(io.Writer)
 
 	// storeErrs counts non-fatal store failures (a result or artifact
 	// that could not be persisted); atomic because the blob writer runs
@@ -179,6 +216,7 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:      cfg,
 		st:       cfg.Stores,
+		tq:       newTenants(cfg.Tenants),
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
 		baseCtx:  ctx,
@@ -210,6 +248,12 @@ func (s *Service) recoverJobs() {
 			s.storeSetState(rec.ID, store.JobFailed, "recovery: unreadable spec: "+err.Error())
 			continue
 		}
+		if flat, err := req.Flattened(); err != nil {
+			s.storeSetState(rec.ID, store.JobFailed, "recovery: "+err.Error())
+			continue
+		} else {
+			req = flat
+		}
 		if err := fvp.Validate(req.RunSpec); err != nil {
 			// The binary restarted into a version that no longer knows this
 			// spec; fail the job durably rather than crash-looping on it.
@@ -218,8 +262,8 @@ func (s *Service) recoverJobs() {
 		}
 		spec := req.RunSpec.Normalized()
 		j := &job{
-			id: jobID(rec.ID), numID: rec.ID, key: rec.Key, spec: spec,
-			trace: req.Trace, done: make(chan struct{}),
+			id: s.jobID(rec.ID), numID: rec.ID, key: rec.Key, spec: spec,
+			tenant: rec.Tenant, trace: req.Trace, done: make(chan struct{}),
 		}
 		s.jobs[j.id] = j
 		s.recovered++
@@ -241,6 +285,7 @@ func (s *Service) recoverJobs() {
 			j.leader = leader
 			leader.followers = append(leader.followers, j)
 			leader.live++
+			s.tq.get(j.tenant).inflight++
 			continue
 		}
 		s.startLeaderLocked(j, req.TimeoutMS)
@@ -260,18 +305,26 @@ func (s *Service) Submit(req RunRequest) (JobStatus, error) {
 	return sts[0], nil
 }
 
-// SubmitBatch submits a batch atomically with respect to queue capacity:
-// either every new unique run fits in the queue or the whole batch is
-// rejected with ErrQueueFull (cached and deduplicated entries need no
-// slot). Validation errors also reject the whole batch. A durable-store
+// SubmitBatch submits a batch atomically with respect to queue capacity
+// and tenant quotas: either every new unique run is admitted or the
+// whole batch is rejected — with *QuotaError when a tenant is over its
+// admission budget, ErrQueueFull when the global queue is at capacity
+// (cached and deduplicated entries need neither tokens nor a slot).
+// Validation errors also reject the whole batch. A durable-store
 // failure rejects the batch with ErrStore; entries admitted before the
 // failing one remain admitted.
 func (s *Service) SubmitBatch(reqs []RunRequest) ([]JobStatus, error) {
 	if len(reqs) == 0 {
 		return nil, errors.New("simd: empty batch")
 	}
-	for _, r := range reqs {
-		if err := fvp.Validate(r.RunSpec); err != nil {
+	reqs = append([]RunRequest(nil), reqs...)
+	for i, r := range reqs {
+		flat, err := r.Flattened()
+		if err != nil {
+			return nil, err
+		}
+		reqs[i] = flat
+		if err := fvp.Validate(flat.RunSpec); err != nil {
 			return nil, err
 		}
 	}
@@ -282,10 +335,11 @@ func (s *Service) SubmitBatch(reqs []RunRequest) ([]JobStatus, error) {
 		return nil, ErrClosed
 	}
 
-	// Capacity pre-check: count the batch's new unique leaders so the
-	// admit decision is all-or-nothing.
+	// Capacity pre-check: count the batch's new unique leaders, per
+	// tenant, so the admit decision is all-or-nothing.
 	need := 0
 	seen := make(map[string]bool)
+	perTenant := make(map[string]int)
 	for _, r := range reqs {
 		key := specKey(r.RunSpec)
 		if s.st.Results.Has(key) || s.inflight[key] != nil || seen[key] {
@@ -293,8 +347,16 @@ func (s *Service) SubmitBatch(reqs []RunRequest) ([]JobStatus, error) {
 		}
 		seen[key] = true
 		need++
+		perTenant[r.Tenant]++
 	}
-	if len(s.runq)+need > s.cfg.QueueSize {
+	if err := s.admitTenantsLocked(perTenant); err != nil {
+		return nil, err
+	}
+	if s.tq.queued+need > s.cfg.QueueSize {
+		// Refund the tokens just charged: nothing was admitted.
+		for tenant, n := range perTenant {
+			s.tq.get(tenant).bucket.tokens += float64(n)
+		}
 		return nil, ErrQueueFull
 	}
 
@@ -311,6 +373,29 @@ func (s *Service) SubmitBatch(reqs []RunRequest) ([]JobStatus, error) {
 	return out, nil
 }
 
+// admitTenantsLocked charges each tenant's token bucket for its share of
+// the batch's new unique runs, all-or-nothing: if any tenant is over
+// quota, tenants already charged are refunded and the whole batch is
+// rejected with that tenant's *QuotaError.
+func (s *Service) admitTenantsLocked(perTenant map[string]int) error {
+	now := s.cfg.clock()
+	charged := make([]string, 0, len(perTenant))
+	for tenant, n := range perTenant {
+		ts := s.tq.get(tenant)
+		if err := ts.admit(n, now); err != nil {
+			ts.rejected += uint64(n)
+			for _, t := range charged {
+				s.tq.get(t).bucket.tokens += float64(perTenant[t])
+			}
+			return err
+		}
+		if ts.capped && ts.quota.Rate > 0 {
+			charged = append(charged, tenant)
+		}
+	}
+	return nil
+}
+
 // admitLocked creates the job record for one request: a cache-served
 // terminal job, a follower on an in-flight leader, or a fresh leader
 // (durably enqueued before it is visible).
@@ -319,8 +404,8 @@ func (s *Service) admitLocked(r RunRequest) (JobStatus, error) {
 	key := specKey(spec)
 	numID := s.st.Jobs.NextID()
 	j := &job{
-		id: jobID(numID), numID: numID, key: key, spec: spec,
-		trace: r.Trace, done: make(chan struct{}),
+		id: s.jobID(numID), numID: numID, key: key, spec: spec,
+		tenant: r.Tenant, trace: r.Trace, done: make(chan struct{}),
 	}
 
 	if m, ok := s.cachedMetricsLocked(key); ok {
@@ -333,7 +418,7 @@ func (s *Service) admitLocked(r RunRequest) (JobStatus, error) {
 		s.met.done++
 		close(j.done)
 		s.retainLocked(j)
-		return j.status(), nil
+		return s.status(j), nil
 	}
 	if leader := s.inflight[key]; leader != nil {
 		s.jobs[j.id] = j
@@ -342,8 +427,9 @@ func (s *Service) admitLocked(r RunRequest) (JobStatus, error) {
 		j.leader = leader
 		leader.followers = append(leader.followers, j)
 		leader.live++
+		s.tq.get(j.tenant).inflight++
 		s.met.cacheHits++
-		return j.status(), nil
+		return s.status(j), nil
 	}
 
 	// Fresh leader: it must be durable before it is runnable, so a crash
@@ -352,13 +438,13 @@ func (s *Service) admitLocked(r RunRequest) (JobStatus, error) {
 	if err != nil {
 		return JobStatus{}, fmt.Errorf("%w: encoding spec: %v", ErrStore, err)
 	}
-	if err := s.st.Jobs.Enqueue(store.JobRecord{ID: numID, Key: key, Spec: encoded}); err != nil {
+	if err := s.st.Jobs.Enqueue(store.JobRecord{ID: numID, Key: key, Tenant: r.Tenant, Spec: encoded}); err != nil {
 		return JobStatus{}, fmt.Errorf("%w: %v", ErrStore, err)
 	}
 	s.jobs[j.id] = j
 	s.met.cacheMisses++
 	s.startLeaderLocked(j, r.TimeoutMS)
-	return j.status(), nil
+	return s.status(j), nil
 }
 
 // startLeaderLocked gives a leader its execution context and queues it.
@@ -374,7 +460,8 @@ func (s *Service) startLeaderLocked(j *job, timeoutMS int64) {
 	j.ctx, j.cancel = ctx, cancel
 	j.live = 1
 	s.inflight[j.key] = j
-	s.runq = append(s.runq, j)
+	s.tq.get(j.tenant).inflight++
+	s.tq.enqueue(j)
 }
 
 // cachedMetricsLocked fetches and decodes a cached result. A record that
@@ -416,15 +503,14 @@ func (s *Service) worker() {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for len(s.runq) == 0 && !s.closed {
+		for s.tq.queued == 0 && !s.closed {
 			s.cond.Wait()
 		}
-		if len(s.runq) == 0 {
+		if s.tq.queued == 0 {
 			s.mu.Unlock()
 			return
 		}
-		j := s.runq[0]
-		s.runq = s.runq[1:]
+		j := s.tq.dequeue()
 		j.setStateLocked(StateRunning)
 		j.progress = &progressGauge{target: j.spec.MeasureInsts}
 		s.met.running++
@@ -542,6 +628,7 @@ func (s *Service) finalizeLocked(j *job, m fvp.Metrics, err error) {
 			target.err = err
 			s.met.failed++
 		}
+		s.tq.get(target.tenant).inflight--
 		close(target.done)
 		s.retainLocked(target)
 		s.storeSetState(target.numID, outState, outMsg)
@@ -586,6 +673,7 @@ func (s *Service) Cancel(id string) bool {
 	j.state = StateCanceled
 	j.err = context.Canceled
 	s.met.canceled++
+	s.tq.get(j.tenant).inflight--
 	close(j.done)
 	s.retainLocked(j)
 
@@ -601,12 +689,8 @@ func (s *Service) Cancel(id string) bool {
 	// removed from the run queue eagerly so its slot frees immediately; a
 	// running one exits at the cycle loop's next context poll.
 	leader.cancel()
-	for i, q := range s.runq {
-		if q == leader {
-			s.runq = append(s.runq[:i], s.runq[i+1:]...)
-			s.finalizeLocked(leader, fvp.Metrics{}, context.Canceled)
-			break
-		}
+	if s.tq.remove(leader) {
+		s.finalizeLocked(leader, fvp.Metrics{}, context.Canceled)
 	}
 	return true
 }
@@ -619,7 +703,7 @@ func (s *Service) Get(id string) (JobStatus, bool) {
 	if !ok {
 		return JobStatus{}, false
 	}
-	return j.status(), true
+	return s.status(j), true
 }
 
 // List returns the known jobs — bounded by MaxFinishedJobs retention —
@@ -633,7 +717,7 @@ func (s *Service) List(state State) []JobStatus {
 		if state != "" && j.state != state {
 			continue
 		}
-		out = append(out, j.status())
+		out = append(out, s.status(j))
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 	return out
@@ -682,9 +766,23 @@ func (s *Service) Snapshot() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	results := s.st.Results.Stats()
+	// Tenants worth reporting: named, quota-bound, or with history. The
+	// lone anonymous unlimited tenant of a pre-tenancy deployment stays
+	// invisible so the stats wire form is unchanged.
+	var tenants map[string]TenantStats
+	for name, ts := range s.tq.byName {
+		if name == "" && !ts.capped && ts.rejected == 0 {
+			continue
+		}
+		if tenants == nil {
+			tenants = make(map[string]TenantStats, len(s.tq.byName))
+		}
+		tenants[name] = TenantStats{Inflight: ts.inflight, Rejected: ts.rejected}
+	}
 	return Stats{
-		JobsQueued:       len(s.runq),
+		JobsQueued:       s.tq.queued,
 		JobsRunning:      s.met.running,
+		Tenants:          tenants,
 		JobsDone:         s.met.done,
 		JobsFailed:       s.met.failed,
 		JobsCanceled:     s.met.canceled,
@@ -710,7 +808,7 @@ func (s *Service) Snapshot() Stats {
 func (s *Service) QueueFree() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := s.cfg.QueueSize - len(s.runq)
+	n := s.cfg.QueueSize - s.tq.queued
 	if n < 0 {
 		n = 0
 	}
@@ -719,6 +817,20 @@ func (s *Service) QueueFree() int {
 
 // Workers returns the worker-pool size.
 func (s *Service) Workers() int { return s.cfg.Workers }
+
+// NodeID returns the cluster node name this service was configured with
+// ("" outside cluster mode).
+func (s *Service) NodeID() string { return s.cfg.NodeID }
+
+// AddMetricsAppender registers fn to run at the end of every metrics
+// exposition (WriteMetrics / GET /v1/metrics). Layers above the service —
+// the cluster router's per-peer forwarding counters — use it so one
+// scrape target covers the whole node.
+func (s *Service) AddMetricsAppender(fn func(io.Writer)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metricsExtra = append(s.metricsExtra, fn)
+}
 
 // Drain gracefully shuts down: new submits are rejected, queued and
 // running jobs finish, workers exit, and the stores are closed. If ctx
@@ -785,12 +897,14 @@ func (g *progressGauge) snapshot() *Progress {
 }
 
 // status renders the externally visible snapshot; callers hold s.mu.
-func (j *job) status() JobStatus {
+func (s *Service) status(j *job) JobStatus {
 	st := JobStatus{
 		ID:        j.id,
 		State:     j.state,
 		Cached:    j.cached,
 		Spec:      j.spec,
+		Tenant:    j.tenant,
+		Node:      s.cfg.NodeID,
 		Metrics:   j.result,
 		Artifacts: j.artifacts,
 	}

@@ -1,0 +1,299 @@
+package simd
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Per-tenant admission control. Every RunRequest may carry a tenant ID;
+// a token-bucket quota table converts the old global 503 backpressure
+// into per-tenant 429 + Retry-After, and the run queue becomes a set of
+// per-tenant FIFOs drained by weighted round-robin so a flooding tenant
+// cannot starve a light one. With no quotas configured (the default) a
+// single anonymous tenant exists and both mechanisms degenerate to the
+// original FIFO-plus-global-503 behavior exactly.
+
+// TenantQuota is one tenant's admission budget.
+type TenantQuota struct {
+	// Rate is the sustained admission rate in new unique runs per second
+	// (token-bucket refill). Cached and deduplicated submits are free:
+	// they consume no simulation capacity. Rate <= 0 means unlimited.
+	Rate float64
+	// Burst is the bucket capacity — the most admissions the tenant can
+	// make instantaneously — and also bounds how many of the tenant's
+	// unique runs may sit in the queue at once (so one tenant cannot fill
+	// the global queue inside its rate budget). 0 defaults to
+	// max(1, ceil(Rate)).
+	Burst int
+	// Weight is the tenant's share of the worker pool when queues are
+	// contended: the weighted round-robin dispatcher serves up to Weight
+	// jobs from this tenant's queue per visit. 0 defaults to 1.
+	Weight int
+}
+
+func (q TenantQuota) withDefaults() TenantQuota {
+	if q.Burst <= 0 {
+		q.Burst = int(q.Rate)
+		if float64(q.Burst) < q.Rate {
+			q.Burst++
+		}
+		if q.Burst < 1 {
+			q.Burst = 1
+		}
+	}
+	if q.Weight <= 0 {
+		q.Weight = 1
+	}
+	return q
+}
+
+// TenantConfig is the service's quota table.
+type TenantConfig struct {
+	// Quotas maps tenant ID to its admission budget.
+	Quotas map[string]TenantQuota
+	// Default, when non-nil, applies to every tenant without an explicit
+	// entry (including the anonymous "" tenant). Nil means unlisted
+	// tenants are unlimited — the pre-tenancy behavior.
+	Default *TenantQuota
+}
+
+// quotaFor resolves one tenant's effective quota; ok is false when the
+// tenant is unlimited (no admission control applies).
+func (c TenantConfig) quotaFor(tenant string) (TenantQuota, bool) {
+	if q, ok := c.Quotas[tenant]; ok {
+		return q.withDefaults(), true
+	}
+	if c.Default != nil {
+		return c.Default.withDefaults(), true
+	}
+	return TenantQuota{}, false
+}
+
+// QuotaError reports a submit rejected by per-tenant admission control;
+// the HTTP layer maps it to 429 + Retry-After.
+type QuotaError struct {
+	// Tenant is the over-quota tenant ("" for anonymous submitters).
+	Tenant string
+	// RetryAfter estimates when the token bucket will cover the rejected
+	// batch (floor 1s, so clients always get a usable hint).
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	name := e.Tenant
+	if name == "" {
+		name = "(anonymous)"
+	}
+	return fmt.Sprintf("simd: tenant %s over admission quota, retry in %s", name, e.RetryAfter)
+}
+
+// bucket is a token bucket refilled continuously at rate tokens/second.
+type bucket struct {
+	tokens float64
+	last   time.Time
+	quota  TenantQuota
+}
+
+// take refills to now and removes n tokens if available; on refusal it
+// returns how long until n tokens will have accumulated.
+func (b *bucket) take(n int, now time.Time) (ok bool, wait time.Duration) {
+	if b.quota.Rate <= 0 {
+		// Unlimited rate: only Burst (queue share) constrains the tenant.
+		return true, 0
+	}
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.quota.Rate
+	}
+	b.last = now
+	if max := float64(b.quota.Burst); b.tokens > max {
+		b.tokens = max
+	}
+	if b.tokens >= float64(n) {
+		b.tokens -= float64(n)
+		return true, 0
+	}
+	deficit := float64(n) - b.tokens
+	wait = time.Duration(deficit / b.quota.Rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return false, wait
+}
+
+// tenantState is one tenant's queue and accounting, guarded by the
+// service mutex like the rest of the job table.
+type tenantState struct {
+	name   string
+	quota  TenantQuota
+	capped bool // quota applies (explicit entry or table default)
+	bucket bucket
+	queue  []*job // queued leaders, FIFO
+	served int    // jobs dispatched in the current WRR visit
+	// inflight counts the tenant's non-terminal jobs (leaders and
+	// followers); rejected counts submits refused by admission control.
+	inflight int
+	rejected uint64
+}
+
+// tenants indexes tenantState by name and keeps the weighted round-robin
+// rotation of tenants with queued work.
+type tenants struct {
+	cfg    TenantConfig
+	byName map[string]*tenantState
+	active []*tenantState // tenants with non-empty queues, rotation order
+	queued int            // total queued leaders across tenants
+}
+
+func newTenants(cfg TenantConfig) *tenants {
+	return &tenants{cfg: cfg, byName: make(map[string]*tenantState)}
+}
+
+func (t *tenants) get(name string) *tenantState {
+	ts, ok := t.byName[name]
+	if !ok {
+		ts = &tenantState{name: name}
+		ts.quota, ts.capped = t.cfg.quotaFor(name)
+		if !ts.capped {
+			// Unlimited tenants still take fair turns in the rotation.
+			ts.quota.Weight = 1
+		}
+		ts.bucket.quota = ts.quota
+		// A new tenant starts with a full bucket: its first Burst
+		// admissions are instant, then the rate takes over.
+		ts.bucket.tokens = float64(ts.quota.Burst)
+		t.byName[name] = ts
+	}
+	return ts
+}
+
+// enqueue appends a leader to its tenant's queue, activating the tenant.
+func (t *tenants) enqueue(j *job) {
+	ts := t.get(j.tenant)
+	if len(ts.queue) == 0 {
+		ts.served = 0
+		t.active = append(t.active, ts)
+	}
+	ts.queue = append(ts.queue, j)
+	t.queued++
+}
+
+// dequeue pops the next leader under weighted round-robin: the tenant at
+// the front of the rotation is served up to Weight consecutive jobs,
+// then rotated to the back. With a single tenant this is plain FIFO.
+func (t *tenants) dequeue() *job {
+	for len(t.active) > 0 {
+		ts := t.active[0]
+		if len(ts.queue) == 0 {
+			t.active = t.active[1:]
+			continue
+		}
+		j := ts.queue[0]
+		ts.queue = ts.queue[1:]
+		t.queued--
+		ts.served++
+		if len(ts.queue) == 0 {
+			t.active = t.active[1:]
+		} else if ts.served >= ts.quota.Weight && ts.quota.Weight > 0 && len(t.active) > 1 {
+			t.active = append(t.active[1:], ts)
+			ts.served = 0
+		}
+		return j
+	}
+	return nil
+}
+
+// remove drops a canceled queued leader from its tenant's queue.
+func (t *tenants) remove(j *job) bool {
+	ts, ok := t.byName[j.tenant]
+	if !ok {
+		return false
+	}
+	for i, q := range ts.queue {
+		if q == j {
+			ts.queue = append(ts.queue[:i], ts.queue[i+1:]...)
+			t.queued--
+			return true
+		}
+	}
+	return false
+}
+
+// admit charges one tenant's bucket for `need` new unique runs and
+// enforces its queue share. Charging is all-or-nothing per batch.
+func (ts *tenantState) admit(need int, now time.Time) error {
+	if !ts.capped || need == 0 {
+		return nil
+	}
+	if len(ts.queue)+need > ts.quota.Burst {
+		// Queue share exhausted: the tenant already holds its burst worth
+		// of queued work. Retry once some of it dispatches.
+		return &QuotaError{Tenant: ts.name, RetryAfter: time.Second}
+	}
+	if ok, wait := ts.bucket.take(need, now); !ok {
+		return &QuotaError{Tenant: ts.name, RetryAfter: wait.Round(time.Second)}
+	}
+	return nil
+}
+
+// TenantStats is one tenant's externally visible accounting.
+type TenantStats struct {
+	// Inflight is the tenant's non-terminal jobs (queued + running,
+	// leaders and deduplicated followers alike).
+	Inflight int `json:"inflight"`
+	// Rejected counts submits refused by admission control since boot.
+	Rejected uint64 `json:"rejected"`
+}
+
+// ParseQuotaSpec parses the fvpd -tenant-quota value format
+// "rate[:burst[:weight]]", e.g. "10", "10:20", "10:20:4".
+func ParseQuotaSpec(s string) (TenantQuota, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) > 3 {
+		return TenantQuota{}, errors.New("quota must be rate[:burst[:weight]]")
+	}
+	var q TenantQuota
+	rate, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil || rate < 0 {
+		return TenantQuota{}, fmt.Errorf("bad quota rate %q", parts[0])
+	}
+	q.Rate = rate
+	if len(parts) > 1 {
+		if q.Burst, err = strconv.Atoi(parts[1]); err != nil || q.Burst < 0 {
+			return TenantQuota{}, fmt.Errorf("bad quota burst %q", parts[1])
+		}
+	}
+	if len(parts) > 2 {
+		if q.Weight, err = strconv.Atoi(parts[2]); err != nil || q.Weight < 0 {
+			return TenantQuota{}, fmt.Errorf("bad quota weight %q", parts[2])
+		}
+	}
+	return q, nil
+}
+
+// ParseTenantQuotas parses the fvpd -tenant-quota flag: a comma-separated
+// list of tenant=rate[:burst[:weight]] entries.
+func ParseTenantQuotas(s string) (map[string]TenantQuota, error) {
+	out := make(map[string]TenantQuota)
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant quota %q must be tenant=rate[:burst[:weight]]", entry)
+		}
+		q, err := ParseQuotaSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %s: %w", name, err)
+		}
+		out[name] = q
+	}
+	if len(out) == 0 {
+		return nil, errors.New("empty -tenant-quota value")
+	}
+	return out, nil
+}

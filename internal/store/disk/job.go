@@ -16,9 +16,10 @@ import (
 //	mark — an ID high-water mark, written by compaction so monotonic IDs
 //	       survive the terminal records being dropped
 type jobLogRec struct {
-	T   string `json:"t"`
-	ID  uint64 `json:"id,omitempty"`
-	Key string `json:"key,omitempty"`
+	T      string `json:"t"`
+	ID     uint64 `json:"id,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
 	// Spec is the opaque encoded run request; encoding/json base64s it.
 	Spec  []byte `json:"spec,omitempty"`
 	State string `json:"state,omitempty"`
@@ -83,7 +84,7 @@ func (s *JobStore) replay(rec jobLogRec) {
 	}
 	switch rec.T {
 	case "enq":
-		r := &store.JobRecord{ID: rec.ID, Key: rec.Key, Spec: append([]byte(nil), rec.Spec...), State: store.JobQueued, Error: rec.Err}
+		r := &store.JobRecord{ID: rec.ID, Key: rec.Key, Tenant: rec.Tenant, Spec: append([]byte(nil), rec.Spec...), State: store.JobQueued, Error: rec.Err}
 		if rec.State != "" {
 			r.State = rec.State // compaction snapshots preserve running
 		}
@@ -115,7 +116,7 @@ func (s *JobStore) Enqueue(rec store.JobRecord) error {
 	if rec.ID > s.nextID {
 		s.nextID = rec.ID
 	}
-	payload, err := json.Marshal(jobLogRec{T: "enq", ID: rec.ID, Key: rec.Key, Spec: rec.Spec})
+	payload, err := json.Marshal(jobLogRec{T: "enq", ID: rec.ID, Key: rec.Key, Tenant: rec.Tenant, Spec: rec.Spec})
 	if err != nil {
 		return err
 	}
@@ -176,7 +177,7 @@ func (s *JobStore) maybeCompactLocked() error {
 			delete(s.jobs, id)
 			continue
 		}
-		payload, err := json.Marshal(jobLogRec{T: "enq", ID: j.ID, Key: j.Key, Spec: j.Spec, State: j.State, Err: j.Error})
+		payload, err := json.Marshal(jobLogRec{T: "enq", ID: j.ID, Key: j.Key, Tenant: j.Tenant, Spec: j.Spec, State: j.State, Err: j.Error})
 		if err != nil {
 			return err
 		}

@@ -90,7 +90,7 @@ func (s *MemoryJobStore) Stats() Stats {
 func (s *MemoryJobStore) Close() error { return nil }
 
 func jobRecordBytes(rec JobRecord) int64 {
-	return int64(len(rec.Key) + len(rec.Spec) + len(rec.Error))
+	return int64(len(rec.Key) + len(rec.Tenant) + len(rec.Spec) + len(rec.Error))
 }
 
 // MemoryResultStore is the default ResultStore: the LRU that used to

@@ -51,6 +51,9 @@ type JobRecord struct {
 	ID uint64
 	// Key is the content-addressed spec key the service deduplicates on.
 	Key string
+	// Tenant attributes the job to its submitter for admission control;
+	// recovery re-admits the job under the same tenant.
+	Tenant string
 	// Spec is the encoded run request (JSON on the wire today).
 	Spec []byte
 	// State is one of the Job* constants.
