@@ -6,6 +6,10 @@
 //     BenchmarkCoreCycleLoop in bench_test.go): simulated instructions per
 //     wall-clock second and heap allocations per 50k-instruction chunk,
 //     compared against the recorded pre-event-driven-scheduler reference.
+//     The default input is a packed binary trace replayed from memory; a
+//     replay section records the same loop driven by the functional
+//     generator, so the artifact shows how much of simulation time was
+//     workload generation.
 //  2. The same loop on an mcf-class DRAM-bound pointer chaser, once with
 //     idle-cycle elision (the default build) and once on the ticking path
 //     (Config.DisableIdleElision), recording the elision speedup and the
@@ -38,6 +42,7 @@
 //	fvpbench -quick                # 8-workload suite, fewer cycle-loop ops
 //	fvpbench -quick -gate BENCH_core.json
 //	fvpbench -out /tmp/bench.json
+//	fvpbench -quick -cpuprofile fvpbench.pprof   # CI flamegraph artifact
 package main
 
 import (
@@ -48,6 +53,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"fvp"
@@ -58,6 +64,7 @@ import (
 	"fvp/internal/simd"
 	"fvp/internal/store"
 	"fvp/internal/store/disk"
+	"fvp/internal/trace"
 	"fvp/internal/vp"
 	"fvp/internal/workload"
 )
@@ -97,6 +104,26 @@ var reference = CycleLoop{
 	AllocsPerOp: 51_813,
 	BytesPerOp:  14_460_000,
 	Note:        "pre-event-driven scheduler (full-window scans), Xeon @ 2.10GHz",
+}
+
+// replayWindowFactor sizes the recorded steady-state window for replay-
+// driven cycle-loop measurements: replayWindowFactor*instsPerOp packed
+// instructions recorded once at setup, then looped (matching the
+// replaySource helper in bench_test.go — 400k insts for the 50k-chunk
+// loop).
+const replayWindowFactor = 8
+
+// ReplaySection compares the cycle loop's two input paths on the same
+// workload: micro-ops produced by the functional generator inside the
+// timed region versus the same stream pre-recorded into the packed binary
+// trace format and replayed from memory (the default input since the
+// data-oriented core landed; the golden replay matrix pins the two paths
+// bit-identical). Speedup is replay inst/s over generator inst/s — the
+// share of simulation time that was workload generation, not timing model.
+type ReplaySection struct {
+	Generator CycleLoop `json:"generator"`
+	Replay    CycleLoop `json:"replay"`
+	Speedup   float64   `json:"replay_speedup"`
 }
 
 // CycleLoop is the steady-state cycle-loop measurement. SkipRatio is the
@@ -226,6 +253,10 @@ type Report struct {
 	SpeedupVsReference float64   `json:"speedup_vs_reference"`
 	AllocsReduction    float64   `json:"allocs_reduction_factor"`
 
+	// Replay is the packed-trace-vs-generator input comparison; CycleLoop
+	// above is its replay row (replay is the default input path).
+	Replay ReplaySection `json:"replay"`
+
 	// The mem-bound loop measured with elision on and again on the ticking
 	// path; MemBoundElisionSpeedup is their inst/s ratio (acceptance floor
 	// for the idle-elision fast path is 1.5x).
@@ -310,15 +341,32 @@ func measureStore(backend string, newStores func() (store.Stores, error), ops in
 // measureCycleLoop reproduces BenchmarkCoreCycleLoop outside the testing
 // package: one core built and warmed outside the timed region, each op
 // advancing the same simulation by another chunk of retired instructions.
-// disableElide forces the per-cycle ticking path even on the default build
-// (the two paths produce bit-identical RunStats; see internal/ooo/elide.go).
-func measureCycleLoop(wlName string, instsPerOp uint64, ops int, disableElide bool) CycleLoop {
+// With replay set (the default input path, matching the benchmark) the
+// instruction stream is recorded once into the packed trace format and
+// looped from memory, so the timed region measures only the timing model;
+// with it clear the functional generator runs inside the loop (the
+// ReplaySection comparison row). disableElide forces the per-cycle ticking
+// path even on the default build (the two paths produce bit-identical
+// RunStats; see internal/ooo/elide.go).
+func measureCycleLoop(wlName string, instsPerOp uint64, ops int, disableElide, replay bool) CycleLoop {
 	w, ok := workload.ByName(wlName)
 	if !ok {
 		fatalf("workload %q not found", wlName)
 	}
 	p := w.Build()
-	ex := prog.NewExec(p)
+	var ex ooo.InstSource = prog.NewExec(p)
+	if replay {
+		window := replayWindowFactor * instsPerOp
+		data, n, err := trace.Record(prog.NewExec(p), window)
+		if err != nil || n < window {
+			fatalf("record %s: got %d/%d insts, err %v", wlName, n, window, err)
+		}
+		src, err := trace.NewMemReader(data, true)
+		if err != nil {
+			fatalf("replay %s: %v", wlName, err)
+		}
+		ex = src
+	}
 	cfg := ooo.Skylake()
 	cfg.DisableIdleElision = disableElide
 	c := ooo.New(cfg, core.New(core.DefaultConfig()), ex, p.BuildMemory())
@@ -505,12 +553,25 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_core.json", "output path")
-		ops   = flag.Int("ops", 20, "cycle-loop measurement chunks")
-		quick = flag.Bool("quick", false, "8-workload suite and fewer chunks")
-		gate  = flag.String("gate", "", "compare against this recorded BENCH_core.json and exit nonzero on a >5% sim MIPS drop")
+		out        = flag.String("out", "BENCH_core.json", "output path")
+		ops        = flag.Int("ops", 20, "cycle-loop measurement chunks")
+		quick      = flag.Bool("quick", false, "8-workload suite and fewer chunks")
+		gate       = flag.String("gate", "", "compare against this recorded BENCH_core.json and exit nonzero on a >5% sim MIPS drop")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	ws := workload.All()
 	opt := harness.Options{WarmupInsts: 20_000, MeasureInsts: 60_000, ReuseCores: true}
@@ -519,16 +580,23 @@ func main() {
 		*ops = 8
 	}
 
-	fmt.Printf("fvpbench: cycle loop (%d ops x %d insts on %s)...\n",
+	fmt.Printf("fvpbench: cycle loop (%d ops x %d insts on %s, replay vs generator input)...\n",
 		*ops, cycleLoopInstsPerOp, reference.Workload)
-	cl := measureCycleLoop(reference.Workload, cycleLoopInstsPerOp, *ops, false)
-	fmt.Printf("  %.0f inst/s, %.1f allocs/op, %.0f B/op, skip ratio %.3f\n",
+	cl := measureCycleLoop(reference.Workload, cycleLoopInstsPerOp, *ops, false, true)
+	clGen := measureCycleLoop(reference.Workload, cycleLoopInstsPerOp, *ops, false, false)
+	clGen.Note = "functional generator inside the timed region"
+	replaySec := ReplaySection{Generator: clGen, Replay: cl}
+	if clGen.InstPerSec > 0 {
+		replaySec.Speedup = cl.InstPerSec / clGen.InstPerSec
+	}
+	fmt.Printf("  replay %.0f inst/s, %.1f allocs/op, %.0f B/op, skip ratio %.3f\n",
 		cl.InstPerSec, cl.AllocsPerOp, cl.BytesPerOp, cl.SkipRatio)
+	fmt.Printf("  generator %.0f inst/s (replay %.2fx)\n", clGen.InstPerSec, replaySec.Speedup)
 
 	fmt.Printf("fvpbench: mem-bound cycle loop (%d ops x %d insts on %s, elided vs ticking)...\n",
 		*ops, memBoundInstsPerOp, memBoundWorkload)
-	mb := measureCycleLoop(memBoundWorkload, memBoundInstsPerOp, *ops, false)
-	mbTick := measureCycleLoop(memBoundWorkload, memBoundInstsPerOp, *ops, true)
+	mb := measureCycleLoop(memBoundWorkload, memBoundInstsPerOp, *ops, false, true)
+	mbTick := measureCycleLoop(memBoundWorkload, memBoundInstsPerOp, *ops, true, true)
 	mbTick.Note = "ticking path (Config.DisableIdleElision)"
 	elisionSpeedup := mb.InstPerSec / mbTick.InstPerSec
 	fmt.Printf("  elided %.0f inst/s (skip ratio %.3f) vs ticking %.0f inst/s: %.2fx\n",
@@ -632,6 +700,7 @@ func main() {
 		Reference:          reference,
 		SpeedupVsReference: cl.InstPerSec / reference.InstPerSec,
 		AllocsReduction:    reference.AllocsPerOp / maxf(cl.AllocsPerOp, 1),
+		Replay:             replaySec,
 
 		CycleLoopMemBound:        mb,
 		CycleLoopMemBoundTicking: mbTick,

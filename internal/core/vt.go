@@ -10,7 +10,15 @@ import "fvp/internal/prog"
 // 2-bit no-predict counter that identifies fluctuating (unpredictable)
 // data, and a 2-bit replacement utility.
 type VT struct {
-	sets     [][]vtEntry
+	// ent holds all ways of all sets in one flat slab (set s occupies
+	// ent[s*ways : (s+1)*ways]). The table sits on the lookup path of
+	// every renamed load, so the extra pointer hop of a [][]vtEntry
+	// layout is measurable; the flat layout keeps a whole set in one or
+	// two cache lines. The set index is key % nsets — nsets (entries /
+	// ways, 24 for the paper's 48x2 table) is not a power of two, and
+	// the mapping is pinned by the golden-stat matrix, so the modulo
+	// stays.
+	ent      []vtEntry
 	nsets    uint64
 	ways     int
 	histBits uint
@@ -21,15 +29,16 @@ type VT struct {
 	Evictions   uint64
 }
 
-// vtEntry is one Value Table way.
+// vtEntry is one Value Table way. Fields are ordered word-first so the
+// struct packs to 32 bytes and a 2-way set spans a single cache line.
 type vtEntry struct {
+	data  uint64
+	lru   uint64
 	tag   uint16
 	valid bool
-	data  uint64
 	conf  uint8 // 3-bit; predict when saturated
 	np    uint8 // 2-bit no-predict; saturated = not predictable
 	util  uint8 // 2-bit
-	lru   uint64
 	// isLoad records the instruction class so non-loads are never
 	// predicted (they allocate with np saturated, §IV-B).
 	isLoad bool
@@ -63,20 +72,17 @@ func NewVT(entries, ways int, histBits uint, seed uint64) *VT {
 		nSets = 1
 	}
 	v := &VT{
-		sets:     make([][]vtEntry, nSets),
+		ent:      make([]vtEntry, nSets*ways),
 		nsets:    uint64(nSets),
 		ways:     ways,
 		histBits: histBits,
 		rng:      prog.NewRNG(seed),
 	}
-	for i := range v.sets {
-		v.sets[i] = make([]vtEntry, ways)
-	}
 	return v
 }
 
 // Entries returns the table's total capacity.
-func (v *VT) Entries() int { return len(v.sets) * v.ways }
+func (v *VT) Entries() int { return len(v.ent) }
 
 // keys: Last-Value uses the PC; Context-Value mixes folded history and a
 // distinguishing constant so LV and CV instances of one PC occupy different
@@ -95,8 +101,21 @@ func (v *VT) cvKey(pc, hist uint64) uint64 {
 	return (pc >> 2) ^ f<<3 ^ 0x5B5
 }
 
+// setBase maps a key to its set's offset in the flat slab. The paper's
+// geometry (48 entries, 2-way → 24 sets) gets a constant-divisor branch:
+// a variable 64-bit modulo is a hardware DIV on the per-rename lookup
+// path, while `% 24` strength-reduces to multiply/shift. Both arms
+// compute the identical mapping, so golden stats don't move.
+func (v *VT) setBase(key uint64) int {
+	if v.nsets == 24 {
+		return int(key%24) * v.ways
+	}
+	return int(key%v.nsets) * v.ways
+}
+
 func (v *VT) find(key uint64) *vtEntry {
-	set := v.sets[key%v.nsets]
+	base := v.setBase(key)
+	set := v.ent[base : base+v.ways]
 	tag := uint16(key) & (1<<vtTagBits - 1)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
@@ -119,7 +138,8 @@ func (v *VT) FindCV(pc, hist uint64) *vtEntry { return v.find(v.cvKey(pc, hist))
 // the set still has utility (the paper's tables decline allocation rather
 // than thrash; residents are aged).
 func (v *VT) allocate(key uint64, value uint64, isLoad, isContext bool) *vtEntry {
-	set := v.sets[key%v.nsets]
+	base := v.setBase(key)
+	set := v.ent[base : base+v.ways]
 	tag := uint16(key) & (1<<vtTagBits - 1)
 	v.tick++
 	victim := -1

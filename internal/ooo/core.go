@@ -23,60 +23,6 @@ const (
 	sDone                   // result available
 )
 
-// rent is one reorder-buffer entry.
-type rent struct {
-	d     isa.DynInst
-	state uint8
-	inIQ  bool
-
-	// Register dependences: per source, either the producing in-window
-	// entry (prodIdx/prodSeq) or immediate availability.
-	src [2]srcDep
-
-	// FVP bookkeeping captured at rename.
-	parents  [2]uint64
-	nparents int
-	histSnap uint64
-
-	issueAt uint64
-	doneAt  uint64
-
-	// Memory.
-	addrKnownAt  uint64 // stores: address resolved
-	fwdFromSeq   uint64 // loads: seq of forwarding store (0 = none)
-	waitStore    int    // rob idx of store a deferred load waits on
-	issuedToMem  bool
-	lvl          memsys.Level
-	waitStoreSeq uint64 // seq of the store a deferred load waits on
-	ssWaitIdx    int    // store-sets: rob idx of the store to wait for (-1 none)
-	ssWaitSeq    uint64 // store-sets: seq of that store
-
-	// Value prediction.
-	predicted   bool
-	predValue   uint64
-	predAvailAt uint64
-	linkStore   int    // rob idx of MR-linked store, -1 = none
-	fwdPredSeq  uint64 // seq of the MR-linked store
-	validated   bool
-
-	// Branches.
-	brMispredict bool
-
-	// Scheduler bookkeeping: entry is in the ready queue (see sched.go).
-	inReadyQ bool
-
-	// Criticality.
-	critProd    int // rob idx of the last-arriving producer (-1 = none)
-	critProdSeq uint64
-}
-
-type srcDep struct {
-	prodIdx int
-	prodSeq uint64
-	availAt uint64
-	hasProd bool
-}
-
 // fetchEnt is a fetched-but-not-renamed micro-op. Replayed entries keep the
 // branch outcome and history snapshot from their first fetch so predictors
 // are not double-trained on flush replay.
@@ -112,7 +58,9 @@ type Core struct {
 	// consumed before nextInst overwrites the scratch.
 	fetchScratch fetchEnt
 
-	rob   []rent
+	// w is the struct-of-arrays reorder buffer (see soa.go); head/count
+	// are the circular-buffer cursors over its slots.
+	w     window
 	head  int
 	count int
 
@@ -122,6 +70,10 @@ type Core struct {
 	regPC    [isa.NumArchRegs]uint64
 	retRegPC [isa.NumArchRegs]uint64
 
+	// Occupancy counters for the LQ/SQ/IQ partitions of the window. These
+	// are the slab occupancy counters the Observer samples — occupancy is
+	// maintained incrementally at rename/retire/flush, never by walking
+	// window structures.
 	lqCount, sqCount, iqCount int
 
 	now             uint64
@@ -266,8 +218,8 @@ func New(cfg Config, pred vp.Predictor, src InstSource, initMem *prog.Memory) *C
 		ss:   memdep.New(cfg.SSITBits, cfg.LFSTBits),
 		pred: pred,
 		src:  src,
-		rob:  make([]rent, cfg.ROBSize),
 	}
+	c.w.init(cfg.ROBSize)
 	if initMem != nil {
 		c.shadow = initMem.Clone()
 	} else {
@@ -293,10 +245,10 @@ func New(cfg Config, pred vp.Predictor, src InstSource, initMem *prog.Memory) *C
 
 // Reset restores the core to the state New produces for the same config with
 // the given predictor, instruction source and initial memory image, reusing
-// every allocation (window, caches, predictor tables, scheduler queues). A
-// reset core must be observationally identical to a fresh one — the harness
-// pools cores across runs on the strength of that equivalence, and
-// TestResetEquivalence enforces it.
+// every allocation (window slabs, caches, predictor tables, scheduler
+// queues). A reset core must be observationally identical to a fresh one —
+// the harness pools cores across runs on the strength of that equivalence,
+// and TestResetEquivalence enforces it.
 func (c *Core) Reset(pred vp.Predictor, src InstSource, initMem *prog.Memory) {
 	if pred == nil {
 		pred = vp.None{}
@@ -315,9 +267,7 @@ func (c *Core) Reset(pred vp.Predictor, src InstSource, initMem *prog.Memory) {
 	c.pending = nil
 	c.fetchScratch = fetchEnt{}
 
-	for i := range c.rob {
-		c.rob[i] = rent{}
-	}
+	c.w.reset()
 	c.head = 0
 	c.count = 0
 	c.regProd = [isa.NumArchRegs]srcDep{}
@@ -389,91 +339,93 @@ func (c *Core) Branch() *branch.Unit { return c.bu }
 // StoreSets exposes the disambiguation predictor for inspection.
 func (c *Core) StoreSets() *memdep.StoreSets { return c.ss }
 
-func (c *Core) idx(i int) int { return (c.head + i) % len(c.rob) }
+func (c *Core) idx(i int) int { return (c.head + i) % len(c.w.inst) }
 
 // distFromHead returns the window position of rob slot ri (0 = head).
 func (c *Core) distFromHead(ri int) int {
-	return (ri - c.head + len(c.rob)) % len(c.rob)
+	return (ri - c.head + len(c.w.inst)) % len(c.w.inst)
 }
 
-// destAvail reports when entry e's register result is usable by consumers,
+// destAvail reports when slot i's register result is usable by consumers,
 // accounting for value prediction (including MR store links).
-func (c *Core) destAvail(e *rent) (uint64, bool) {
+func (c *Core) destAvail(i int) (uint64, bool) {
 	avail := ^uint64(0)
 	ok := false
-	if e.state == sDone {
-		avail, ok = e.doneAt, true
+	if c.w.state[i] == sDone {
+		avail, ok = c.w.doneAt[i], true
 	}
-	if e.predicted {
-		if e.linkStore >= 0 {
-			st := &c.rob[e.linkStore]
-			if st.d.Seq == e.predLinkSeq() {
-				if st.state == sDone {
-					if !ok || st.doneAt < avail {
-						avail, ok = st.doneAt, true
+	if c.w.flags[i]&fPredicted != 0 {
+		p := &c.w.pred[i]
+		if p.link >= 0 {
+			li := int(p.link)
+			if c.w.seq[li] == p.linkSeq {
+				if c.w.state[li] == sDone {
+					if da := c.w.doneAt[li]; !ok || da < avail {
+						avail, ok = da, true
 					}
 				}
 			} else {
 				// Linked store already retired: data was ready
 				// no later than the link's own availability.
-				if !ok || e.predAvailAt < avail {
-					avail, ok = e.predAvailAt, true
+				if !ok || p.availAt < avail {
+					avail, ok = p.availAt, true
 				}
 			}
-		} else if !ok || e.predAvailAt < avail {
-			avail, ok = e.predAvailAt, true
+		} else if !ok || p.availAt < avail {
+			avail, ok = p.availAt, true
 		}
 	}
 	return avail, ok
 }
 
-// predLinkSeq returns the seq the load's MR link was made against.
-func (e *rent) predLinkSeq() uint64 { return e.fwdPredSeq }
-
-// srcReady reports whether source s of entry e is available at cycle now,
+// srcReady reports whether source s of slot i is available at cycle now,
 // and the cycle it became available.
-func (c *Core) srcReady(e *rent, s int, now uint64) (uint64, bool) {
-	d := &e.src[s]
+func (c *Core) srcReady(i, s int, now uint64) (uint64, bool) {
+	d := &c.w.src[2*i+s]
 	if !d.hasProd {
 		return d.availAt, d.availAt <= now
 	}
-	p := &c.rob[d.prodIdx]
-	if p.d.Seq != d.prodSeq {
+	pi := int(d.prodIdx)
+	if c.w.seq[pi] != d.prodSeq {
 		// Producer retired (slot recycled): value long available.
 		d.hasProd = false
 		d.availAt = 0
 		return 0, true
 	}
-	avail, ok := c.destAvail(p)
+	avail, ok := c.destAvail(pi)
 	if ok && avail <= now {
 		return avail, true
 	}
 	return avail, false
 }
 
-// ready reports whether all sources of e are available at now; it also
+// ready reports whether all sources of slot i are available at now; it also
 // records the last-arriving producer for criticality walks.
-func (c *Core) ready(e *rent, now uint64) bool {
+func (c *Core) ready(i int, now uint64) bool {
 	var latest uint64
-	latestProd := -1
+	latestProd := int32(-1)
 	for s := 0; s < 2; s++ {
-		if e.src[s].availAt == 0 && !e.src[s].hasProd {
+		d := &c.w.src[2*i+s]
+		if d.availAt == 0 && !d.hasProd {
 			continue
 		}
-		avail, ok := c.srcReady(e, s, now)
+		avail, ok := c.srcReady(i, s, now)
 		if !ok {
 			return false
 		}
 		if avail >= latest {
 			latest = avail
-			if e.src[s].hasProd {
-				latestProd = e.src[s].prodIdx
+			// Re-read hasProd: srcReady clears it when the producer
+			// retired.
+			if d.hasProd {
+				latestProd = d.prodIdx
 			}
 		}
 	}
-	e.critProd = latestProd
+	cold := &c.w.cold[i]
+	cold.crit = latestProd
 	if latestProd >= 0 {
-		e.critProdSeq = c.rob[latestProd].d.Seq
+		cold.critSeq = c.w.seq[latestProd]
 	}
 	return true
 }

@@ -112,9 +112,9 @@ func (c *Core) elideIdle() {
 		c.Stats.Breakdown[CycFrontend] += k
 		return
 	}
-	hd := &c.rob[c.head]
+	hd := c.head
 	c.Stats.RetireStallCycles += k
-	if hd.d.Op.IsLoad() {
+	if c.w.inst[hd].Op.IsLoad() {
 		c.Stats.StallHeadLoads += k
 	} else {
 		c.Stats.StallHeadOther += k
@@ -122,5 +122,5 @@ func (c *Core) elideIdle() {
 	c.Stats.Breakdown[c.classifyStall(hd)] += k
 	// No oracleWalk here: the ticking loop walks once per new stall-head
 	// seq, and this head already stalled (and walked) on the cycle that
-	// preceded the jump — lastStallSeq == hd.d.Seq.
+	// preceded the jump — lastStallSeq == the head's seq.
 }

@@ -36,16 +36,11 @@ const goldenInsts = 20_000
 
 const goldenPath = "testdata/golden_stats.json"
 
-// goldenWorkloads is a representative 13-entry slice of the study list:
-// every builder template (indirect, chase, compute, branchy, stream,
-// stencil, hash, mixed) and every Table-III category appears. mcf-17 joins
-// mcf as a second DRAM-bound pointer chaser: the memory-bound tail is where
-// idle-cycle elision skips most, so it gets double coverage.
-var goldenWorkloads = []string{
-	"omnetpp", "mcf", "gcc", "hmmer", "sjeng", "libquantum",
-	"milc", "sphinx3", "leela", "lbm", "cassandra", "hadoop",
-	"mcf-17",
-}
+// goldenWorkloads is the canonical 13-entry matrix slice, shared with
+// `tracegen -suite` and the replay equivalence test so every consumer of
+// "the golden matrix" means the same workloads (see workload.GoldenMatrix
+// for the selection rationale).
+var goldenWorkloads = workload.GoldenMatrix()
 
 // goldenPredictors names the predictor arms: the no-VP baseline, the
 // prior-art MR predictor, and the paper's FVP.

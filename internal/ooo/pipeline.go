@@ -96,12 +96,12 @@ func classOf(op isa.Op) int {
 func (c *Core) stageRetire() {
 	retired := 0
 	for retired < c.cfg.RetireWidth && c.count > 0 {
-		e := &c.rob[c.head]
-		if e.state != sDone || e.doneAt > c.now {
+		h := c.head
+		if c.w.state[h] != sDone || c.w.doneAt[h] > c.now {
 			break
 		}
-		c.commit(e)
-		c.head = (c.head + 1) % len(c.rob)
+		c.commit(h)
+		c.head = (c.head + 1) % len(c.w.inst)
 		c.count--
 		retired++
 	}
@@ -116,27 +116,28 @@ func (c *Core) stageRetire() {
 		return
 	}
 	c.Stats.RetireStallCycles++
-	h := &c.rob[c.head]
-	if h.d.Op.IsLoad() {
+	h := c.head
+	if c.w.inst[h].Op.IsLoad() {
 		c.Stats.StallHeadLoads++
 	} else {
 		c.Stats.StallHeadOther++
 	}
 	c.Stats.Breakdown[c.classifyStall(h)]++
-	if h.d.Seq != c.lastStallSeq {
-		c.lastStallSeq = h.d.Seq
+	if c.w.seq[h] != c.lastStallSeq {
+		c.lastStallSeq = c.w.seq[h]
 		c.oracleWalk()
 	}
 }
 
-// classifyStall attributes a retirement-stall cycle to the head's blocker.
-func (c *Core) classifyStall(h *rent) int {
-	switch h.state {
+// classifyStall attributes a retirement-stall cycle to slot i's blocker.
+func (c *Core) classifyStall(i int) int {
+	switch c.w.state[i] {
 	case sWaitStore:
 		return CycStoreFwd
 	case sIssued, sDone:
-		if h.d.Op.IsLoad() && h.issuedToMem {
-			switch h.lvl {
+		isLoad := c.w.inst[i].Op.IsLoad()
+		if isLoad && c.w.flags[i]&fIssuedToMem != 0 {
+			switch c.w.cold[i].lvl {
 			case memsys.LvlL1:
 				return CycMemL1
 			case memsys.LvlL2:
@@ -147,7 +148,7 @@ func (c *Core) classifyStall(h *rent) int {
 				return CycMemDRAM
 			}
 		}
-		if h.d.Op.IsLoad() {
+		if isLoad {
 			return CycStoreFwd
 		}
 		return CycExec
@@ -156,8 +157,9 @@ func (c *Core) classifyStall(h *rent) int {
 	}
 }
 
-func (c *Core) commit(e *rent) {
-	d := &e.d
+func (c *Core) commit(i int) {
+	d := &c.w.inst[i]
+	fl := c.w.flags[i]
 	if c.trc != nil {
 		c.trc.PipeEvent(EvRetire, c.now, d, 0)
 	}
@@ -167,11 +169,11 @@ func (c *Core) commit(e *rent) {
 	case d.Op.IsLoad():
 		c.Stats.RetiredLoads++
 		c.Meter.Loads++
-		if e.predicted {
+		if fl&fPredicted != 0 {
 			c.Meter.PredictedLoads++
 		}
-		if e.issuedToMem {
-			c.Stats.LoadsByLevel[e.lvl]++
+		if fl&fIssuedToMem != 0 {
+			c.Stats.LoadsByLevel[c.w.cold[i].lvl]++
 		} else {
 			c.Stats.LoadsByLevel[memsys.LvlL1]++
 		}
@@ -185,11 +187,11 @@ func (c *Core) commit(e *rent) {
 		c.sqCount--
 		c.stWin.popFront()
 	default:
-		if e.predicted {
+		if fl&fPredicted != 0 {
 			c.Meter.PredictedOther++
 		}
 	}
-	if e.d.HasDest() {
+	if d.HasDest() {
 		c.retRegPC[d.Dst] = d.PC
 	}
 	c.pred.OnRetire(d)
@@ -236,28 +238,27 @@ func (c *Core) brChainHit(pc uint64) bool {
 func (c *Core) oracleWalk() {
 	i := c.head
 	for step := 0; step < 64; step++ {
-		e := &c.rob[i]
-		c.oracleInsert(e.d.PC)
+		c.oracleInsert(c.w.inst[i].PC)
 		next := -1
 		// Prefer a still-blocking producer; otherwise the recorded
 		// last-arriving one.
 		for s := 0; s < 2; s++ {
-			if !e.src[s].hasProd {
+			d := &c.w.src[2*i+s]
+			if !d.hasProd {
 				continue
 			}
-			p := &c.rob[e.src[s].prodIdx]
-			if p.d.Seq != e.src[s].prodSeq {
+			pi := int(d.prodIdx)
+			if c.w.seq[pi] != d.prodSeq {
 				continue
 			}
-			if avail, ok := c.destAvail(p); !ok || avail > c.now {
-				next = e.src[s].prodIdx
+			if avail, ok := c.destAvail(pi); !ok || avail > c.now {
+				next = pi
 				break
 			}
 		}
-		if next < 0 && e.critProd >= 0 {
-			p := &c.rob[e.critProd]
-			if p.d.Seq == e.critProdSeq {
-				next = e.critProd
+		if next < 0 {
+			if cold := &c.w.cold[i]; cold.crit >= 0 && c.w.seq[cold.crit] == cold.critSeq {
+				next = int(cold.crit)
 			}
 		}
 		if next < 0 || next == i {
@@ -297,10 +298,10 @@ func (c *Core) stageWriteback() {
 	cand := c.wbCand[:0]
 	for len(c.done) > 0 && c.done[0].at <= c.now {
 		ev := c.done.pop()
-		e := &c.rob[ev.idx]
+		ei := int(ev.idx)
 		// Drop events whose entry was squashed or re-issued with a
 		// different completion time since the event was scheduled.
-		if e.d.Seq == ev.seq && e.state == sIssued && e.doneAt == ev.at {
+		if c.w.seq[ei] == ev.seq && c.w.state[ei] == sIssued && c.w.doneAt[ei] == ev.at {
 			cand = append(cand, schedRef{idx: ev.idx, seq: ev.seq})
 		}
 	}
@@ -314,45 +315,44 @@ func (c *Core) stageWriteback() {
 	}
 	sortWindowOrder(cand)
 	for _, ref := range cand {
-		ri := ref.idx
-		e := &c.rob[ri]
-		if e.d.Seq != ref.seq {
+		ri := int(ref.idx)
+		if c.w.seq[ri] != ref.seq {
 			continue // squashed since the ref was taken
 		}
-		switch e.state {
+		switch c.w.state[ri] {
 		case sIssued:
-			if e.d.Op.IsStore() && e.doneAt == 0 {
+			if c.w.doneAt[ri] == 0 && c.w.inst[ri].Op.IsStore() {
 				// Address resolved; waiting for store data.
-				if avail, ok := c.srcReady(e, 1, c.now); ok {
-					dr := e.addrKnownAt
+				if avail, ok := c.srcReady(ri, 1, c.now); ok {
+					dr := c.w.cold[ri].addrKnownAt
 					if avail > dr {
 						dr = avail
 					}
 					if c.now > dr {
 						dr = c.now
 					}
-					e.doneAt = dr
+					c.w.doneAt[ri] = dr
 				}
 			}
-			switch {
-			case e.doneAt != 0 && e.doneAt <= c.now:
-				c.complete(ri, e, &flush)
-			case e.doneAt == 0:
+			switch da := c.w.doneAt[ri]; {
+			case da != 0 && da <= c.now:
+				c.complete(ri, &flush)
+			case da == 0:
 				c.pendStores = append(c.pendStores, ref)
 			default:
-				c.scheduleDone(ri, e)
+				c.scheduleDone(ri)
 			}
 		case sWaitStore:
-			c.retryWaitStore(ri, e)
+			c.retryWaitStore(ri)
 			switch {
-			case e.state == sIssued && e.doneAt != 0 && e.doneAt <= c.now:
-				c.complete(ri, e, &flush)
-			case e.state == sIssued:
-				c.scheduleDone(ri, e)
-			case e.state == sWaiting:
+			case c.w.state[ri] == sIssued && c.w.doneAt[ri] != 0 && c.w.doneAt[ri] <= c.now:
+				c.complete(ri, &flush)
+			case c.w.state[ri] == sIssued:
+				c.scheduleDone(ri)
+			case c.w.state[ri] == sWaiting:
 				// Released by address disambiguation: eligible for
 				// this cycle's issue stage, like the full scan.
-				c.armIssue(ri, e)
+				c.armIssue(ri)
 			default:
 				c.waiters = append(c.waiters, ref)
 			}
@@ -365,65 +365,69 @@ func (c *Core) stageWriteback() {
 }
 
 // retryWaitStore advances a load that deferred on an older store's data.
-func (c *Core) retryWaitStore(ri int, e *rent) {
-	st := &c.rob[e.waitStore]
-	if st.d.Seq != e.waitStoreSeq {
+func (c *Core) retryWaitStore(ri int) {
+	cold := &c.w.cold[ri]
+	si := int(cold.waitIdx)
+	if c.w.seq[si] != cold.waitSeq {
 		// The store retired: its data is in the cache by now.
-		done, lvl := c.hier.Load(c.now, e.d.Addr, e.d.PC)
-		e.state = sIssued
-		e.doneAt = done
-		e.lvl = lvl
-		e.issuedToMem = true
+		done, lvl := c.hier.Load(c.now, c.w.inst[ri].Addr, c.w.inst[ri].PC)
+		c.w.state[ri] = sIssued
+		c.w.doneAt[ri] = done
+		cold.lvl = lvl
+		c.w.flags[ri] |= fIssuedToMem
 		return
 	}
-	if st.addrKnownAt != 0 && st.addrKnownAt <= c.now && st.d.Addr != e.d.Addr {
+	stCold := &c.w.cold[si]
+	if stCold.addrKnownAt != 0 && stCold.addrKnownAt <= c.now && c.w.inst[si].Addr != c.w.inst[ri].Addr {
 		// The load was parked behind an unresolved store (conservative
 		// disambiguation) that turned out not to alias: release it back
 		// to the scheduler as soon as the address disambiguates.
-		e.state = sWaiting
-		e.inIQ = true
+		c.w.state[ri] = sWaiting
+		c.w.flags[ri] |= fInIQ
 		c.iqCount++
 		return
 	}
-	if st.doneAt != 0 && st.doneAt <= c.now {
-		start := st.doneAt
+	if stDone := c.w.doneAt[si]; stDone != 0 && stDone <= c.now {
+		start := stDone
 		if c.now > start {
 			start = c.now
 		}
-		e.state = sIssued
-		e.doneAt = start + c.cfg.ForwardLat
-		e.fwdFromSeq = st.d.Seq
+		c.w.state[ri] = sIssued
+		c.w.doneAt[ri] = start + c.cfg.ForwardLat
+		cold.fwdFromSeq = c.w.seq[si]
 		c.Stats.Forwards++
-		c.pred.OnForward(e.d.PC, st.d.PC)
+		c.pred.OnForward(c.w.inst[ri].PC, c.w.inst[si].PC)
 	}
 }
 
-// complete finishes execution of entry ri: validation, training, branch
+// complete finishes execution of slot ri: validation, training, branch
 // resolution.
-func (c *Core) complete(ri int, e *rent, flush *flushReq) {
+func (c *Core) complete(ri int, flush *flushReq) {
 	c.activity = true
-	e.state = sDone
-	d := &e.d
+	c.w.state[ri] = sDone
+	d := &c.w.inst[ri]
+	cold := &c.w.cold[ri]
 	if c.trc != nil {
-		c.trc.PipeEvent(EvComplete, e.doneAt, d, 0)
+		c.trc.PipeEvent(EvComplete, c.w.doneAt[ri], d, 0)
 	}
 	dist := c.distFromHead(ri)
 	nearHead := dist < c.cfg.RetireWidth
 
 	info := vp.TrainInfo{NearHead: nearHead}
+	fl := c.w.flags[ri]
 	if d.Op.IsLoad() {
-		info.Forwarded = e.fwdFromSeq != 0
-		if e.issuedToMem {
-			info.L1Miss = e.lvl > memsys.LvlL1
-			info.LLCMiss = e.lvl == memsys.LvlMem
+		info.Forwarded = cold.fwdFromSeq != 0
+		if fl&fIssuedToMem != 0 {
+			info.L1Miss = cold.lvl > memsys.LvlL1
+			info.LLCMiss = cold.lvl == memsys.LvlMem
 		}
 	}
 	info.OracleCritical = c.oracleHit(d.PC)
 	info.MispredictedBranchChain = c.brChainHit(d.PC)
 
-	if e.predicted && !e.validated {
-		e.validated = true
-		correct := e.predValue == d.Value
+	if fl&(fPredicted|fValidated) == fPredicted {
+		c.w.flags[ri] = fl | fValidated
+		correct := cold.predValue == d.Value
 		info.WasPredicted = true
 		info.Correct = correct
 		if c.trc != nil {
@@ -431,7 +435,7 @@ func (c *Core) complete(ri int, e *rent, flush *flushReq) {
 			if correct {
 				ev = EvVPCorrect
 			}
-			c.trc.PipeEvent(ev, c.now, d, e.predValue)
+			c.trc.PipeEvent(ev, c.now, d, cold.predValue)
 		}
 		if correct {
 			c.Meter.Correct++
@@ -443,17 +447,17 @@ func (c *Core) complete(ri int, e *rent, flush *flushReq) {
 		}
 	}
 
-	c.ctx.Hist = e.histSnap
-	c.ctx.Parents = e.parents
-	c.ctx.NumParents = e.nparents
+	c.ctx.Hist = cold.histSnap
+	c.ctx.Parents = cold.parents
+	c.ctx.NumParents = int(cold.nparents)
 	c.pred.Train(d, &c.ctx, info)
 
 	if d.Op.IsStore() {
 		c.ss.CompleteStore(d.PC, d.Seq)
 	}
-	if e.brMispredict && c.redirectActive && c.redirectSeq == d.Seq {
+	if fl&fBrMispredict != 0 && c.redirectActive && c.redirectSeq == d.Seq {
 		c.redirectActive = false
-		resume := e.doneAt + c.cfg.BranchMispredictPenalty
+		resume := c.w.doneAt[ri] + c.cfg.BranchMispredictPenalty
 		if resume > c.fetchStallUntil {
 			c.fetchStallUntil = resume
 		}

@@ -59,39 +59,38 @@ func (c *Core) stageIssue() {
 	b := c.budget()
 	cand := c.issueCand[:0]
 	for _, ref := range c.readyQ {
-		e := &c.rob[ref.idx]
-		if e.d.Seq == ref.seq && e.state == sWaiting && e.inReadyQ {
+		ei := int(ref.idx)
+		if c.w.seq[ei] == ref.seq && c.w.state[ei] == sWaiting && c.w.flags[ei]&fInReadyQ != 0 {
 			cand = append(cand, ref)
 		}
 	}
 	c.readyQ = c.readyQ[:0]
 	sortWindowOrder(cand)
 	for _, ref := range cand {
-		ri := ref.idx
-		e := &c.rob[ri]
-		if e.d.Seq != ref.seq || e.state != sWaiting {
+		ri := int(ref.idx)
+		if c.w.seq[ri] != ref.seq || c.w.state[ri] != sWaiting {
 			continue // squashed by a flush earlier in this pass
 		}
-		class := classOf(e.d.Op)
+		class := classOf(c.w.inst[ri].Op)
 		switch class {
 		case classStore:
 			// Store-address issue needs only the address source.
-			if _, ok := c.srcReady(e, 0, c.now); !ok {
-				c.parkIssue(ri, e, true)
+			if _, ok := c.srcReady(ri, 0, c.now); !ok {
+				c.parkIssue(ri, true)
 				continue
 			}
 			if !b.take(class) {
 				c.readyQ = append(c.readyQ, ref) // stay armed
 				continue
 			}
-			e.inReadyQ = false
-			c.issueStore(ri, e)
+			c.w.flags[ri] &^= fInReadyQ
+			c.issueStore(ri)
 		case classLoad:
-			if !c.ready(e, c.now) {
-				c.parkIssue(ri, e, false)
+			if !c.ready(ri, c.now) {
+				c.parkIssue(ri, false)
 				continue
 			}
-			if !c.loadMayIssue(e) {
+			if !c.loadMayIssue(ri) {
 				c.readyQ = append(c.readyQ, ref) // stay armed
 				continue
 			}
@@ -99,27 +98,26 @@ func (c *Core) stageIssue() {
 				c.readyQ = append(c.readyQ, ref) // stay armed
 				continue
 			}
-			e.inReadyQ = false
-			c.issueLoad(ri, e)
+			c.w.flags[ri] &^= fInReadyQ
+			c.issueLoad(ri)
 		default:
-			if !c.ready(e, c.now) {
-				c.parkIssue(ri, e, false)
+			if !c.ready(ri, c.now) {
+				c.parkIssue(ri, false)
 				continue
 			}
 			if !b.take(class) {
 				c.readyQ = append(c.readyQ, ref) // stay armed
 				continue
 			}
-			e.inReadyQ = false
-			e.issueAt = c.now
-			e.state = sIssued
-			e.doneAt = c.now + c.cfg.latencyFor(class)
-			e.inIQ = false
+			c.w.flags[ri] &^= fInReadyQ | fInIQ
+			c.w.cold[ri].issueAt = c.now
+			c.w.state[ri] = sIssued
+			c.w.doneAt[ri] = c.now + c.cfg.latencyFor(class)
 			c.iqCount--
 			if c.trc != nil {
-				c.trc.PipeEvent(EvIssue, c.now, &e.d, 0)
+				c.trc.PipeEvent(EvIssue, c.now, &c.w.inst[ri], 0)
 			}
-			c.scheduleDone(ri, e)
+			c.scheduleDone(ri)
 		}
 	}
 	c.issueCand = cand[:0]
@@ -127,74 +125,78 @@ func (c *Core) stageIssue() {
 
 // loadMayIssue applies the store-sets gate: a load predicted dependent on a
 // specific store waits until that store has produced its data.
-func (c *Core) loadMayIssue(e *rent) bool {
-	if e.ssWaitIdx < 0 {
+func (c *Core) loadMayIssue(ri int) bool {
+	cold := &c.w.cold[ri]
+	if cold.ssWaitIdx < 0 {
 		return true
 	}
-	st := &c.rob[e.ssWaitIdx]
-	if st.d.Seq != e.ssWaitSeq {
-		e.ssWaitIdx = -1 // the store left the window
+	si := int(cold.ssWaitIdx)
+	if c.w.seq[si] != cold.ssWaitSeq {
+		cold.ssWaitIdx = -1 // the store left the window
 		return true
 	}
-	if st.state == sDone || (st.state == sIssued && st.doneAt != 0 && st.doneAt <= c.now) {
-		e.ssWaitIdx = -1
+	if c.w.state[si] == sDone ||
+		(c.w.state[si] == sIssued && c.w.doneAt[si] != 0 && c.w.doneAt[si] <= c.now) {
+		cold.ssWaitIdx = -1
 		return true
 	}
 	return false
 }
 
-func (c *Core) issueStore(ri int, e *rent) {
+func (c *Core) issueStore(ri int) {
 	c.activity = true
-	e.issueAt = c.now
-	e.state = sIssued
-	e.addrKnownAt = c.now + 1
-	e.doneAt = 0 // pending data; stageWriteback resolves
-	e.inIQ = false
+	cold := &c.w.cold[ri]
+	cold.issueAt = c.now
+	c.w.state[ri] = sIssued
+	cold.addrKnownAt = c.now + 1
+	c.w.doneAt[ri] = 0 // pending data; stageWriteback resolves
+	c.w.flags[ri] &^= fInIQ
 	c.iqCount--
 	if c.trc != nil {
-		c.trc.PipeEvent(EvIssue, c.now, &e.d, 0)
+		c.trc.PipeEvent(EvIssue, c.now, &c.w.inst[ri], 0)
 	}
 	// If data is already available the store completes next cycle.
-	if avail, ok := c.srcReady(e, 1, c.now); ok {
-		dr := e.addrKnownAt
+	if avail, ok := c.srcReady(ri, 1, c.now); ok {
+		dr := cold.addrKnownAt
 		if avail > dr {
 			dr = avail
 		}
-		e.doneAt = dr
+		c.w.doneAt[ri] = dr
 	}
-	if e.doneAt != 0 {
-		c.scheduleDone(ri, e)
+	if c.w.doneAt[ri] != 0 {
+		c.scheduleDone(ri)
 	} else {
-		c.pendStores = append(c.pendStores, schedRef{idx: ri, seq: e.d.Seq})
+		c.pendStores = append(c.pendStores, schedRef{idx: int32(ri), seq: c.w.seq[ri]})
 	}
-	c.scanViolations(ri, e)
+	c.scanViolations(ri)
 }
 
 // scanViolations runs when a store's address resolves: any younger load
 // that already obtained data without seeing this store is a memory-order
 // violation (machine clear + store-sets training). Younger deferred loads
 // re-link to this store if it is a better (younger) match.
-func (c *Core) scanViolations(ri int, st *rent) {
+func (c *Core) scanViolations(ri int) {
+	stSeq := c.w.seq[ri]
+	stAddr := c.w.inst[ri].Addr
 	var flush flushReq
 	// Walk only the in-window loads younger than the store, oldest first —
 	// the same visit order the full window scan produced.
-	for j := c.ldWin.searchSeq(st.d.Seq + 1); j < c.ldWin.len(); j++ {
-		li := c.ldWin.at(j).idx
-		le := &c.rob[li]
-		if le.d.Addr != st.d.Addr {
+	for j := c.ldWin.searchSeq(stSeq + 1); j < c.ldWin.len(); j++ {
+		li := int(c.ldWin.at(j).idx)
+		if c.w.inst[li].Addr != stAddr {
 			continue
 		}
-		switch le.state {
+		switch c.w.state[li] {
 		case sIssued, sDone:
-			if le.fwdFromSeq < st.d.Seq {
-				c.ss.Violation(le.d.PC, st.d.PC)
+			if c.w.cold[li].fwdFromSeq < stSeq {
+				c.ss.Violation(c.w.inst[li].PC, c.w.inst[ri].PC)
 				c.Stats.MemOrderFlushes++
 				flush.request(c.distFromHead(li), true, c.cfg.MemFlushPenalty)
 			}
 		case sWaitStore:
-			if le.waitStoreSeq < st.d.Seq {
-				le.waitStore = ri
-				le.waitStoreSeq = st.d.Seq
+			if lc := &c.w.cold[li]; lc.waitSeq < stSeq {
+				lc.waitIdx = int32(ri)
+				lc.waitSeq = stSeq
 			}
 		}
 	}
@@ -203,13 +205,15 @@ func (c *Core) scanViolations(ri int, st *rent) {
 	}
 }
 
-func (c *Core) issueLoad(ri int, e *rent) {
+func (c *Core) issueLoad(ri int) {
 	c.activity = true
-	e.issueAt = c.now
-	e.inIQ = false
+	cold := &c.w.cold[ri]
+	cold.issueAt = c.now
+	c.w.flags[ri] &^= fInIQ
 	c.iqCount--
+	ld := &c.w.inst[ri]
 	if c.trc != nil {
-		c.trc.PipeEvent(EvIssue, c.now, &e.d, 0)
+		c.trc.PipeEvent(EvIssue, c.now, ld, 0)
 	}
 
 	// Search older stores youngest-first for a same-address match with a
@@ -217,46 +221,46 @@ func (c *Core) issueLoad(ri int, e *rent) {
 	// disambiguation — the store-sets gate already ran). The store ring
 	// holds exactly the in-window stores in program order, so the walk
 	// touches only stores instead of every older window entry.
-	for j := c.stWin.searchSeq(e.d.Seq) - 1; j >= 0; j-- {
-		si := c.stWin.at(j).idx
-		st := &c.rob[si]
-		if st.state == sWaiting || st.addrKnownAt == 0 || st.addrKnownAt > c.now {
+	for j := c.stWin.searchSeq(ld.Seq) - 1; j >= 0; j-- {
+		si := int(c.stWin.at(j).idx)
+		stCold := &c.w.cold[si]
+		if c.w.state[si] == sWaiting || stCold.addrKnownAt == 0 || stCold.addrKnownAt > c.now {
 			if c.cfg.ConservativeMemDisambiguation {
 				// Conservative policy: an unresolved older store
 				// blocks the load entirely.
-				e.state = sWaitStore
-				e.waitStore = si
-				e.waitStoreSeq = st.d.Seq
-				c.waiters = append(c.waiters, schedRef{idx: ri, seq: e.d.Seq})
+				c.w.state[ri] = sWaitStore
+				cold.waitIdx = int32(si)
+				cold.waitSeq = c.w.seq[si]
+				c.waiters = append(c.waiters, schedRef{idx: int32(ri), seq: ld.Seq})
 				return
 			}
 			continue // address unknown: speculate past
 		}
-		if st.d.Addr != e.d.Addr {
+		if c.w.inst[si].Addr != ld.Addr {
 			continue
 		}
 		// Conflicting older store found.
-		if st.state == sDone || (st.doneAt != 0 && st.doneAt <= c.now) {
-			e.state = sIssued
-			e.doneAt = c.now + c.cfg.ForwardLat
-			e.fwdFromSeq = st.d.Seq
+		if c.w.state[si] == sDone || (c.w.doneAt[si] != 0 && c.w.doneAt[si] <= c.now) {
+			c.w.state[ri] = sIssued
+			c.w.doneAt[ri] = c.now + c.cfg.ForwardLat
+			cold.fwdFromSeq = c.w.seq[si]
 			c.Stats.Forwards++
-			c.pred.OnForward(e.d.PC, st.d.PC)
-			c.scheduleDone(ri, e)
+			c.pred.OnForward(ld.PC, c.w.inst[si].PC)
+			c.scheduleDone(ri)
 		} else {
-			e.state = sWaitStore
-			e.waitStore = si
-			e.waitStoreSeq = st.d.Seq
-			c.waiters = append(c.waiters, schedRef{idx: ri, seq: e.d.Seq})
+			c.w.state[ri] = sWaitStore
+			cold.waitIdx = int32(si)
+			cold.waitSeq = c.w.seq[si]
+			c.waiters = append(c.waiters, schedRef{idx: int32(ri), seq: ld.Seq})
 		}
 		return
 	}
-	done, lvl := c.hier.Load(c.now, e.d.Addr, e.d.PC)
-	e.state = sIssued
-	e.doneAt = done
-	e.lvl = lvl
-	e.issuedToMem = true
-	c.scheduleDone(ri, e)
+	done, lvl := c.hier.Load(c.now, ld.Addr, ld.PC)
+	c.w.state[ri] = sIssued
+	c.w.doneAt[ri] = done
+	cold.lvl = lvl
+	c.w.flags[ri] |= fIssuedToMem
+	c.scheduleDone(ri)
 }
 
 // ----------------------------------------------------------------- rename
@@ -290,22 +294,13 @@ func (c *Core) stageRename() {
 
 func (c *Core) rename(fe *fetchEnt, vpBudget *int) {
 	c.activity = true
-	slot := (c.head + c.count) % len(c.rob)
+	slot := (c.head + c.count) % len(c.w.inst)
 	// Drop dependence subscriptions left by the slot's previous occupant
 	// (only squashed entries leave any; completion already drains the list).
 	c.deps[slot] = c.deps[slot][:0]
-	e := &c.rob[slot]
-	*e = rent{
-		d:         fe.d,
-		state:     sWaiting,
-		inIQ:      true,
-		linkStore: -1,
-		waitStore: -1,
-		ssWaitIdx: -1,
-		critProd:  -1,
-		histSnap:  fe.histSnap,
-	}
-	d := &e.d
+	c.w.reinit(slot, &fe.d, fe.histSnap)
+	d := &c.w.inst[slot]
+	cold := &c.w.cold[slot]
 
 	// Source lookup through the RAT; parent PCs through RAT-PC.
 	srcRegs := [2]isa.Reg{d.Src1, d.Src2}
@@ -314,20 +309,20 @@ func (c *Core) rename(fe *fetchEnt, vpBudget *int) {
 			continue
 		}
 		rp := c.regProd[r]
-		if rp.hasProd && c.rob[rp.prodIdx].d.Seq == rp.prodSeq {
-			e.src[s] = srcDep{prodIdx: rp.prodIdx, prodSeq: rp.prodSeq, hasProd: true}
+		if rp.hasProd && c.w.seq[rp.prodIdx] == rp.prodSeq {
+			c.w.src[2*slot+s] = srcDep{prodIdx: rp.prodIdx, prodSeq: rp.prodSeq, hasProd: true}
 		}
 		if pc := c.regPC[r]; pc != 0 {
 			dup := false
-			for k := 0; k < e.nparents; k++ {
-				if e.parents[k] == pc {
+			for k := 0; k < int(cold.nparents); k++ {
+				if cold.parents[k] == pc {
 					dup = true
 					break
 				}
 			}
-			if !dup && e.nparents < 2 {
-				e.parents[e.nparents] = pc
-				e.nparents++
+			if !dup && cold.nparents < 2 {
+				cold.parents[cold.nparents] = pc
+				cold.nparents++
 			}
 		}
 	}
@@ -337,80 +332,79 @@ func (c *Core) rename(fe *fetchEnt, vpBudget *int) {
 	case d.Op.IsLoad():
 		if waitSeq, ok := c.ss.DispatchLoad(d.PC); ok {
 			if si, found := c.findStoreBySeq(waitSeq); found {
-				e.ssWaitIdx = si
-				e.ssWaitSeq = waitSeq
+				cold.ssWaitIdx = si
+				cold.ssWaitSeq = waitSeq
 			}
 		}
 		c.lqCount++
-		c.ldWin.pushBack(schedRef{idx: slot, seq: d.Seq})
+		c.ldWin.pushBack(schedRef{idx: int32(slot), seq: d.Seq})
 	case d.Op.IsStore():
 		c.ss.DispatchStore(d.PC, d.Seq)
 		c.sqCount++
-		c.stWin.pushBack(schedRef{idx: slot, seq: d.Seq})
+		c.stWin.pushBack(schedRef{idx: int32(slot), seq: d.Seq})
 	}
 
 	// Value prediction lookup. Every instruction accesses the predictor
 	// (stores deposit their identity in MR's Value File); accepting a
 	// prediction is limited by the per-cycle budget.
 	c.ctx.Hist = fe.histSnap
-	c.ctx.Parents = e.parents
-	c.ctx.NumParents = e.nparents
+	c.ctx.Parents = cold.parents
+	c.ctx.NumParents = int(cold.nparents)
 	p := c.pred.Lookup(d, &c.ctx)
 	if p.Valid && *vpBudget > 0 {
 		switch {
 		case p.StoreLinked:
 			if si, found := c.findStoreBySeq(p.StoreSeq); found {
-				st := &c.rob[si]
-				e.predicted = true
-				e.predValue = st.d.Value
-				e.linkStore = si
-				e.fwdPredSeq = st.d.Seq
+				c.w.flags[slot] |= fPredicted
+				cold.predValue = c.w.inst[si].Value
+				c.w.pred[slot].link = si
+				c.w.pred[slot].linkSeq = c.w.seq[si]
 				*vpBudget--
 			} else if p.DataReady {
-				e.predicted = true
-				e.predValue = p.Value
-				e.predAvailAt = c.now
+				c.w.flags[slot] |= fPredicted
+				cold.predValue = p.Value
+				c.w.pred[slot].availAt = c.now
 				*vpBudget--
 			}
 		default:
-			e.predicted = true
-			e.predValue = p.Value
-			e.predAvailAt = c.now
+			c.w.flags[slot] |= fPredicted
+			cold.predValue = p.Value
+			c.w.pred[slot].availAt = c.now
 			*vpBudget--
 		}
 	}
 
 	// Mispredicting branch: remember its producers for the §VI-A3 signal.
 	if fe.mispred {
-		e.brMispredict = true
+		c.w.flags[slot] |= fBrMispredict
 		c.Stats.BranchMispredicts++
-		for k := 0; k < e.nparents; k++ {
-			c.brChainInsert(e.parents[k])
+		for k := 0; k < int(cold.nparents); k++ {
+			c.brChainInsert(cold.parents[k])
 		}
 	}
 
 	// RAT update.
-	if e.d.HasDest() {
-		c.regProd[d.Dst] = srcDep{prodIdx: slot, prodSeq: d.Seq, hasProd: true}
+	if d.HasDest() {
+		c.regProd[d.Dst] = srcDep{prodIdx: int32(slot), prodSeq: d.Seq, hasProd: true}
 		c.regPC[d.Dst] = d.PC
 	}
 	c.count++
 	c.iqCount++
 	if c.trc != nil {
 		c.trc.PipeEvent(EvRename, c.now, d, 0)
-		if e.predicted {
-			c.trc.PipeEvent(EvPredict, c.now, d, e.predValue)
+		if c.w.flags[slot]&fPredicted != 0 {
+			c.trc.PipeEvent(EvPredict, c.now, d, cold.predValue)
 		}
 	}
 	// Newly renamed entries enter the ready queue; the first issue attempt
 	// parks them on their producers if the sources are not yet available.
-	c.armIssue(slot, e)
+	c.armIssue(slot)
 }
 
 // findStoreBySeq locates an in-window store by sequence number (false when
 // it already retired, never existed, or names a non-store). The store ring
 // is seq-ordered, so a binary search replaces the window walk.
-func (c *Core) findStoreBySeq(seq uint64) (int, bool) {
+func (c *Core) findStoreBySeq(seq uint64) (int32, bool) {
 	if pos := c.stWin.searchSeq(seq); pos < c.stWin.len() {
 		if ref := c.stWin.at(pos); ref.seq == seq {
 			return ref.idx, true
@@ -527,7 +521,7 @@ func (c *Core) applyFlush(f flushReq) {
 	if c.trc != nil {
 		var first *isa.DynInst
 		if start < c.count {
-			first = &c.rob[c.idx(start)].d
+			first = &c.w.inst[c.idx(start)]
 		}
 		c.trc.PipeEvent(EvFlush, c.now, first, uint64(c.count-start))
 	}
@@ -535,7 +529,7 @@ func (c *Core) applyFlush(f flushReq) {
 	// Truncate the load/store rings to the surviving window. The boundary
 	// seq must be captured before the squash loop invalidates slot seqs.
 	if start < c.count {
-		bseq := c.rob[c.idx(start)].d.Seq
+		bseq := c.w.seq[c.idx(start)]
 		for c.ldWin.len() > 0 && c.ldWin.at(c.ldWin.len()-1).seq >= bseq {
 			c.ldWin.popBack()
 		}
@@ -546,25 +540,26 @@ func (c *Core) applyFlush(f flushReq) {
 
 	squashed := c.squashBuf[:0]
 	for j := start; j < c.count; j++ {
-		e := &c.rob[c.idx(j)]
+		ri := c.idx(j)
 		squashed = append(squashed, fetchEnt{
-			d:        e.d,
-			mispred:  e.brMispredict,
-			histSnap: e.histSnap,
+			d:        c.w.inst[ri],
+			mispred:  c.w.flags[ri]&fBrMispredict != 0,
+			histSnap: c.w.cold[ri].histSnap,
 			replayed: true,
 		})
-		switch {
-		case e.d.Op.IsLoad():
+		switch op := c.w.inst[ri].Op; {
+		case op.IsLoad():
 			c.lqCount--
-		case e.d.Op.IsStore():
+		case op.IsStore():
 			c.sqCount--
 		}
-		if e.inIQ {
+		if c.w.flags[ri]&fInIQ != 0 {
 			c.iqCount--
 		}
 		// Invalidate the slot so stale prodIdx references miscompare.
-		e.d.Seq = ^uint64(0)
-		e.state = sDone
+		c.w.seq[ri] = ^uint64(0)
+		c.w.inst[ri].Seq = ^uint64(0)
+		c.w.state[ri] = sDone
 	}
 	c.count = start
 
@@ -597,10 +592,10 @@ func (c *Core) applyFlush(f flushReq) {
 	}
 	for j := 0; j < c.count; j++ {
 		ri := c.idx(j)
-		e := &c.rob[ri]
-		if e.d.HasDest() {
-			c.regProd[e.d.Dst] = srcDep{prodIdx: ri, prodSeq: e.d.Seq, hasProd: true}
-			c.regPC[e.d.Dst] = e.d.PC
+		d := &c.w.inst[ri]
+		if d.HasDest() {
+			c.regProd[d.Dst] = srcDep{prodIdx: int32(ri), prodSeq: d.Seq, hasProd: true}
+			c.regPC[d.Dst] = d.PC
 		}
 	}
 
@@ -609,7 +604,7 @@ func (c *Core) applyFlush(f flushReq) {
 	if c.redirectActive {
 		found := false
 		for j := 0; j < c.count; j++ {
-			if c.rob[c.idx(j)].d.Seq == c.redirectSeq {
+			if c.w.seq[c.idx(j)] == c.redirectSeq {
 				found = true
 				break
 			}

@@ -18,23 +18,25 @@ package ooo
 //     so store-forwarding search, violation scans and findStoreBySeq touch
 //     only memory operations instead of the whole window.
 //
-// Everything here is bookkeeping on top of the same per-entry predicates the
-// full scans evaluated; the golden-stat tests pin the simulated machine to
-// bit-identical behavior.
+// All references are int32 slot indices into the window slabs (soa.go) plus
+// the slot's seq for staleness disambiguation — no pointers into window
+// state anywhere in the scheduler. Everything here is bookkeeping on top of
+// the same per-entry predicates the full scans evaluated; the golden-stat
+// tests pin the simulated machine to bit-identical behavior.
 
-// schedRef names a window entry at a point in time. The seq disambiguates a
+// schedRef names a window slot at a point in time. The seq disambiguates a
 // slot that was squashed and re-renamed since the reference was taken; stale
 // references are dropped wherever they surface.
 type schedRef struct {
-	idx int
 	seq uint64
+	idx int32
 }
 
 // doneEv is one scheduled completion.
 type doneEv struct {
 	at  uint64
 	seq uint64
-	idx int
+	idx int32
 }
 
 // doneHeap is a binary min-heap of completions ordered by (at, seq). It is
@@ -142,25 +144,25 @@ func (r *seqRing) searchSeq(seq uint64) int {
 	return lo
 }
 
-// scheduleDone records that entry ri finishes executing at e.doneAt. A new
+// scheduleDone records that slot ri finishes executing at its doneAt. A new
 // completion event is machine activity: the idle-elision horizon must be
 // recomputed against it (see elide.go).
-func (c *Core) scheduleDone(ri int, e *rent) {
+func (c *Core) scheduleDone(ri int) {
 	c.activity = true
-	c.done.push(doneEv{at: e.doneAt, seq: e.d.Seq, idx: ri})
+	c.done.push(doneEv{at: c.w.doneAt[ri], seq: c.w.seq[ri], idx: int32(ri)})
 }
 
-// armIssue puts a waiting entry into the ready queue (idempotent). Arming
+// armIssue puts a waiting slot into the ready queue (idempotent). Arming
 // is activity: the entry gets an issue attempt next cycle.
-func (c *Core) armIssue(ri int, e *rent) {
-	if !e.inReadyQ {
+func (c *Core) armIssue(ri int) {
+	if c.w.flags[ri]&fInReadyQ == 0 {
 		c.activity = true
-		e.inReadyQ = true
-		c.readyQ = append(c.readyQ, schedRef{idx: ri, seq: e.d.Seq})
+		c.w.flags[ri] |= fInReadyQ
+		c.readyQ = append(c.readyQ, schedRef{idx: int32(ri), seq: c.w.seq[ri]})
 	}
 }
 
-// parkIssue removes a source-blocked entry from the ready queue and
+// parkIssue removes a source-blocked slot from the ready queue and
 // subscribes it to every producer whose completion could make the missing
 // source available. addrOnly restricts the subscription to source 0 (stores
 // issue on the address operand alone). A predicted producer whose value
@@ -168,41 +170,43 @@ func (c *Core) armIssue(ri int, e *rent) {
 // possibly before the producer itself executes — so the entry subscribes to
 // both. If nothing is actually blocking (can only happen transiently), the
 // entry is re-armed instead so it is never stranded.
-func (c *Core) parkIssue(ri int, e *rent, addrOnly bool) {
-	e.inReadyQ = false
-	me := schedRef{idx: ri, seq: e.d.Seq}
+func (c *Core) parkIssue(ri int, addrOnly bool) {
+	c.w.flags[ri] &^= fInReadyQ
+	me := schedRef{idx: int32(ri), seq: c.w.seq[ri]}
 	nsrc := 2
 	if addrOnly {
 		nsrc = 1
 	}
 	parked := false
 	for s := 0; s < nsrc; s++ {
-		d := &e.src[s]
+		d := &c.w.src[2*ri+s]
 		if !d.hasProd {
 			continue
 		}
-		p := &c.rob[d.prodIdx]
-		if p.d.Seq != d.prodSeq {
+		pi := int(d.prodIdx)
+		if c.w.seq[pi] != d.prodSeq {
 			continue // producer retired: source available
 		}
-		if avail, ok := c.destAvail(p); ok && avail <= c.now {
+		if avail, ok := c.destAvail(pi); ok && avail <= c.now {
 			continue
 		}
-		c.deps[d.prodIdx] = append(c.deps[d.prodIdx], me)
+		c.deps[pi] = append(c.deps[pi], me)
 		parked = true
-		if p.predicted && p.linkStore >= 0 {
-			st := &c.rob[p.linkStore]
-			if st.d.Seq == p.fwdPredSeq && st.state != sDone {
-				c.deps[p.linkStore] = append(c.deps[p.linkStore], me)
+		if c.w.flags[pi]&fPredicted != 0 {
+			if ls := c.w.pred[pi].link; ls >= 0 {
+				li := int(ls)
+				if c.w.seq[li] == c.w.pred[pi].linkSeq && c.w.state[li] != sDone {
+					c.deps[li] = append(c.deps[li], me)
+				}
 			}
 		}
 	}
 	if !parked {
-		c.armIssue(ri, e)
+		c.armIssue(ri)
 	}
 }
 
-// wakeDependents moves the completed entry's subscribers back into the
+// wakeDependents moves the completed slot's subscribers back into the
 // ready queue. Stale subscriptions (squashed or already-issued entries) are
 // dropped.
 func (c *Core) wakeDependents(ri int) {
@@ -212,9 +216,9 @@ func (c *Core) wakeDependents(ri int) {
 	}
 	for i := range dl {
 		ref := dl[i]
-		e := &c.rob[ref.idx]
-		if e.d.Seq == ref.seq && e.state == sWaiting {
-			c.armIssue(ref.idx, e)
+		ei := int(ref.idx)
+		if c.w.seq[ei] == ref.seq && c.w.state[ei] == sWaiting {
+			c.armIssue(ei)
 		}
 	}
 	c.deps[ri] = dl[:0]

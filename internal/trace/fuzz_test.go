@@ -117,23 +117,47 @@ func FuzzTraceRoundTrip(f *testing.F) {
 	})
 }
 
-// FuzzTraceReader hands the reader raw attacker-controlled bytes: it must
-// reject or truncate without panicking, and a reported error must be sticky.
+// FuzzTraceReader hands both decoders raw attacker-controlled bytes: each
+// must reject or truncate without panicking with sticky errors, and — since
+// MemReader is the hand-unrolled hot-path twin of Reader — the two must
+// decode the identical prefix of any stream identically, diverging only at
+// the point either reports an error.
 func FuzzTraceReader(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("FVP1"))
 	f.Add([]byte("FVP1\x06\x02\x01\x02\x00\x10\x20\x30"))
 	f.Add([]byte("XXXX\x00\x00"))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		r, err := NewReader(bytes.NewReader(data))
-		if err != nil {
-			return // malformed header rejected cleanly
+		r, rErr := NewReader(bytes.NewReader(data))
+		mr, mrErr := NewMemReader(append([]byte(nil), data...), false)
+		if (rErr == nil) != (mrErr == nil) {
+			t.Fatalf("header acceptance diverged: Reader %v, MemReader %v", rErr, mrErr)
 		}
-		var d isa.DynInst
-		for i := 0; i < 4096 && r.Next(&d); i++ {
+		if rErr != nil {
+			return // malformed header rejected cleanly by both
+		}
+		var d, md isa.DynInst
+		for i := 0; i < 4096; i++ {
+			ok, mok := r.Next(&d), mr.Next(&md)
+			if ok != mok {
+				t.Fatalf("record %d: Reader ok=%v, MemReader ok=%v (errs %v / %v)",
+					i, ok, mok, r.Err(), mr.Err())
+			}
+			if !ok {
+				break
+			}
+			if d != md {
+				t.Fatalf("record %d diverged:\n Reader:    %+v\n MemReader: %+v", i, d, md)
+			}
+		}
+		if (r.Err() == nil) != (mr.Err() == nil) {
+			t.Fatalf("terminal state diverged: Reader %v, MemReader %v", r.Err(), mr.Err())
 		}
 		if r.Err() != nil && r.Next(&d) {
 			t.Fatal("reader returned a record after a terminal error")
+		}
+		if mr.Err() != nil && mr.Next(&md) {
+			t.Fatal("mem reader returned a record after a terminal error")
 		}
 	})
 }

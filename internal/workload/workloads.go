@@ -132,6 +132,22 @@ func All() []Workload {
 	return out
 }
 
+// GoldenMatrix returns the names of the 13-workload golden-stat matrix: a
+// representative slice of the study list in which every builder template
+// (indirect, chase, compute, branchy, stream, stencil, hash, mixed) and
+// every Table-III category appears, with double coverage of the DRAM-bound
+// pointer chasers (mcf, mcf-17) where idle-cycle elision skips most. The
+// cycle-exact snapshot tests (internal/ooo/golden_test.go), the replay
+// equivalence matrix, and `tracegen -suite` all iterate this one list so a
+// trace dumped by the tool is exactly a golden-matrix input.
+func GoldenMatrix() []string {
+	return []string{
+		"omnetpp", "mcf", "gcc", "hmmer", "sjeng", "libquantum",
+		"milc", "sphinx3", "leela", "lbm", "cassandra", "hadoop",
+		"mcf-17",
+	}
+}
+
 // ByCategory returns the workloads of one family.
 func ByCategory(c Category) []Workload {
 	var out []Workload
