@@ -27,6 +27,12 @@
 //  5. The fvpd store backends: result-record put latency (the disk
 //     backend's fsync cost) and service-level cache-hit submit latency,
 //     memory vs disk — cache hits must stay fsync-free on both.
+//     The service section floods the real HTTP surface of a disk-backed
+//     two-node cluster through the non-owner node, once per-request and
+//     once with the edge micro-batcher and forward coalescer on,
+//     recording sustained submits/sec and client-observed p50/p99 — the
+//     batcher's amortization of per-hop forwards, admission, and fsync'd
+//     JobStore appends, measured end to end.
 //  6. The statistical sampling engine: one paper-scale region measured in
 //     full detail and again as a SMARTS-style sampled estimate (speedup
 //     floor 10x), plus a sampled suite sweep whose sim MIPS credits the
@@ -51,12 +57,20 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fvp"
+	"fvp/internal/cluster"
 	"fvp/internal/core"
 	"fvp/internal/harness"
 	"fvp/internal/ooo"
@@ -64,6 +78,7 @@ import (
 	"fvp/internal/simd"
 	"fvp/internal/store"
 	"fvp/internal/store/disk"
+	"fvp/internal/telemetry"
 	"fvp/internal/trace"
 	"fvp/internal/vp"
 	"fvp/internal/workload"
@@ -229,6 +244,56 @@ type WorkloadSpeedup struct {
 	SkipRatio float64 `json:"skip_ratio"`
 }
 
+// Service-section parameters: the micro-batcher settings the batched
+// flood runs under, also recorded in the artifact's environment block.
+// BatchMax matches the client count so a full complement of parked
+// submitters flushes immediately instead of waiting out the window.
+const (
+	svcBatchWindow = 2 * time.Millisecond
+	svcBatchMax    = 16
+	svcClients     = 16
+	// svcSpeedupFloor is the gate's minimum batched/per-request
+	// throughput ratio — the request-plane acceptance floor.
+	svcSpeedupFloor = 2.0
+)
+
+// ServiceBench is one request-plane flood measurement: sustained submit
+// throughput through the real HTTP surface of a disk-backed two-node
+// cluster, entered at the non-owner, with client-observed latency
+// quantiles.
+type ServiceBench struct {
+	Mode          string  `json:"mode"` // "per_request" | "batched"
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	SubmitsPerSec float64 `json:"submits_per_sec"`
+	P50Micros     float64 `json:"p50_us"`
+	P99Micros     float64 `json:"p99_us"`
+}
+
+// ServiceSection compares the two request-plane modes on an identical
+// sweep-shaped flood. BatchedSpeedup is the submits/sec ratio — the
+// micro-batcher's amortization of per-hop HTTP forwards, admission, and
+// fsync'd JobStore appends (acceptance floor 2x).
+type ServiceSection struct {
+	Backend        string       `json:"backend"`
+	Topology       string       `json:"topology"`
+	BatchWindow    string       `json:"batch_window"`
+	BatchMax       int          `json:"batch_max"`
+	PerRequest     ServiceBench `json:"per_request"`
+	Batched        ServiceBench `json:"batched"`
+	BatchedSpeedup float64      `json:"batched_speedup"`
+}
+
+// RequestPlaneEnv records the service-path settings the Service section
+// was measured under — part of the environment block so request-plane
+// numbers are comparable across hosts and configurations.
+type RequestPlaneEnv struct {
+	BatchWindow    string `json:"batch_window"`
+	BatchMax       int    `json:"batch_max"`
+	Replicas       int    `json:"replicas"`
+	ReplicateAfter int    `json:"replicate_after"`
+}
+
 // StoreBench is one fvpd store-backend row: the durable-write cost
 // (ResultPut includes the disk backend's per-record fsync) and the
 // service-level cache-hit submit latency (which must not fsync on either
@@ -247,6 +312,12 @@ type Report struct {
 	GOOS        string `json:"goos"`
 	GOARCH      string `json:"goarch"`
 	NumCPU      int    `json:"num_cpu"`
+	// GOMAXPROCS is the scheduler's worker-thread cap at measurement
+	// time; with NumCPU it makes throughput comparable across hosts.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// RequestPlane is the batch/replication configuration the Service
+	// section ran under.
+	RequestPlane RequestPlaneEnv `json:"request_plane"`
 
 	CycleLoop          CycleLoop `json:"core_cycle_loop"`
 	Reference          CycleLoop `json:"reference"`
@@ -281,6 +352,10 @@ type Report struct {
 
 	// Store is the fvpd backend comparison: memory vs crash-safe disk.
 	Store []StoreBench `json:"store"`
+
+	// Service is the request-plane flood: per-request vs micro-batched
+	// submit throughput through the HTTP surface.
+	Service ServiceSection `json:"service"`
 
 	Suite Suite `json:"suite"`
 }
@@ -335,6 +410,155 @@ func measureStore(backend string, newStores func() (store.Stores, error), ops in
 		}
 	}
 	sb.CachedSubmitNsPerOp = float64(time.Since(start).Nanoseconds()) / float64(ops)
+	return sb
+}
+
+// swapHandler lets an httptest.Server exist (URL in hand) before the
+// cluster node whose handler it will serve: peers reference each other
+// by URL, so the servers must come up first.
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// measureService floods the HTTP surface of a disk-backed two-node
+// cluster with a sweep of unique specs, entered at the node that owns
+// none of them, so every submit must cross one forward hop to its
+// owner — the shape of a sweep fleet hitting its nearest node.
+// Simulation workers are gated shut for the flood's duration, so the
+// measurement isolates the sustained submit path: HTTP handling on both
+// nodes, the forward hop, admission, and the owner's fsync'd JobStore
+// append. batched toggles the edge micro-batcher and the forward
+// coalescer; everything else is identical, so the throughput ratio is
+// the batcher's contribution — one forwarded /v1 call and one fsync'd
+// append per flush instead of one per request.
+func measureService(batched bool, clients, requests int) ServiceBench {
+	sb := ServiceBench{Mode: "per_request", Clients: clients, Requests: requests}
+	if batched {
+		sb.Mode = "batched"
+	}
+	dir, err := os.MkdirTemp("", "fvpbench-svc-*")
+	if err != nil {
+		fatalf("service: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	gate := make(chan struct{})
+	ids := []string{"a", "b"}
+	peers := make(map[string]string, len(ids))
+	shs := make([]*swapHandler, len(ids))
+	srvs := make([]*httptest.Server, len(ids))
+	for i := range ids {
+		shs[i] = &swapHandler{}
+		srvs[i] = httptest.NewServer(shs[i])
+		defer srvs[i].Close()
+		peers[ids[i]] = srvs[i].URL
+	}
+	nodes := make([]*cluster.Node, len(ids))
+	for i, id := range ids {
+		stores, err := disk.Open(filepath.Join(dir, id), disk.Options{CacheEntries: requests + 16})
+		if err != nil {
+			fatalf("service: %v", err)
+		}
+		cfg := simd.Config{
+			Workers: 1, QueueSize: requests + 16, Stores: stores, NodeID: id,
+			Run: func(ctx context.Context, spec fvp.RunSpec) (fvp.Metrics, error) {
+				select {
+				case <-gate:
+				case <-ctx.Done():
+				}
+				return fvp.Metrics{IPC: 1, Cycles: 1, Insts: 1}, nil
+			},
+		}
+		ccfg := cluster.Config{Service: nil, Self: id, Peers: peers}
+		if batched {
+			cfg.BatchWindow, cfg.BatchMax = svcBatchWindow, svcBatchMax
+			ccfg.BatchWindow, ccfg.BatchMax = svcBatchWindow, svcBatchMax
+		}
+		svc := simd.New(cfg)
+		defer svc.Close()
+		ccfg.Service = svc
+		node, err := cluster.New(ccfg)
+		if err != nil {
+			fatalf("service: cluster: %v", err)
+		}
+		nodes[i] = node
+		shs[i].set(node.Handler())
+	}
+	// The flood enters at node a, so every spec must hash to node b:
+	// scan measure_insts values until enough b-owned points are found.
+	insts := make([]int64, 0, requests)
+	for v := int64(1_000_000); len(insts) < requests; v++ {
+		spec := fvp.RunSpec{Workload: "omnetpp", Predictor: fvp.PredFVP, WarmupInsts: 100, MeasureInsts: uint64(v)}
+		if nodes[0].Owner(simd.SpecKey(spec)) == "b" {
+			insts = append(insts, v)
+		}
+	}
+
+	// Keep-alive pool sized to the client count so connection churn on
+	// the client hop doesn't mask the hop being measured.
+	tr := &http.Transport{MaxIdleConnsPerHost: clients}
+	defer tr.CloseIdleConnections()
+	hc := &http.Client{Transport: tr}
+
+	hist := telemetry.NewLatency()
+	var seq, failed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := seq.Add(1) - 1
+				if i >= int64(requests) {
+					return
+				}
+				body := fmt.Sprintf(
+					`{"workload":"omnetpp","predictor":"fvp","warmup_insts":100,"measure_insts":%d}`,
+					insts[i])
+				t0 := time.Now()
+				resp, err := hc.Post(srvs[0].URL+"/v1/runs", "application/json", strings.NewReader(body))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				hist.Observe(time.Since(t0).Seconds())
+				if resp.StatusCode >= 300 {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	close(gate) // release the queued jobs before the deferred Closes
+	if n := failed.Load(); n > 0 {
+		fatalf("service %s: %d of %d submits failed", sb.Mode, n, requests)
+	}
+	snap := hist.Snapshot()
+	sb.SubmitsPerSec = float64(requests) / wall
+	sb.P50Micros = snap.Quantile(0.50) * 1e6
+	sb.P99Micros = snap.Quantile(0.99) * 1e6
 	return sb
 }
 
@@ -690,12 +914,41 @@ func main() {
 			r.Backend, r.ResultPutNsPerOp, r.CachedSubmitNsPerOp)
 	}
 
+	svcRequests := 2048
+	if *quick {
+		svcRequests = 512
+	}
+	fmt.Printf("fvpbench: service flood (2-node cluster, %d clients x %d submits via non-owner, per-request vs batched)...\n",
+		svcClients, svcRequests)
+	svcSection := ServiceSection{
+		Backend:     "disk",
+		Topology:    "2-node cluster, flood via non-owner",
+		BatchWindow: svcBatchWindow.String(),
+		BatchMax:    svcBatchMax,
+		PerRequest:  measureService(false, svcClients, svcRequests),
+		Batched:     measureService(true, svcClients, svcRequests),
+	}
+	if svcSection.PerRequest.SubmitsPerSec > 0 {
+		svcSection.BatchedSpeedup = svcSection.Batched.SubmitsPerSec / svcSection.PerRequest.SubmitsPerSec
+	}
+	fmt.Printf("  per-request %.0f submits/s (p50 %.0fµs p99 %.0fµs) vs batched %.0f submits/s (p50 %.0fµs p99 %.0fµs): %.2fx\n",
+		svcSection.PerRequest.SubmitsPerSec, svcSection.PerRequest.P50Micros, svcSection.PerRequest.P99Micros,
+		svcSection.Batched.SubmitsPerSec, svcSection.Batched.P50Micros, svcSection.Batched.P99Micros,
+		svcSection.BatchedSpeedup)
+
 	rep := Report{
-		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
-		GoVersion:          runtime.Version(),
-		GOOS:               runtime.GOOS,
-		GOARCH:             runtime.GOARCH,
-		NumCPU:             runtime.NumCPU(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		RequestPlane: RequestPlaneEnv{
+			BatchWindow:    svcBatchWindow.String(),
+			BatchMax:       svcBatchMax,
+			Replicas:       0, // the flood runs single-node; cluster replication is off
+			ReplicateAfter: 3,
+		},
 		CycleLoop:          cl,
 		Reference:          reference,
 		SpeedupVsReference: cl.InstPerSec / reference.InstPerSec,
@@ -713,6 +966,7 @@ func main() {
 		ParallelRegions:    regions,
 		Sampling:           SamplingSection{SpeedupVsDetail: sampRun, Suite: suiteSampled},
 		Store:              storeRows,
+		Service:            svcSection,
 
 		Suite: suite,
 	}
@@ -761,6 +1015,7 @@ func checkGate(path string, rep Report) error {
 		{"suite.sim_mips", rep.Suite.SimMIPS, base.Suite.SimMIPS},
 		{"suite_functional.sim_mips", rep.SuiteFunctional.SimMIPS, base.SuiteFunctional.SimMIPS},
 		{"sampling.suite.sim_mips", rep.Sampling.Suite.SimMIPS, base.Sampling.Suite.SimMIPS},
+		{"service.batched.submits_per_sec", rep.Service.Batched.SubmitsPerSec, base.Service.Batched.SubmitsPerSec},
 	}
 	failed := false
 	for _, c := range checks {
@@ -777,8 +1032,21 @@ func checkGate(path string, rep Report) error {
 		fmt.Printf("fvpbench: gate %-26s %8.2f vs baseline %8.2f (%+.1f%%) %s\n",
 			c.name, c.got, c.ref, (ratio-1)*100, status)
 	}
+	// The batched/per-request ratio is held to an absolute floor rather
+	// than a baseline delta: unlike raw submits/sec it is
+	// machine-independent (both arms pay the same HTTP and fsync costs),
+	// so a drop below the floor means the micro-batcher itself regressed.
+	if base.Service.BatchedSpeedup > 0 {
+		status := "ok"
+		if rep.Service.BatchedSpeedup < svcSpeedupFloor {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("fvpbench: gate %-26s %8.2fx vs floor %8.2fx %s\n",
+			"service.batched_speedup", rep.Service.BatchedSpeedup, svcSpeedupFloor, status)
+	}
 	if failed {
-		return fmt.Errorf("sim MIPS dropped more than %.0f%% below %s", gateDropTolerance*100, path)
+		return fmt.Errorf("benchmark gate failed against %s", path)
 	}
 	return nil
 }

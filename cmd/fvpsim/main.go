@@ -74,9 +74,34 @@ func main() {
 		server     = flag.String("server", "", "fvpd base URL; submit there instead of simulating locally")
 		tenant     = flag.String("tenant", "", "tenant ID to submit runs under (with -server; subject to the daemon's quotas)")
 		clusterOn  = flag.Bool("cluster", false, "print the server's cluster membership and forwarding health, then exit (with -server)")
+		latency    = flag.Bool("latency", false, "print the server's request-latency p50/p99 (fvpd_request_seconds), then exit (with -server)")
+		slo        = flag.Duration("slo", 0, "latency SLO target to judge -latency output against (0 = report only)")
 		list       = flag.Bool("list", false, "list workloads and predictors, then exit")
 	)
 	flag.Parse()
+
+	if *latency {
+		if *server == "" {
+			fail(fmt.Errorf("-latency needs -server"))
+		}
+		sum, err := client.New(*server).RequestLatency(context.Background())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("requests %d  mean %s  p50 %s  p99 %s\n",
+			sum.Count, fmtSecs(sum.Mean()), fmtSecs(sum.P50), fmtSecs(sum.P99))
+		if *slo > 0 {
+			verdict := "MET"
+			if sum.P99 > slo.Seconds() {
+				verdict = "MISSED"
+			}
+			fmt.Printf("SLO %s: %s (p99 %s)\n", *slo, verdict, fmtSecs(sum.P99))
+			if verdict == "MISSED" {
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	if *clusterOn {
 		if *server == "" {
@@ -316,6 +341,18 @@ func writeJSONFile(path string, v any) error {
 		return err
 	}
 	return f.Close()
+}
+
+// fmtSecs renders a latency in the most readable unit.
+func fmtSecs(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	}
 }
 
 func fail(err error) {

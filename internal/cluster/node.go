@@ -9,11 +9,13 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"fvp/internal/simd"
+	"fvp/internal/telemetry"
 )
 
 // Wire headers of the cluster layer.
@@ -61,6 +63,21 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker fails fast before
 	// letting one probe through; default 5s.
 	BreakerCooldown time.Duration
+	// Replicas is how many ring successors a hot result is pushed to,
+	// and the opt-in for serving replicated keys locally on non-owners.
+	// 0 (the default) disables replication entirely.
+	Replicas int
+	// ReplicateAfter is the demand threshold: a self-owned key is pushed
+	// to its successors once the owner has seen this many submits for it.
+	// Default 3.
+	ReplicateAfter int
+	// BatchWindow enables forward coalescing: owner groups headed to the
+	// same peer within one window merge into a single forwarded POST.
+	// 0 (the default) forwards each group immediately.
+	BatchWindow time.Duration
+	// BatchMax caps the requests merged into one forwarded POST; a full
+	// window flushes early. Default 256.
+	BatchMax int
 }
 
 // ParsePeers parses the -peers flag: "id=url,id=url,...". Every node in
@@ -109,6 +126,12 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
 	}
+	if c.ReplicateAfter <= 0 {
+		c.ReplicateAfter = 3
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 256
+	}
 	return c
 }
 
@@ -123,6 +146,17 @@ type Node struct {
 	ring  *ring
 	peers map[string]*peer // remote members only (never Self)
 	hc    *http.Client
+
+	// rep is the hot-result replication engine; nil outside cluster mode.
+	rep *replicator
+	// fwdHist is fvpd_forward_seconds{peer}: round-trip latency of every
+	// breaker-gated forward (submits, by-ID lookups, replica pushes).
+	fwdHist *telemetry.Vec
+
+	// fwd holds the per-(peer, wait-mode) forward coalescers, created on
+	// first use; empty unless Config.BatchWindow > 0.
+	fwdMu sync.Mutex
+	fwd   map[string]*fwdBatcher
 }
 
 // New builds the routing layer. With no peers the result is a
@@ -166,7 +200,10 @@ func New(cfg Config) (*Node, error) {
 		}
 	}
 	n.ring = newRing(members, cfg.VNodes)
+	n.fwdHist = telemetry.NewVec(telemetry.NewLatency)
+	n.fwd = make(map[string]*fwdBatcher)
 	if n.clustered() {
+		n.rep = newReplicator(n, cfg.Replicas, cfg.ReplicateAfter)
 		cfg.Service.AddMetricsAppender(n.writeMetrics)
 	}
 	return n, nil
@@ -192,6 +229,7 @@ func (n *Node) Handler() http.Handler {
 	}
 	mux.HandleFunc("POST /v1/runs", n.handleSubmit)
 	mux.HandleFunc("POST /runs", n.handleSubmit)
+	mux.HandleFunc("PUT /v1/replicas/{key}", n.handleReplicaPut)
 	byID := func(pattern string) { mux.HandleFunc(pattern, n.handleByID) }
 	byID("GET /v1/runs/{id}")
 	byID("GET /v1/runs/{id}/trace")
@@ -270,6 +308,16 @@ func (n *Node) writeMetrics(w io.Writer) {
 	for _, id := range ids {
 		fmt.Fprintf(w, "fvpd_forward_errors_total{peer=%q} %d\n", id, n.peers[id].snapshot().ForwardErrors)
 	}
+	n.fwdHist.WriteProm(w, "fvpd_forward_seconds",
+		"Round-trip latency of breaker-gated forwards to each peer (submit batches, by-ID lookups, replica pushes); headers-received, not body drain.")
+	if n.rep != nil {
+		fmt.Fprintf(w, "# HELP fvpd_replica_pushed_total Hot results successfully pushed to each ring successor.\n# TYPE fvpd_replica_pushed_total counter\n")
+		for _, id := range ids {
+			fmt.Fprintf(w, "fvpd_replica_pushed_total{peer=%q} %d\n", id, n.rep.pushed[id].Load())
+		}
+		fmt.Fprintf(w, "# HELP fvpd_replica_received_total Replicated results accepted from owners into the local cache.\n# TYPE fvpd_replica_received_total counter\nfvpd_replica_received_total %d\n", n.rep.received.Load())
+		fmt.Fprintf(w, "# HELP fvpd_replica_hits_total Submits for non-owned keys served from a local replica, zero forward hops.\n# TYPE fvpd_replica_hits_total counter\nfvpd_replica_hits_total %d\n", n.rep.hits.Load())
+	}
 }
 
 // --- submit routing ---
@@ -299,6 +347,20 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// Hop limit: a forwarded submit executes here no matter what our
 		// ring says, so two nodes with momentarily different peer lists
 		// cannot bounce a request back and forth.
+		if n.rep != nil {
+			// Forwarded-in traffic is demand the owner must count: hot keys
+			// are usually hot precisely because other nodes keep forwarding
+			// them here.
+			if reqs, _, err := simd.ParseRuns(raw); err == nil {
+				for _, req := range reqs {
+					if flat, err := req.Flattened(); err == nil {
+						if key := simd.SpecKey(flat.RunSpec); n.ring.owner(key) == n.cfg.Self {
+							n.rep.note(key)
+						}
+					}
+				}
+			}
+		}
 		r.Body = io.NopCloser(bytes.NewReader(raw))
 		n.inner.ServeHTTP(w, r)
 		return
@@ -327,7 +389,15 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeJSONError(w, http.StatusBadRequest, err)
 			return
 		}
-		owner := n.ring.owner(simd.SpecKey(flat.RunSpec))
+		key := simd.SpecKey(flat.RunSpec)
+		owner := n.ring.owner(key)
+		if owner == n.cfg.Self {
+			n.rep.note(key)
+		} else if n.rep.servesLocally(key) {
+			// A replicated hot result lives in our own cache: serve it here,
+			// zero hops, and keep serving it if the owner is gone.
+			owner = n.cfg.Self
+		}
 		g := groups[owner]
 		if g == nil {
 			g = &group{}
@@ -380,7 +450,7 @@ func (n *Node) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				runLocal(g)
 				return
 			}
-			statuses, errResp, transportErr := n.forwardSubmit(r.Context(), n.peers[owner], g.reqs, wait)
+			statuses, errResp, transportErr := n.forward(r.Context(), owner, g.reqs, wait)
 			switch {
 			case transportErr != nil:
 				if r.Context().Err() != nil {
@@ -497,6 +567,7 @@ func (n *Node) roundTrip(parent context.Context, p *peer, method, path string, b
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set(ForwardedHeader, n.cfg.Self)
+	start := time.Now()
 	resp, err := n.hc.Do(req)
 	if err != nil {
 		// A ForwardTimeout expiry is the peer's failure; the submitting
@@ -506,6 +577,9 @@ func (n *Node) roundTrip(parent context.Context, p *peer, method, path string, b
 		return nil, err
 	}
 	// Hand the body to the caller; tie the deadline's release to it.
+	// Latency is first-byte-of-headers, not body drain: wait-mode bodies
+	// legitimately take as long as the simulation runs.
+	n.fwdHist.With("peer=" + strconv.Quote(p.id)).Observe(time.Since(start).Seconds())
 	resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
 	p.done(nil, false, time.Now())
 	p.responded()

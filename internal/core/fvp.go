@@ -328,6 +328,15 @@ func (f *FVP) Train(d *isa.DynInst, ctx *vp.Ctx, info vp.TrainInfo) {
 		return
 	}
 
+	// Every step below probes the same Last-Value row for d.PC, so look
+	// it up once. Safe to hoist: find is a pure probe, entries live in a
+	// flat slab that never reallocates (pointers stay valid), and the
+	// only writes to the row between the old probe sites are the
+	// allocations below, which update lv in place. The Context-Value row
+	// cannot be pre-probed the same way — an LV allocation may evict it —
+	// so it is looked up once at its first use instead.
+	lv := f.vt.FindLV(d.PC)
+
 	// 1. Criticality detection → root handling.
 	if f.isCriticalRoot(d, info) {
 		f.RootsSeen++
@@ -336,8 +345,8 @@ func (f *FVP) Train(d *isa.DynInst, ctx *vp.Ctx, info vp.TrainInfo) {
 		}
 		// Predicting the root itself can help its forward dependents
 		// (§IV-B), so the root allocates too...
-		if f.vt.FindLV(d.PC) == nil {
-			f.vt.AllocateLV(d.PC, d.Value, d.Op.IsLoad() || f.cfg.AllTypes && d.HasDest())
+		if lv == nil {
+			lv = f.vt.AllocateLV(d.PC, d.Value, d.Op.IsLoad() || f.cfg.AllTypes && d.HasDest())
 		}
 		// ...and its parents enter the Learning Table — unless the
 		// policy is L1-Miss-Only, which stops at the root.
@@ -353,22 +362,23 @@ func (f *FVP) Train(d *isa.DynInst, ctx *vp.Ctx, info vp.TrainInfo) {
 	// memory dependence makes it an MR target.
 	if f.takeLT(d.PC) {
 		isPredictableType := d.Op.IsLoad() || f.cfg.AllTypes && d.HasDest()
-		e := f.vt.FindLV(d.PC)
-		if e == nil {
-			e = f.vt.AllocateLV(d.PC, d.Value, isPredictableType)
+		if lv == nil {
+			lv = f.vt.AllocateLV(d.PC, d.Value, isPredictableType)
 		}
 		if f.cfg.Policy != CritL1MissOnly {
 			switch {
 			case !isPredictableType:
 				f.pushParents(ctx)
-			case e.NotPredictable() && !info.Forwarded:
+			case lv.NotPredictable() && !info.Forwarded:
 				f.pushParents(ctx)
 			}
 		}
 	}
 
 	// 3. Value Table training.
-	if e := f.vt.FindLV(d.PC); e != nil {
+	var cv *vtEntry
+	cvProbed := false
+	if e := lv; e != nil {
 		if becameNP := f.vt.train(e, d.Value); becameNP && e.isLoad {
 			// LV failed: hand the load to context prediction, and
 			// check the memory dependence (§IV-C, §IV-D). A load the
@@ -386,12 +396,16 @@ func (f *FVP) Train(d *isa.DynInst, ctx *vp.Ctx, info vp.TrainInfo) {
 		if e.cvMarked && info.NearHead {
 			// Re-record near-stall instances under (PC, history)
 			// (§IV-C reduces tracked histories this way).
-			if f.vt.FindCV(d.PC, ctx.Hist) == nil {
-				f.vt.AllocateCV(d.PC, ctx.Hist, d.Value, e.isLoad)
+			if cv = f.vt.FindCV(d.PC, ctx.Hist); cv == nil {
+				cv = f.vt.AllocateCV(d.PC, ctx.Hist, d.Value, e.isLoad)
 			}
+			cvProbed = true
 		}
 	}
-	if e := f.vt.FindCV(d.PC, ctx.Hist); e != nil && e.isContext {
+	if !cvProbed {
+		cv = f.vt.FindCV(d.PC, ctx.Hist)
+	}
+	if e := cv; e != nil && e.isContext {
 		if becameNP := f.vt.train(e, d.Value); becameNP && e.isLoad {
 			// Context failed too; if MR has no association either,
 			// continue the backward walk to the parents (§IV-D).

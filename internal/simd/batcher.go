@@ -1,0 +1,150 @@
+package simd
+
+import (
+	"sync"
+	"time"
+
+	"fvp/internal/telemetry"
+)
+
+// batcher is the edge micro-batcher: concurrent SubmitBatched callers
+// are parked for up to one window (or until max requests pend) and
+// flushed as a single SubmitBatch — one admission pass, one tenant-quota
+// transaction, one durable JobStore append (one fsync on the disk
+// backend). Under a flood of small submits this turns the dominant
+// per-request cost, the synchronous fsync, into a per-window cost.
+//
+// Coalescing is a fast path, never a semantic: each caller's group keeps
+// its own all-or-nothing boundary. When the merged batch is rejected and
+// more than one group was aboard, the flush degrades to per-group
+// submits so one tenant's quota breach (or one malformed spec) cannot
+// poison the strangers sharing its window.
+type batcher struct {
+	svc    *Service
+	window time.Duration
+	max    int // flush immediately at this many pending requests
+
+	// sizes is fvpd_batch_size: requests coalesced per flush. A p50 near
+	// 1 means the window is not seeing concurrency; widen it or stop
+	// paying the parking latency.
+	sizes *telemetry.Hist
+
+	mu      sync.Mutex
+	pending []*batchGroup
+	nreq    int
+	timer   *time.Timer
+	closed  bool
+}
+
+// batchGroup is one caller's request slice riding a flush, with the
+// channel its verdict comes back on.
+type batchGroup struct {
+	reqs []RunRequest
+	ch   chan batchResult
+}
+
+type batchResult struct {
+	sts []JobStatus
+	err error
+}
+
+func newBatcher(svc *Service, window time.Duration, max int) *batcher {
+	return &batcher{svc: svc, window: window, max: max, sizes: telemetry.NewSizes()}
+}
+
+// submit parks the caller's group until its flush completes and returns
+// that group's share of the batch outcome. The first group into an empty
+// window arms the flush timer; hitting max flushes immediately.
+func (b *batcher) submit(reqs []RunRequest) ([]JobStatus, error) {
+	b.mu.Lock()
+	if b.closed {
+		// Shutdown raced the submit: bypass the (stopped) batcher so the
+		// caller still gets the service's own ErrClosed decision.
+		b.mu.Unlock()
+		return b.svc.SubmitBatch(reqs)
+	}
+	g := &batchGroup{reqs: reqs, ch: make(chan batchResult, 1)}
+	b.pending = append(b.pending, g)
+	b.nreq += len(reqs)
+	var groups []*batchGroup
+	if b.nreq >= b.max {
+		groups = b.takeLocked()
+	} else if len(b.pending) == 1 {
+		b.timer = time.AfterFunc(b.window, b.flushTimer)
+	}
+	b.mu.Unlock()
+	b.flush(groups)
+	r := <-g.ch
+	return r.sts, r.err
+}
+
+// takeLocked claims the pending window for a flush and disarms its timer.
+func (b *batcher) takeLocked() []*batchGroup {
+	groups := b.pending
+	b.pending = nil
+	b.nreq = 0
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return groups
+}
+
+func (b *batcher) flushTimer() {
+	b.mu.Lock()
+	groups := b.takeLocked()
+	b.mu.Unlock()
+	b.flush(groups)
+}
+
+// flush submits the window's groups as one merged batch and slices the
+// statuses back per group; on a merged-batch rejection with multiple
+// groups aboard it re-submits per group so each caller gets its own
+// verdict.
+func (b *batcher) flush(groups []*batchGroup) {
+	if len(groups) == 0 {
+		return
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g.reqs)
+	}
+	b.sizes.Observe(float64(total))
+	if len(groups) == 1 {
+		sts, err := b.svc.SubmitBatch(groups[0].reqs)
+		groups[0].ch <- batchResult{sts, err}
+		return
+	}
+	merged := make([]RunRequest, 0, total)
+	for _, g := range groups {
+		merged = append(merged, g.reqs...)
+	}
+	sts, err := b.svc.SubmitBatch(merged)
+	if err == nil {
+		off := 0
+		for _, g := range groups {
+			g.ch <- batchResult{sts: sts[off : off+len(g.reqs)]}
+			off += len(g.reqs)
+		}
+		return
+	}
+	for _, g := range groups {
+		sts, err := b.svc.SubmitBatch(g.reqs)
+		g.ch <- batchResult{sts, err}
+	}
+}
+
+// close flushes the pending window synchronously and stops accepting
+// groups. Drain/Close call it before refusing submits, so a caller
+// parked mid-window always gets a decision rather than hanging.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	groups := b.takeLocked()
+	b.mu.Unlock()
+	b.flush(groups)
+}

@@ -1,0 +1,131 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fvp/internal/telemetry"
+)
+
+// LatencySummary is an aggregated view of one server-side latency
+// histogram: totals plus bucket-interpolated quantiles, the numbers a
+// sweep driver compares against its SLO target.
+type LatencySummary struct {
+	// Count is the observations recorded since the server started.
+	Count uint64
+	// Sum is the total observed seconds; Sum/Count is the mean.
+	Sum float64
+	// P50 and P99 are interpolated quantiles in seconds. Log buckets
+	// resolve them to within one bucket ratio (×2 for the standard
+	// latency histogram).
+	P50 float64
+	P99 float64
+}
+
+// Mean returns the average observation, 0 when empty.
+func (s LatencySummary) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// RequestLatency fetches the server's metrics exposition and aggregates
+// fvpd_request_seconds across every route and outcome — the end-to-end
+// request latency distribution as the server itself measured it.
+func (c *Client) RequestLatency(ctx context.Context) (LatencySummary, error) {
+	text, err := c.MetricsText(ctx)
+	if err != nil {
+		return LatencySummary{}, err
+	}
+	return SummarizeHistogram(text, "fvpd_request_seconds")
+}
+
+// SummarizeHistogram parses one histogram family out of a Prometheus
+// text exposition, summing across label sets (all members of a family
+// share bucket bounds, so cumulative counts add). It errors if the
+// family is absent.
+func SummarizeHistogram(text, name string) (LatencySummary, error) {
+	var out LatencySummary
+	cums := make(map[float64]uint64)
+	bucketPrefix := name + "_bucket{"
+	for _, line := range strings.Split(text, "\n") {
+		switch {
+		case strings.HasPrefix(line, bucketPrefix):
+			le, n, err := parseBucketLine(line)
+			if err != nil {
+				return out, fmt.Errorf("fvpd: bad %s bucket line %q: %w", name, line, err)
+			}
+			cums[le] += n
+		case strings.HasPrefix(line, name+"_sum"):
+			if v, err := lastField(line); err == nil {
+				out.Sum += v
+			}
+		case strings.HasPrefix(line, name+"_count"):
+			if v, err := lastField(line); err == nil {
+				out.Count += uint64(v)
+			}
+		}
+	}
+	if len(cums) == 0 {
+		return out, fmt.Errorf("fvpd: no %s histogram in exposition", name)
+	}
+	les := make([]float64, 0, len(cums))
+	for le := range cums {
+		les = append(les, le)
+	}
+	sort.Float64s(les) // +Inf sorts last
+	snap := telemetry.HistSnapshot{Sum: out.Sum, Count: out.Count}
+	var prev uint64
+	for _, le := range les {
+		if !math.IsInf(le, 1) {
+			snap.Bounds = append(snap.Bounds, le)
+		}
+		snap.Counts = append(snap.Counts, cums[le]-prev)
+		prev = cums[le]
+	}
+	if len(snap.Counts) == len(snap.Bounds) {
+		// No +Inf bucket in the exposition: synthesize an empty overflow
+		// so the snapshot shape matches a native histogram.
+		snap.Counts = append(snap.Counts, 0)
+	}
+	out.P50 = snap.Quantile(0.50)
+	out.P99 = snap.Quantile(0.99)
+	return out, nil
+}
+
+// parseBucketLine extracts the le bound and cumulative count from one
+// `name_bucket{...,le="x"} N` exposition line.
+func parseBucketLine(line string) (le float64, n uint64, err error) {
+	i := strings.LastIndex(line, `le="`)
+	if i < 0 {
+		return 0, 0, fmt.Errorf("no le label")
+	}
+	rest := line[i+len(`le="`):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, 0, fmt.Errorf("unterminated le label")
+	}
+	if s := rest[:j]; s == "+Inf" {
+		le = math.Inf(1)
+	} else if le, err = strconv.ParseFloat(s, 64); err != nil {
+		return 0, 0, err
+	}
+	v, err := lastField(line)
+	if err != nil {
+		return 0, 0, err
+	}
+	return le, uint64(v), nil
+}
+
+func lastField(line string) (float64, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return 0, fmt.Errorf("no value field")
+	}
+	return strconv.ParseFloat(fields[len(fields)-1], 64)
+}

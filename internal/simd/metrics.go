@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fvp/internal/store"
+	"fvp/internal/telemetry"
 )
 
 // counters are the service-level counters, guarded by the Service mutex.
@@ -179,6 +180,17 @@ func (s *Service) WriteMetrics(w io.Writer) {
 		fmt.Fprintf(w, "fvpd_http_request_seconds_total{endpoint=%q} %g\n", e, s.http.byE[e].seconds)
 	}
 	s.http.mu.Unlock()
+
+	reqHelp := "End-to-end request latency by route pattern and outcome (ok, client_error, server_error)."
+	if s.cfg.SLOTarget > 0 {
+		reqHelp += fmt.Sprintf(" SLO target: %s.", s.cfg.SLOTarget)
+	}
+	s.reqHist.WriteProm(w, "fvpd_request_seconds", reqHelp)
+	if s.batch != nil {
+		telemetry.WritePromHeader(w, "fvpd_batch_size",
+			fmt.Sprintf("Requests coalesced per micro-batch flush (window %s, max %d).", s.cfg.BatchWindow, s.cfg.BatchMax))
+		s.batch.sizes.WriteProm(w, "fvpd_batch_size", "")
+	}
 
 	s.mu.Lock()
 	extras := append([]func(io.Writer){}, s.metricsExtra...)

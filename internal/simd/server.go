@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"fvp"
@@ -69,13 +70,51 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// instrument records per-endpoint request counts and latency.
+// instrument records per-endpoint request counts and latency, and feeds
+// the fvpd_request_seconds{path,outcome} latency histogram — the series
+// a deployment reads its p50/p99 against the -slo-target from.
 func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		h(w, r)
-		s.http.observe(endpoint, time.Since(start))
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		d := time.Since(start)
+		s.http.observe(endpoint, d)
+		s.reqHist.With(`path=` + strconv.Quote(endpoint) + `,outcome="` + outcomeLabel(rec.code) + `"`).
+			Observe(d.Seconds())
 	})
+}
+
+// statusRecorder captures the response code for the outcome label; a
+// handler that never calls WriteHeader implicitly answered 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// outcomeLabel buckets a status code into the histogram's outcome label:
+// server-side failures must not pollute the SLO series of successful
+// requests, and client errors (quota 429s, bad specs) are neither.
+func outcomeLabel(code int) string {
+	switch {
+	case code >= 500:
+		return "server_error"
+	case code >= 400:
+		return "client_error"
+	default:
+		return "ok"
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -181,7 +220,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if legacy {
 		MarkSamplingDeprecated(w.Header())
 	}
-	statuses, err := s.SubmitBatch(reqs)
+	statuses, err := s.SubmitBatched(reqs)
 	if err != nil {
 		WriteSubmitError(w, err)
 		return

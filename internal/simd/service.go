@@ -16,6 +16,7 @@ import (
 
 	"fvp"
 	"fvp/internal/store"
+	"fvp/internal/telemetry"
 )
 
 // Errors surfaced to submitters. The HTTP layer maps ErrQueueFull to
@@ -73,6 +74,19 @@ type Config struct {
 	// imposes no quotas: every tenant is unlimited and the queue is a
 	// single FIFO, exactly the pre-tenancy behavior.
 	Tenants TenantConfig
+	// BatchWindow enables the edge micro-batcher: concurrent submits are
+	// coalesced for up to this long (or until BatchMax requests pend)
+	// into one admission + durable-store transaction, amortizing quota
+	// charging and the per-batch fsync. 0 (the default) disables
+	// coalescing; every submit is its own transaction, as before.
+	BatchWindow time.Duration
+	// BatchMax caps the requests coalesced into one flush; default 256.
+	// A full batch flushes immediately without waiting out the window.
+	BatchMax int
+	// SLOTarget is the advertised request-latency objective; it only
+	// annotates the fvpd_request_seconds HELP text so dashboards and
+	// humans read p99 against the intended target. 0 means unstated.
+	SLOTarget time.Duration
 	// Run overrides the simulation function (tests only).
 	Run RunFunc
 	// clock overrides time.Now for token-bucket refill (tests only).
@@ -91,6 +105,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFinishedJobs <= 0 {
 		c.MaxFinishedJobs = 4096
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 256
 	}
 	if c.Stores.Jobs == nil {
 		c.Stores.Jobs = store.NewMemoryJobStore()
@@ -189,6 +206,12 @@ type Service struct {
 	http      *httpStats
 	recovered uint64 // jobs re-dispatched from the JobStore at boot
 
+	// batch is the edge micro-batcher; nil unless Config.BatchWindow > 0.
+	batch *batcher
+	// reqHist is fvpd_request_seconds{path,outcome}: end-to-end request
+	// latency per route pattern, the series p50/p99-vs-SLO reads come from.
+	reqHist *telemetry.Vec
+
 	// metricsExtra are exposition appenders registered by layers above
 	// the service (the cluster router adds its forwarding families), so
 	// GET /v1/metrics stays the single scrape target.
@@ -224,6 +247,10 @@ func New(cfg Config) *Service {
 		http:     newHTTPStats(),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.reqHist = telemetry.NewVec(telemetry.NewLatency)
+	if cfg.BatchWindow > 0 {
+		s.batch = newBatcher(s, cfg.BatchWindow, cfg.BatchMax)
+	}
 	s.recoverJobs()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -305,14 +332,30 @@ func (s *Service) Submit(req RunRequest) (JobStatus, error) {
 	return sts[0], nil
 }
 
-// SubmitBatch submits a batch atomically with respect to queue capacity
-// and tenant quotas: either every new unique run is admitted or the
-// whole batch is rejected — with *QuotaError when a tenant is over its
-// admission budget, ErrQueueFull when the global queue is at capacity
-// (cached and deduplicated entries need neither tokens nor a slot).
-// Validation errors also reject the whole batch. A durable-store
-// failure rejects the batch with ErrStore; entries admitted before the
-// failing one remain admitted.
+// SubmitBatched routes one caller's requests through the edge
+// micro-batcher when one is configured (Config.BatchWindow > 0) and
+// directly to SubmitBatch otherwise. Coalesced callers keep their
+// individual semantics — a rejection that only applies to the merged
+// batch (another caller's quota, a stranger's validation error) degrades
+// to per-caller submits rather than poisoning everyone in the window.
+// The HTTP submit path uses this entry point.
+func (s *Service) SubmitBatched(reqs []RunRequest) ([]JobStatus, error) {
+	if s.batch == nil || len(reqs) == 0 {
+		return s.SubmitBatch(reqs)
+	}
+	return s.batch.submit(reqs)
+}
+
+// SubmitBatch submits a batch atomically with respect to queue capacity,
+// tenant quotas, and the durable store: either every new unique run is
+// admitted or the whole batch is rejected — with *QuotaError when a
+// tenant is over its admission budget, ErrQueueFull when the global
+// queue is at capacity (cached and deduplicated entries need neither
+// tokens nor a slot), ErrStore when the durable store refused the
+// batch's single append. All fresh leaders in the batch share one
+// JobStore append — one fsync on the disk backend however many submits
+// the micro-batcher coalesced. Validation errors also reject the whole
+// batch.
 func (s *Service) SubmitBatch(reqs []RunRequest) ([]JobStatus, error) {
 	if len(reqs) == 0 {
 		return nil, errors.New("simd: empty batch")
@@ -352,25 +395,138 @@ func (s *Service) SubmitBatch(reqs []RunRequest) ([]JobStatus, error) {
 	if err := s.admitTenantsLocked(perTenant); err != nil {
 		return nil, err
 	}
-	if s.tq.queued+need > s.cfg.QueueSize {
-		// Refund the tokens just charged: nothing was admitted.
+	// Refund the tokens charged above: used on every nothing-was-admitted
+	// rejection below.
+	refund := func() {
 		for tenant, n := range perTenant {
 			s.tq.get(tenant).bucket.tokens += float64(n)
 		}
+	}
+	if s.tq.queued+need > s.cfg.QueueSize {
+		refund()
 		return nil, ErrQueueFull
 	}
 
+	// Phase 1: classify every request in submission order, allocating its
+	// job number as it is classified so IDs keep their pre-batch sequence,
+	// and marshal the fresh leaders' durable records. Nothing is visible
+	// yet — a store refusal below rejects the whole batch cleanly.
+	const (
+		kCached   = iota // result already in the cache
+		kLeader          // fresh unique spec: needs a durable record
+		kFollower        // attaches to a leader already in flight
+		kDup             // duplicate of a leader earlier in this batch
+	)
+	type admission struct {
+		kind  int
+		numID uint64
+		key   string
+		spec  fvp.RunSpec
+	}
+	adm := make([]admission, len(reqs))
+	pending := make(map[string]bool)
+	var records []store.JobRecord
+	for i, r := range reqs {
+		spec := r.RunSpec.Normalized()
+		key := specKey(spec)
+		a := admission{numID: s.st.Jobs.NextID(), key: key, spec: spec}
+		switch {
+		case s.st.Results.Has(key):
+			a.kind = kCached
+		case s.inflight[key] != nil:
+			a.kind = kFollower
+		case pending[key]:
+			a.kind = kDup
+		default:
+			a.kind = kLeader
+			pending[key] = true
+			encoded, err := json.Marshal(r)
+			if err != nil {
+				refund()
+				return nil, fmt.Errorf("%w: encoding spec: %v", ErrStore, err)
+			}
+			records = append(records, store.JobRecord{ID: a.numID, Key: key, Tenant: r.Tenant, Spec: encoded})
+		}
+		adm[i] = a
+	}
+
+	// Phase 2: one durable append covers every fresh leader in the batch —
+	// the single fsync that makes coalesced admission cheap. On failure
+	// nothing was admitted.
+	if err := s.st.Jobs.AppendBatch(records); err != nil {
+		refund()
+		return nil, fmt.Errorf("%w: %v", ErrStore, err)
+	}
+
+	// Phase 3: materialize the jobs in order. A batch-internal duplicate
+	// resolves as a follower because its leader — an earlier index — is in
+	// s.inflight by the time it is reached.
 	out := make([]JobStatus, len(reqs))
 	for i, r := range reqs {
-		st, err := s.admitLocked(r)
-		if err != nil {
-			s.cond.Broadcast()
-			return nil, err
+		a := adm[i]
+		j := &job{
+			id: s.jobID(a.numID), numID: a.numID, key: a.key, spec: a.spec,
+			tenant: r.Tenant, trace: r.Trace, done: make(chan struct{}),
 		}
-		out[i] = st
+		switch a.kind {
+		case kLeader:
+			s.jobs[j.id] = j
+			s.met.cacheMisses++
+			s.startLeaderLocked(j, r.TimeoutMS)
+		case kFollower, kDup:
+			s.attachFollowerLocked(j, s.inflight[a.key])
+		case kCached:
+			if m, ok := s.cachedMetricsLocked(a.key); ok {
+				s.jobs[j.id] = j
+				j.state = StateDone
+				j.cached = true
+				j.result = m
+				j.artifacts = s.artifactsLocked(a.key)
+				s.met.cacheHits++
+				s.met.done++
+				close(j.done)
+				s.retainLocked(j)
+				break
+			}
+			// Has said yes but the record would not decode (version skew in
+			// a persistent store) or was evicted since classification. Fall
+			// back to the pre-batch behavior for this corner: attach to a
+			// same-key leader degraded earlier in this loop, or become a
+			// singly-appended leader. Tokens were never charged for it —
+			// exactly as before the batch refactor.
+			if leader := s.inflight[a.key]; leader != nil {
+				s.attachFollowerLocked(j, leader)
+				break
+			}
+			encoded, err := json.Marshal(r)
+			if err == nil {
+				err = s.st.Jobs.Enqueue(store.JobRecord{ID: a.numID, Key: a.key, Tenant: r.Tenant, Spec: encoded})
+			}
+			if err != nil {
+				s.cond.Broadcast()
+				return nil, fmt.Errorf("%w: %v", ErrStore, err)
+			}
+			s.jobs[j.id] = j
+			s.met.cacheMisses++
+			s.startLeaderLocked(j, r.TimeoutMS)
+		}
+		out[i] = s.status(j)
 	}
 	s.cond.Broadcast()
 	return out, nil
+}
+
+// attachFollowerLocked attaches j to an in-flight leader; finalizeLocked
+// completes it from the leader's outcome.
+func (s *Service) attachFollowerLocked(j, leader *job) {
+	s.jobs[j.id] = j
+	j.state = leader.state // queued or running
+	j.cached = true
+	j.leader = leader
+	leader.followers = append(leader.followers, j)
+	leader.live++
+	s.tq.get(j.tenant).inflight++
+	s.met.cacheHits++
 }
 
 // admitTenantsLocked charges each tenant's token bucket for its share of
@@ -394,57 +550,6 @@ func (s *Service) admitTenantsLocked(perTenant map[string]int) error {
 		}
 	}
 	return nil
-}
-
-// admitLocked creates the job record for one request: a cache-served
-// terminal job, a follower on an in-flight leader, or a fresh leader
-// (durably enqueued before it is visible).
-func (s *Service) admitLocked(r RunRequest) (JobStatus, error) {
-	spec := r.RunSpec.Normalized()
-	key := specKey(spec)
-	numID := s.st.Jobs.NextID()
-	j := &job{
-		id: s.jobID(numID), numID: numID, key: key, spec: spec,
-		tenant: r.Tenant, trace: r.Trace, done: make(chan struct{}),
-	}
-
-	if m, ok := s.cachedMetricsLocked(key); ok {
-		s.jobs[j.id] = j
-		j.state = StateDone
-		j.cached = true
-		j.result = m
-		j.artifacts = s.artifactsLocked(key)
-		s.met.cacheHits++
-		s.met.done++
-		close(j.done)
-		s.retainLocked(j)
-		return s.status(j), nil
-	}
-	if leader := s.inflight[key]; leader != nil {
-		s.jobs[j.id] = j
-		j.state = leader.state // queued or running
-		j.cached = true
-		j.leader = leader
-		leader.followers = append(leader.followers, j)
-		leader.live++
-		s.tq.get(j.tenant).inflight++
-		s.met.cacheHits++
-		return s.status(j), nil
-	}
-
-	// Fresh leader: it must be durable before it is runnable, so a crash
-	// between this submit and its completion re-dispatches it.
-	encoded, err := json.Marshal(r)
-	if err != nil {
-		return JobStatus{}, fmt.Errorf("%w: encoding spec: %v", ErrStore, err)
-	}
-	if err := s.st.Jobs.Enqueue(store.JobRecord{ID: numID, Key: key, Tenant: r.Tenant, Spec: encoded}); err != nil {
-		return JobStatus{}, fmt.Errorf("%w: %v", ErrStore, err)
-	}
-	s.jobs[j.id] = j
-	s.met.cacheMisses++
-	s.startLeaderLocked(j, r.TimeoutMS)
-	return s.status(j), nil
 }
 
 // startLeaderLocked gives a leader its execution context and queues it.
@@ -822,6 +927,43 @@ func (s *Service) Workers() int { return s.cfg.Workers }
 // ("" outside cluster mode).
 func (s *Service) NodeID() string { return s.cfg.NodeID }
 
+// HasCachedResult reports whether the content-addressed result for a
+// spec key is locally cached — its own computation or a received
+// replica. The cluster layer uses it to serve replicated hot keys with
+// zero forward hops.
+func (s *Service) HasCachedResult(key string) bool {
+	return s.st.Results.Has(key)
+}
+
+// CachedResultBytes returns the encoded cached result for a spec key,
+// the payload the cluster layer pushes to ring successors when a key
+// runs hot.
+func (s *Service) CachedResultBytes(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Results.Get(key)
+}
+
+// PutCachedResult installs an encoded result under its spec key — the
+// receiving half of hot-result replication. The payload must decode as
+// fvp.Metrics; garbage is refused rather than cached. Content
+// addressing makes replication trivially coherent: a spec key is the
+// hash of a deterministic simulation's input, so its result is
+// immutable and a replicated entry can never be stale.
+func (s *Service) PutCachedResult(key string, value []byte) error {
+	var m fvp.Metrics
+	if err := json.Unmarshal(value, &m); err != nil {
+		return fmt.Errorf("simd: replicated result for %s undecodable: %w", key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.st.Results.Put(key, value); err != nil {
+		s.storeErrs.Add(1)
+		return fmt.Errorf("%w: %v", ErrStore, err)
+	}
+	return nil
+}
+
 // AddMetricsAppender registers fn to run at the end of every metrics
 // exposition (WriteMetrics / GET /v1/metrics). Layers above the service —
 // the cluster router's per-peer forwarding counters — use it so one
@@ -836,6 +978,12 @@ func (s *Service) AddMetricsAppender(fn func(io.Writer)) {
 // running jobs finish, workers exit, and the stores are closed. If ctx
 // fires first the remaining work is canceled (and finishes as canceled).
 func (s *Service) Drain(ctx context.Context) error {
+	// Flush the micro-batcher before refusing submits: callers already
+	// parked in the window get a real admit/reject decision, and their
+	// jobs drain with everything else.
+	if s.batch != nil {
+		s.batch.close()
+	}
 	s.mu.Lock()
 	s.closed = true
 	s.cond.Broadcast()
@@ -863,6 +1011,9 @@ func (s *Service) Drain(ctx context.Context) error {
 // their next context poll and finish in the canceled state, then the
 // stores are closed.
 func (s *Service) Close() {
+	if s.batch != nil {
+		s.batch.close()
+	}
 	s.stop()
 	s.mu.Lock()
 	s.closed = true

@@ -132,6 +132,43 @@ func (s *JobStore) Enqueue(rec store.JobRecord) error {
 	return nil
 }
 
+// AppendBatch records a whole admission batch with one write and one
+// fsync (via wal.appendAll) instead of a sync per job — the durable-cost
+// amortization behind the service's edge micro-batcher. On error nothing
+// is applied in memory and the caller treats the batch as refused; a
+// crash mid-write can leave a durable prefix, which recovery re-dispatches
+// like any other interrupted jobs.
+func (s *JobStore) AppendBatch(recs []store.JobRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	payloads := make([][]byte, len(recs))
+	for i, rec := range recs {
+		if rec.ID > s.nextID {
+			s.nextID = rec.ID
+		}
+		payload, err := json.Marshal(jobLogRec{T: "enq", ID: rec.ID, Key: rec.Key, Tenant: rec.Tenant, Spec: rec.Spec})
+		if err != nil {
+			return err
+		}
+		payloads[i] = payload
+	}
+	if err := s.w.appendAll(payloads); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		rec.State = store.JobQueued
+		r := rec
+		s.jobs[rec.ID] = &r
+		s.order = append(s.order, rec.ID)
+		s.bytes += int64(len(rec.Key) + len(rec.Spec))
+		s.dirty++
+	}
+	return nil
+}
+
 func (s *JobStore) SetState(id uint64, state, errMsg string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

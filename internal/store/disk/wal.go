@@ -123,6 +123,43 @@ func (w *wal) append(payload []byte) error {
 	return nil
 }
 
+// appendAll frames and writes every payload, then fsyncs once. The
+// durability contract is all-or-nothing at the batch level: a crash
+// before the sync may persist any prefix of the batch (each frame is
+// individually CRC-valid, so recovery replays whatever prefix landed),
+// but once appendAll returns nil the whole batch is durable. One fsync
+// for N records is the whole point — it is what lets micro-batched
+// admission amortize the dominant cost of a durable enqueue.
+func (w *wal) appendAll(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	total := 0
+	for _, p := range payloads {
+		if len(p) > maxRecordSize {
+			return fmt.Errorf("disk: record of %d bytes exceeds the %d-byte frame cap", len(p), maxRecordSize)
+		}
+		total += frameHeaderSize + len(p)
+	}
+	buf := make([]byte, 0, total)
+	var hdr [frameHeaderSize]byte
+	for _, p := range payloads {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(p, crcTable))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, p...)
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size += int64(len(buf))
+	w.appends += uint64(len(payloads))
+	return nil
+}
+
 // rewrite atomically replaces the log's contents with records — the
 // snapshot+compaction step. The new log is written beside the old one,
 // fsync'd, and renamed into place, so a crash at any point leaves either

@@ -44,6 +44,20 @@ func (s *MemoryJobStore) Enqueue(rec JobRecord) error {
 	return nil
 }
 
+func (s *MemoryJobStore) AppendBatch(recs []JobRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range recs {
+		rec.State = JobQueued
+		r := rec
+		s.jobs[rec.ID] = &r
+		s.order = append(s.order, rec.ID)
+		s.bytes += jobRecordBytes(rec)
+		s.muts++
+	}
+	return nil
+}
+
 func (s *MemoryJobStore) SetState(id uint64, state, errMsg string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -74,6 +74,12 @@ type JobStore interface {
 	// Enqueue durably records an admitted job in state JobQueued. The
 	// record must be recoverable once Enqueue returns.
 	Enqueue(rec JobRecord) error
+	// AppendBatch durably records a batch of admitted jobs in state
+	// JobQueued, all-or-nothing: when it returns nil every record is
+	// recoverable; on error none are (the service refuses the whole
+	// batch). Disk backends amortize the batch into a single fsync,
+	// which is what makes micro-batched admission cheap.
+	AppendBatch(recs []JobRecord) error
 	// SetState durably moves a job to state, with an optional error text
 	// for terminal failures. Unknown IDs are ignored (the job may have
 	// been compacted away).

@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	randv2 "math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Hist is a fixed log-bucketed histogram for latency-class measurements
+// on the request hot path. The bucket boundaries are a geometric series
+// chosen at construction and never change, so Observe is a bounded scan
+// plus one atomic increment — no locks, no allocation. Counters are
+// sharded to keep concurrent observers off each other's cache lines;
+// readers (exposition, quantiles) pay the aggregation cost instead.
+type Hist struct {
+	// bounds are the bucket upper limits, ascending; an observation lands
+	// in the first bucket whose bound is >= the value, or in the overflow
+	// bucket past the last bound.
+	bounds []float64
+	shards []histShard
+}
+
+// histShard is one observer lane. The pad keeps adjacent shards on
+// different cache lines so two CPUs observing concurrently don't
+// false-share; counts itself is a separate allocation per shard.
+type histShard struct {
+	counts []atomic.Uint64 // len(bounds)+1, last is overflow (+Inf)
+	sum    atomic.Uint64   // math.Float64bits accumulator
+	_      [40]byte
+}
+
+// histShards is the observer-lane count. Sized for small hosts (the
+// aggregation cost scales with it); contention on bigger machines is
+// already diluted by the random lane pick.
+const histShards = 8
+
+// NewLog builds a histogram of n geometric buckets: bounds[i] =
+// min·factor^i. Values above the last bound land in the +Inf bucket.
+func NewLog(min, factor float64, n int) *Hist {
+	if n <= 0 || min <= 0 || factor <= 1 {
+		panic("telemetry: NewLog needs min > 0, factor > 1, n > 0")
+	}
+	h := &Hist{bounds: make([]float64, n), shards: make([]histShard, histShards)}
+	b := min
+	for i := range h.bounds {
+		h.bounds[i] = b
+		b *= factor
+	}
+	for i := range h.shards {
+		h.shards[i].counts = make([]atomic.Uint64, n+1)
+	}
+	return h
+}
+
+// NewLatency returns the standard request-latency histogram: 100µs to
+// ~105s in ×2 buckets, which resolves p99 to within a factor of two
+// anywhere a service SLO plausibly sits.
+func NewLatency() *Hist { return NewLog(100e-6, 2, 21) }
+
+// NewSizes returns the standard count-valued histogram (batch sizes,
+// queue depths): 1 to 2048 in ×2 buckets.
+func NewSizes() *Hist { return NewLog(1, 2, 12) }
+
+// Observe records one value.
+func (h *Hist) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	sh := &h.shards[randv2.Uint32N(histShards)]
+	sh.counts[i].Add(1)
+	for {
+		old := sh.sum.Load()
+		if sh.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is an aggregated point-in-time view of a Hist.
+type HistSnapshot struct {
+	// Bounds are the bucket upper limits; Counts has one extra trailing
+	// entry for the +Inf overflow bucket.
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot aggregates the shards. It is consistent enough for
+// monitoring (each counter is read once, atomically) but not a
+// linearizable cut across buckets.
+func (h *Hist) Snapshot() HistSnapshot {
+	s := HistSnapshot{Bounds: h.bounds, Counts: make([]uint64, len(h.bounds)+1)}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for j := range sh.counts {
+			s.Counts[j] += sh.counts[j].Load()
+		}
+		s.Sum += math.Float64frombits(sh.sum.Load())
+	}
+	for _, c := range s.Counts {
+		s.Count += c
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the bucket where the rank falls. Overflow-bucket
+// ranks report the last finite bound; an empty histogram reports 0.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Quantile is Snapshot().Quantile for one-off reads.
+func (h *Hist) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
+// WritePromHeader emits the HELP/TYPE preamble for a histogram family;
+// callers follow with one WriteProm per label set.
+func WritePromHeader(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+}
+
+// WriteProm renders the series of one histogram in Prometheus text
+// exposition: cumulative _bucket{le=...} lines, then _sum and _count.
+// labels is the pre-rendered label list without braces (may be empty).
+func (h *Hist) WriteProm(w io.Writer, name, labels string) {
+	s := h.Snapshot()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatBound(b), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, s.Count)
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// shortest round-trippable decimal.
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}
+
+// Vec is a labeled histogram family: one Hist per label set, created on
+// first use. The label string is the pre-rendered Prometheus label list
+// (e.g. `path="/v1/runs",outcome="ok"`); keeping it pre-rendered makes
+// With a single map lookup under a short mutex, off the Observe path.
+type Vec struct {
+	mk func() *Hist
+
+	mu sync.Mutex
+	by map[string]*Hist
+}
+
+// NewVec builds a family whose members are created by mk.
+func NewVec(mk func() *Hist) *Vec {
+	return &Vec{mk: mk, by: make(map[string]*Hist)}
+}
+
+// With returns (creating if needed) the member for a label list.
+func (v *Vec) With(labels string) *Hist {
+	v.mu.Lock()
+	h := v.by[labels]
+	if h == nil {
+		h = v.mk()
+		v.by[labels] = h
+	}
+	v.mu.Unlock()
+	return h
+}
+
+// WriteProm renders the whole family, members sorted by label list so
+// the exposition is deterministic.
+func (v *Vec) WriteProm(w io.Writer, name, help string) {
+	v.mu.Lock()
+	labels := make([]string, 0, len(v.by))
+	members := make(map[string]*Hist, len(v.by))
+	for l, h := range v.by {
+		labels = append(labels, l)
+		members[l] = h
+	}
+	v.mu.Unlock()
+	sort.Strings(labels)
+	WritePromHeader(w, name, help)
+	for _, l := range labels {
+		members[l].WriteProm(w, name, l)
+	}
+}

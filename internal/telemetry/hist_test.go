@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistBucketingAndCount(t *testing.T) {
+	h := NewLog(1, 2, 4) // bounds 1,2,4,8 + overflow
+	for _, v := range []float64{0.5, 1, 1.5, 3, 8, 9, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1, 1, 2} // (<=1)x2, (<=2)x1, (<=4)x1, (<=8)x1, +Inf x2
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, c, want[i], s.Counts)
+		}
+	}
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if math.Abs(s.Sum-123) > 1e-9 {
+		t.Fatalf("sum = %g, want 123", s.Sum)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := NewLog(0.001, 2, 20)
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.010) // all in one bucket (8ms..16ms]
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 0.008 || p50 > 0.016 {
+		t.Fatalf("p50 = %g, want within the 8–16ms bucket", p50)
+	}
+	if q := h.Quantile(0.99); q < p50 {
+		t.Fatalf("p99 %g < p50 %g", q, p50)
+	}
+	var empty Hist
+	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+	_ = empty
+}
+
+func TestHistConcurrentObserve(t *testing.T) {
+	h := NewLatency()
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.002)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+}
+
+func TestHistPromExposition(t *testing.T) {
+	h := NewLog(1, 2, 3)
+	h.Observe(1)
+	h.Observe(3)
+	var b strings.Builder
+	WritePromHeader(&b, "x_seconds", "help text")
+	h.WriteProm(&b, "x_seconds", `path="/v1/runs"`)
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE x_seconds histogram",
+		`x_seconds_bucket{path="/v1/runs",le="1"} 1`,
+		`x_seconds_bucket{path="/v1/runs",le="4"} 2`,
+		`x_seconds_bucket{path="/v1/runs",le="+Inf"} 2`,
+		`x_seconds_sum{path="/v1/runs"} 4`,
+		`x_seconds_count{path="/v1/runs"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestVecLabeledFamilies(t *testing.T) {
+	v := NewVec(func() *Hist { return NewLog(1, 2, 3) })
+	v.With(`peer="b"`).Observe(1)
+	v.With(`peer="a"`).Observe(2)
+	v.With(`peer="a"`).Observe(2)
+	var b strings.Builder
+	v.WriteProm(&b, "f_seconds", "forwards")
+	text := b.String()
+	if !strings.Contains(text, `f_seconds_count{peer="a"} 2`) ||
+		!strings.Contains(text, `f_seconds_count{peer="b"} 1`) {
+		t.Fatalf("vec exposition wrong:\n%s", text)
+	}
+	// Deterministic order: a before b.
+	if strings.Index(text, `peer="a"`) > strings.Index(text, `peer="b"`) {
+		t.Fatalf("labels not sorted:\n%s", text)
+	}
+}
